@@ -1,0 +1,95 @@
+"""Extension bench — the full middleware loop reproduces Fig. 7's shape.
+
+The Fig. 7 bench derives the staleness distribution analytically from an
+exponential round-trip model.  This bench closes the loop instead: it runs
+the complete protocol (I-Prof → controller → device execution → network →
+AdaSGD) on a virtual clock and checks that the *endogenous* staleness
+distribution has the same signature — a Gaussian-ish body plus a long
+tail — while the model actually learns and the churn/energy accounting
+stays consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import gaussian_tail_split, summarize
+from repro.core import make_adasgd
+from repro.data import iid_split, make_mnist_like
+from repro.devices import SimulatedDevice, fleet_specs
+from repro.nn import build_logistic
+from repro.profiler import IProf, SLO, collect_offline_dataset
+from repro.server import FleetServer
+from repro.simulation import FleetSimConfig, FleetSimulation
+
+NUM_USERS = 30
+HORIZON_S = 2400.0
+
+
+def _run():
+    rng = np.random.default_rng(11)
+    dataset = make_mnist_like(train_per_class=300, test_per_class=25)
+    partition = iid_split(dataset.train_y, NUM_USERS, rng)
+
+    training = [
+        SimulatedDevice(spec, np.random.default_rng(60 + i))
+        for i, spec in enumerate(fleet_specs(5, np.random.default_rng(6)))
+    ]
+    xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
+    iprof = IProf()
+    iprof.pretrain_time(xs, ys)
+
+    model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
+    server = FleetServer(
+        make_adasgd(
+            model.get_parameters(), num_labels=10, learning_rate=0.02,
+            initial_tau_thres=12.0,
+        ),
+        iprof,
+        SLO(time_seconds=3.0),
+    )
+    config = FleetSimConfig(
+        horizon_s=HORIZON_S,
+        mean_think_time_s=8.0,
+        abort_probability=0.1,
+        eval_every_updates=200,
+    )
+    simulation = FleetSimulation(
+        server=server, model=model, dataset=dataset, partition=partition,
+        rng=rng, config=config,
+    )
+    result = simulation.run()
+    return simulation, result
+
+
+def test_ext_fleet_sim(benchmark, report):
+    simulation, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    staleness = result.applied_staleness(simulation.server)
+    body, tail = gaussian_tail_split(staleness)
+
+    report(
+        "",
+        "Extension — end-to-end middleware simulation "
+        f"({NUM_USERS} users, {HORIZON_S / 60:.0f} min virtual)",
+        f"  tasks: {result.completed} completed, {result.aborted} aborted "
+        f"(churn), {result.rejections} rejected",
+        f"  endogenous staleness: body n={body.size} mean={body.mean():.1f} "
+        f"std={body.std():.1f}; tail n={tail.size} max={staleness.max():.0f}",
+        f"  round trip: {summarize(np.array(result.round_trip_seconds)).row(unit='s')}",
+        f"  accuracy: {result.eval_accuracy[0]:.2f} -> {result.final_accuracy():.2f} "
+        f"over {simulation.server.clock} updates",
+    )
+
+    # Fig. 7 signature: an overlapping-update body away from zero plus a
+    # strictly longer tail.
+    assert body.mean() > 1.0, "devices must actually race each other"
+    assert staleness.max() >= body.mean() + 3 * body.std()
+    # Learning happened despite churn and endogenous staleness.
+    assert result.final_accuracy() > 0.8
+    # Accounting invariants.
+    assert result.requests == result.completed + result.aborted + result.rejections
+    assert result.completed == simulation.server.clock  # K = 1
+    assert 0.8 <= result.completion_rate() <= 0.95  # 10 % configured churn
+    # Every task (even aborted) was charged compute and radio energy.
+    assert len(result.compute_energy_mwh) == result.completed + result.aborted
+    assert result.total_energy_mwh() > 0

@@ -1,0 +1,103 @@
+"""Extension bench — §4: communication-efficiency techniques are pluggable.
+
+The paper cites gradient-compression work (Jeong et al. [38]) as orthogonal
+to Online FL and adaptable into FLeet.  This bench plugs top-k
+sparsification with error feedback into the *end-to-end* simulation and
+measures both sides of the trade: upload wire time shrinks with the kept
+fraction, while error feedback keeps the model converging — the property
+that makes the technique actually pluggable rather than merely compatible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import summarize
+from repro.core import make_adasgd
+from repro.data import iid_split, make_mnist_like
+from repro.devices import SimulatedDevice, fleet_specs
+from repro.nn import build_logistic
+from repro.profiler import IProf, SLO, collect_offline_dataset
+from repro.server import FleetServer
+from repro.simulation import FleetSimConfig, FleetSimulation
+
+FRACTIONS = (None, 0.2, 0.05)  # None = dense uploads
+NUM_USERS = 12
+HORIZON_S = 1500.0
+
+
+def _run(sparsify_fraction):
+    rng = np.random.default_rng(17)
+    dataset = make_mnist_like(train_per_class=200, test_per_class=25)
+    partition = iid_split(dataset.train_y, NUM_USERS, rng)
+    training = [
+        SimulatedDevice(spec, np.random.default_rng(70 + i))
+        for i, spec in enumerate(fleet_specs(5, np.random.default_rng(8)))
+    ]
+    xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
+    iprof = IProf()
+    iprof.pretrain_time(xs, ys)
+    model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
+    server = FleetServer(
+        make_adasgd(model.get_parameters(), num_labels=10, learning_rate=0.02,
+                    initial_tau_thres=12.0),
+        iprof, SLO(time_seconds=3.0),
+    )
+    config = FleetSimConfig(
+        horizon_s=HORIZON_S, mean_think_time_s=12.0,
+        sparsify_fraction=sparsify_fraction, eval_every_updates=200,
+    )
+    simulation = FleetSimulation(
+        server=server, model=model, dataset=dataset, partition=partition,
+        rng=rng, config=config,
+    )
+    result = simulation.run()
+    return {
+        "network_s": np.array(result.network_seconds),
+        "radio_mwh": np.array(result.radio_energy_mwh),
+        "accuracy": result.final_accuracy(),
+        "updates": server.clock,
+    }
+
+
+def _sweep():
+    return {fraction: _run(fraction) for fraction in FRACTIONS}
+
+
+def test_ext_upload_compression(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = ["", "Extension — top-k upload compression in the full loop (S4)"]
+    for fraction, record in results.items():
+        label = "dense" if fraction is None else f"top-{fraction:.0%}"
+        lines.append(
+            f"  {label:<9} network {summarize(record['network_s']).row(unit='s')}  "
+            f"radio {record['radio_mwh'].mean():.2f} mWh/task  "
+            f"accuracy {record['accuracy']:.3f} ({record['updates']} updates)"
+        )
+    lines.append(
+        "  => compression buys wire time, not battery: the cellular radio "
+        "tail dominates small transfers"
+    )
+    report(*lines)
+
+    dense = results[None]
+    for fraction in (0.2, 0.05):
+        sparse = results[fraction]
+        # Smaller uploads cut the median wire time...
+        assert np.median(sparse["network_s"]) < np.median(dense["network_s"])
+        # ...but NOT the radio energy: the cellular tail state (the radio
+        # lingers hot for seconds after the last byte) dominates small
+        # transfers, so per-task radio energy stays within noise of the
+        # dense arm.  This is Altamimi et al.'s finding surfacing through
+        # the composed substrate — compression buys latency, not battery.
+        np.testing.assert_allclose(
+            sparse["radio_mwh"].mean(), dense["radio_mwh"].mean(), rtol=0.2
+        )
+        # Error feedback preserves convergence (within a small margin of
+        # the dense arm at the same horizon).
+        assert sparse["accuracy"] > dense["accuracy"] - 0.05
+    # More aggressive compression means shorter uploads (monotone).
+    assert np.median(results[0.05]["network_s"]) <= np.median(
+        results[0.2]["network_s"]
+    ) * 1.02

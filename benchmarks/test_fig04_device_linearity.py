@@ -1,0 +1,87 @@
+"""Figure 4 — linearity of computation time and energy in the mini-batch
+size, with device- and temperature-dependent slope.
+
+Replays the paper's up/down ramp on the same three phones (Galaxy S7,
+Xperia E3, Honor 10): batch size ramps up, the device heats, then after a
+cool-down the ramp runs back down.  The report shows the fitted seconds-per-
+sample slope for each phase; the Honor 10's "up" slope must exceed its
+"down" slope (thermal throttling), and the cross-device slopes must span the
+heterogeneity the paper shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices import SimulatedDevice, get_spec
+
+DEVICES = ["Galaxy S7", "Xperia E3", "Honor 10"]
+RAMP = [64, 128, 256, 512, 1024, 1536, 2048, 2560, 3072]
+
+
+def _fit_slope(batches, times):
+    batches = np.asarray(batches, dtype=float)
+    times = np.asarray(times, dtype=float)
+    return float((batches * times).sum() / (batches * batches).sum())
+
+
+def _ramp_experiment():
+    results = {}
+    for name in DEVICES:
+        device = SimulatedDevice(get_spec(name), np.random.default_rng(17))
+        up_t, up_e = [], []
+        for batch in RAMP:
+            m = device.execute(batch)
+            up_t.append(m.computation_time_s)
+            up_e.append(m.energy_percent)
+        peak_temp = device.thermal.temperature_c
+        device.idle(3600.0)    # cool-down between the two ramps
+        down_t, down_e = [], []
+        for batch in reversed(RAMP):
+            m = device.execute(batch)
+            down_t.append(m.computation_time_s)
+            down_e.append(m.energy_percent)
+        results[name] = {
+            "up_slope": _fit_slope(RAMP, up_t),
+            "down_slope": _fit_slope(list(reversed(RAMP)), down_t),
+            "up_energy_slope": _fit_slope(RAMP, up_e),
+            "peak_temp": peak_temp,
+        }
+    return results
+
+
+def test_fig04_linearity_and_thermal_drift(benchmark, report):
+    results = benchmark.pedantic(_ramp_experiment, rounds=1, iterations=1)
+    lines = [
+        "",
+        "Figure 4 — cost vs mini-batch size (fitted slopes, s/sample | %batt/sample)",
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"  {name:<12} up {r['up_slope']*1e3:7.3f} ms/sample   "
+            f"down {r['down_slope']*1e3:7.3f} ms/sample   "
+            f"energy {r['up_energy_slope']*1e4:6.3f} e-4 %/sample   "
+            f"peak {r['peak_temp']:.1f} C"
+        )
+    report(*lines)
+
+    # Cross-device heterogeneity: Xperia E3 slowest, Honor 10 fastest.
+    assert results["Xperia E3"]["up_slope"] > 2 * results["Galaxy S7"]["up_slope"]
+    assert results["Galaxy S7"]["up_slope"] > 2 * results["Honor 10"]["up_slope"]
+    # Thermal drift bends the Honor 10 'up' ramp (its Fig. 4b split).
+    assert results["Honor 10"]["up_slope"] > results["Honor 10"]["down_slope"]
+
+
+def test_fig04_linear_fit_quality(benchmark, report):
+    def _r_squared():
+        device = SimulatedDevice(get_spec("Galaxy S7"), np.random.default_rng(3))
+        times = [device.execute(b).computation_time_s for b in RAMP]
+        slope = _fit_slope(RAMP, times)
+        pred = slope * np.asarray(RAMP, dtype=float)
+        resid = np.asarray(times) - pred
+        total = np.asarray(times) - np.mean(times)
+        return 1.0 - float((resid**2).sum() / (total**2).sum())
+
+    r2 = benchmark.pedantic(_r_squared, rounds=1, iterations=1)
+    report(f"  Galaxy S7 linear fit R^2 = {r2:.4f} (paper: cost is linear in n)")
+    assert r2 > 0.97

@@ -1,0 +1,69 @@
+"""Figure 6 — Online FL vs Standard FL on hashtag recommendation.
+
+The synthetic temporal tweet stream (drifting hashtag popularity) is trained
+with the RNN recommender under two update cadences: hourly (Online FL) and
+daily (Standard FL), with identical gradient computations.  A most-popular
+baseline completes the figure.  The paper reports an average quality boost
+of 2.3× for Online FL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import fmt_series
+from repro.data.tweets import TweetStream, TweetStreamConfig
+from repro.nn import build_hashtag_rnn
+from repro.simulation.online import run_online_comparison
+
+STREAM_CONFIG = TweetStreamConfig(
+    num_days=8, tweets_per_hour=30, num_users=40,
+    vocab_size=160, num_hashtags=40, tokens_per_tweet=8,
+    mean_lifetime_hours=14.0, seed=4,
+)
+
+
+def _experiment():
+    stream = TweetStream(STREAM_CONFIG)
+
+    def builder():
+        return build_hashtag_rnn(
+            np.random.default_rng(0),
+            vocab_size=STREAM_CONFIG.vocab_size,
+            embed_dim=12,
+            hidden_dim=16,
+            num_hashtags=STREAM_CONFIG.num_hashtags,
+        )
+
+    return run_online_comparison(
+        stream, builder, learning_rate=0.4, shard_days=2,
+        update_hours_online=1, update_hours_standard=24, warmup_hours=24,
+    )
+
+
+def test_fig06_online_vs_standard(benchmark, report):
+    result = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    online_mean, standard_mean, baseline_mean = result.mean_f1()
+    boost = result.mean_boost()
+
+    def _downsample(series, k=12):
+        arr = np.asarray(series)
+        stride = max(1, len(arr) // k)
+        return arr[::stride]
+
+    report(
+        "",
+        "Figure 6 — F1@top-5, Online FL vs Standard FL (hashtag recommender)",
+        f"  chunks evaluated: {len(result.chunk_index)}",
+        f"  Online FL   mean F1 {online_mean:.3f}   series {fmt_series(_downsample(result.online_f1))}",
+        f"  Standard FL mean F1 {standard_mean:.3f}   series {fmt_series(_downsample(result.standard_f1))}",
+        f"  Most-popular baseline mean F1 {baseline_mean:.3f}",
+        f"  Online/Standard boost: {boost:.2f}x (paper: 2.3x)",
+    )
+
+    # Who wins: Online FL > Standard FL on a drifting stream.
+    assert online_mean > standard_mean
+    # Rough factor: a substantial (>1.3x) boost, same order as the paper.
+    assert boost > 1.3
+    # The learned recommender beats always-most-popular on average.
+    assert online_mean > baseline_mean

@@ -1,0 +1,74 @@
+"""Figure 7 — staleness distribution of the collected tweets.
+
+Replays tweet-arrival timestamps through the exponential round-trip latency
+model (min 7.1 s, mean 8.45 s, §3.1) and reports the staleness histogram:
+a Gaussian-like body plus a long tail caused by peak-time bursts.
+
+The paper's corpus averages ~2.3 tweets/s over 13 days with bursty peaks of
+hundreds of tweets/s; we regenerate the timestamp process at that rate
+(diurnal Poisson + bursts, the same process behind
+:class:`repro.data.tweets.TweetStream`) rather than materializing millions
+of full tweets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.simulation import paper_latency_model, staleness_from_timestamps
+
+HOURS = 48
+BASE_RATE_PER_HOUR = 9000.0      # ~2.5 tweets/s, the paper's average
+BURST_PROBABILITY = 0.02
+BURST_MULTIPLIER = 6.0           # rare peak hours (the long tail)
+
+
+def _timestamps(rng: np.random.Generator) -> np.ndarray:
+    chunks = []
+    for hour in range(HOURS):
+        diurnal = 1.0 + 0.5 * math.sin(2.0 * math.pi * (hour % 24 - 6.0) / 24.0)
+        rate = BASE_RATE_PER_HOUR * max(0.1, diurnal)
+        if rng.random() < BURST_PROBABILITY:
+            rate *= BURST_MULTIPLIER
+        count = rng.poisson(rate)
+        chunks.append((hour + rng.random(count)) * 3600.0)
+    return np.sort(np.concatenate(chunks))
+
+
+def _staleness():
+    rng = np.random.default_rng(11)
+    timestamps = _timestamps(rng)
+    latency = paper_latency_model(np.random.default_rng(12))
+    return staleness_from_timestamps(timestamps, latency)
+
+
+def test_fig07_staleness_distribution(benchmark, report):
+    staleness = benchmark.pedantic(_staleness, rounds=1, iterations=1)
+    p95 = np.percentile(staleness, 95)
+    body = staleness[staleness <= p95]
+    tail_max = int(staleness.max())
+    skewness = float(stats.skew(staleness))
+    lines = [
+        "",
+        "Figure 7 — staleness distribution (tweet timestamps through exp. latency)",
+        f"  updates: {staleness.size}, mean {staleness.mean():.1f}, "
+        f"median {np.median(staleness):.1f}",
+        f"  body (<=95th pct) mean {body.mean():.1f} std {body.std():.1f}",
+        f"  tail: 99th pct {np.percentile(staleness, 99):.0f}, max {tail_max}",
+        f"  skewness {skewness:.2f} (Gaussian body + long right tail)",
+    ]
+    hist, edges = np.histogram(staleness, bins=10)
+    lines.append("  histogram " + " ".join(
+        f"[{int(edges[i])}-{int(edges[i+1])}):{hist[i]}" for i in range(len(hist))
+    ))
+    report(*lines)
+
+    # Gaussian-ish body away from zero (paper: body centred near tau ~ 20-30).
+    assert body.mean() > 5.0
+    assert np.bincount(staleness).argmax() > 0
+    # Long right tail driven by the bursts (paper: tail beyond tau = 65).
+    assert tail_max > 4.0 * body.mean()
+    assert skewness > 1.0

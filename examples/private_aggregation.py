@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Privacy-hardened FLeet round: secure aggregation + DP label reporting.
+
+The paper calls FL "privacy-ready" via secure aggregation and differential
+privacy (§1) and flags the label-distribution report as a leak to be bounded
+with noise (§5).  This example assembles the full privacy-hardened variant:
+
+1. workers report Laplace-noised label histograms (ε-DP) for similarity;
+2. worker gradients are perturbed with the Gaussian mechanism and the
+   privacy loss is accounted with the moments accountant;
+3. gradients travel masked: the server only ever sees the pairwise-masked
+   uploads and their exact sum (secure aggregation with K = 4).
+
+Run:  python examples/private_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    GradientUpdate,
+    SecureAggregationRound,
+    gaussian_mechanism,
+    laplace_private_counts,
+    make_adasgd,
+    moments_epsilon,
+)
+from repro.data import make_mnist_like, shard_non_iid_split
+from repro.nn import build_logistic
+
+NUM_WORKERS = 4
+ROUNDS = 80
+CLIP_NORM = 2.0
+NOISE_MULTIPLIER = 0.1
+LABEL_EPSILON = 2.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    dataset = make_mnist_like(train_per_class=50, test_per_class=15)
+    partition = shard_non_iid_split(dataset.train_y, NUM_WORKERS, rng)
+    model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
+    dim = model.num_parameters
+
+    # K = NUM_WORKERS: one synchronized secure-aggregation round per update.
+    server = make_adasgd(
+        model.get_parameters(), num_labels=10, learning_rate=0.3,
+        aggregation_k=1, initial_tau_thres=12.0,
+    )
+
+    for round_id in range(ROUNDS):
+        params, pull_step = server.pull()
+        secure = SecureAggregationRound(
+            participants=list(range(NUM_WORKERS)),
+            base_seed=1000 + round_id,
+            dimension=dim,
+        )
+        label_report = np.zeros(10)
+        for worker in range(NUM_WORKERS):
+            indices = partition.user_indices[worker]
+            pick = rng.choice(indices, size=min(32, indices.size), replace=False)
+            model.set_parameters(params)
+            _, grad = model.compute_gradient(dataset.train_x[pick], dataset.train_y[pick])
+            # Worker-side DP: clip + Gaussian noise before masking.
+            private_grad = gaussian_mechanism(grad, CLIP_NORM, NOISE_MULTIPLIER, rng)
+            secure.submit(worker, secure.masker_for(worker).mask(private_grad))
+            # DP label histogram for the similarity machinery (one report
+            # per round, aggregated; epsilon applies per worker).
+            counts = np.bincount(dataset.train_y[pick], minlength=10).astype(float)
+            label_report += laplace_private_counts(counts, LABEL_EPSILON, rng)
+
+        # The server learns only the sum of the (already DP) gradients.
+        aggregate = secure.aggregate()
+        server.submit(GradientUpdate(
+            gradient=aggregate / NUM_WORKERS,
+            pull_step=pull_step,
+            label_counts=label_report,
+        ))
+
+    model.set_parameters(server.current_parameters())
+    accuracy = model.evaluate_accuracy(dataset.test_x, dataset.test_y)
+
+    n = dataset.train_x.shape[0]
+    epsilon = moments_epsilon(
+        q=32.0 / n, sigma=NOISE_MULTIPLIER, steps=ROUNDS, delta=1.0 / n**2
+    )
+    print(f"{ROUNDS} secure-aggregation rounds with {NUM_WORKERS} workers")
+    print(f"test accuracy: {accuracy:.2%} (chance 10%)")
+    print(f"gradient privacy: epsilon = {epsilon:.2f} "
+          f"(sigma={NOISE_MULTIPLIER}, delta=1/N^2, moments accountant)")
+    print(f"label reports: epsilon = {LABEL_EPSILON} per worker per round (Laplace)")
+    print("the server never observed an individual plaintext gradient")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of *FLeet: Online Federated Learning via Staleness
+Awareness and Performance Prediction* (Damaskinos et al., MIDDLEWARE 2020).
+
+Subpackages
+-----------
+``repro.core``
+    AdaSGD (the paper's staleness-aware SGD), dampening strategies,
+    Bhattacharyya similarity boosting, differential privacy.
+``repro.profiler``
+    I-Prof workload profiler and the MAUI baseline.
+``repro.server``
+    The middleware: FLeet server, admission controller, worker runtime.
+``repro.devices``
+    Simulated Android device fleet (latency/energy/thermal models).
+``repro.nn``
+    Pure-numpy deep-learning substrate and the Table-1 model zoo.
+``repro.data``
+    Synthetic datasets: images, federated splits, temporal tweet stream.
+``repro.simulation``
+    Latency/staleness processes, the experiment runners, and the
+    end-to-end fleet simulation.
+``repro.network``
+    Mobile network substrate: link profiles, signal/handover processes,
+    radio energy, throughput prediction.
+``repro.analysis``
+    Distribution statistics, convergence metrics and text charts shared
+    by the evaluation harness.
+``repro.allocation``
+    Resource allocation: FLeet's big-core policy and CALOREE.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "profiler",
+    "server",
+    "devices",
+    "nn",
+    "data",
+    "simulation",
+    "network",
+    "analysis",
+    "allocation",
+]

@@ -1,0 +1,25 @@
+"""Resource allocation: FLeet's static scheme and the CALOREE baseline."""
+
+from repro.allocation.big_little import (
+    ExecutionReport,
+    execute_with_fleet_policy,
+    fleet_allocation,
+)
+from repro.allocation.caloree import (
+    CaloreeController,
+    CaloreeRun,
+    PerformanceHashTable,
+    PHTEntry,
+    build_pht,
+)
+
+__all__ = [
+    "fleet_allocation",
+    "execute_with_fleet_policy",
+    "ExecutionReport",
+    "build_pht",
+    "PerformanceHashTable",
+    "PHTEntry",
+    "CaloreeController",
+    "CaloreeRun",
+]

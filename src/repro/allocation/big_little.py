@@ -1,0 +1,50 @@
+"""FLeet's resource-allocation scheme (paper §2.4).
+
+Non-rooted Android exposes only core affinity, so FLeet uses a static
+policy: run on the "big" cores only for ARM big.LITTLE devices (big cores
+finish compute-intensive work so much faster that they are also the more
+energy-efficient choice), and on all cores for symmetric ARMv7 devices
+(energy per workload is roughly constant in the number of cores, so more
+parallelism is free speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import SimulatedDevice, TaskMeasurement
+from repro.devices.energy import AllocationConfig
+
+__all__ = ["fleet_allocation", "ExecutionReport", "execute_with_fleet_policy"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Cost of a workload under some allocation policy."""
+
+    allocation: AllocationConfig
+    computation_time_s: float
+    energy_percent: float
+    energy_mwh: float
+
+
+def fleet_allocation(device: SimulatedDevice) -> AllocationConfig:
+    """The §2.4 policy for a device: big cluster only, or everything."""
+    spec = device.spec
+    if spec.is_big_little:
+        return AllocationConfig(big_cores=spec.big.num_cores, little_cores=0)
+    return AllocationConfig(big_cores=spec.big.num_cores, little_cores=0)
+
+
+def execute_with_fleet_policy(
+    device: SimulatedDevice, batch_size: int
+) -> ExecutionReport:
+    """Run one learning task under FLeet's allocation and report its cost."""
+    allocation = fleet_allocation(device)
+    measurement: TaskMeasurement = device.execute(batch_size, allocation)
+    return ExecutionReport(
+        allocation=allocation,
+        computation_time_s=measurement.computation_time_s,
+        energy_percent=measurement.energy_percent,
+        energy_mwh=measurement.energy_mwh,
+    )

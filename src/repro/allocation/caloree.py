@@ -1,0 +1,198 @@
+"""CALOREE baseline (Mishra et al., ASPLOS 2018; paper §3.4).
+
+CALOREE profiles a *training* device by running the workload under every
+available resource configuration, keeps the energy-optimal lower convex
+hull in a performance hash table (PHT), and at run time selects the
+configuration (or time-weighted pair of adjacent hull configurations) that
+meets a deadline with minimal predicted energy.
+
+The paper's finding (Table 2, Fig. 14) is that PHTs do not transfer across
+device models: the deadline error grows from 1.4 % (run on the training
+device) to 255 % (different vendor), and even in CALOREE's ideal setting
+its energy is no better than FLeet's static big-core allocation because
+configuration switches disturb the cache-hot gradient loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.device import SimulatedDevice
+from repro.devices.energy import AllocationConfig
+
+__all__ = [
+    "PHTEntry",
+    "PerformanceHashTable",
+    "build_pht",
+    "CaloreeController",
+    "CaloreeRun",
+]
+
+
+@dataclass(frozen=True)
+class PHTEntry:
+    """One hull configuration: measured speed and energy rate on the trainer."""
+
+    allocation: AllocationConfig
+    # Samples per second measured on the training device.
+    speed: float
+    # Battery % per sample on the training device.
+    energy_per_sample: float
+
+
+@dataclass
+class PerformanceHashTable:
+    """Energy-optimal configurations, sorted by increasing speed."""
+
+    entries: list[PHTEntry]
+    trained_on: str
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("PHT must contain at least one configuration")
+        self.entries = sorted(self.entries, key=lambda e: e.speed)
+
+    @property
+    def fastest(self) -> PHTEntry:
+        return self.entries[-1]
+
+
+def build_pht(device: SimulatedDevice, profile_batch: int = 256) -> PerformanceHashTable:
+    """Profile every allocation on ``device`` and keep the convex hull.
+
+    A configuration is kept when no other configuration is both faster and
+    cheaper per sample (Pareto filter), then the lower convex hull over
+    (speed, energy/sample) is retained, matching CALOREE's construction.
+    """
+    points: list[PHTEntry] = []
+    for allocation in device.available_allocations():
+        measurement = device.execute(profile_batch, allocation)
+        speed = profile_batch / measurement.computation_time_s
+        energy_rate = measurement.energy_percent / profile_batch
+        points.append(PHTEntry(allocation, speed, energy_rate))
+        device.idle(90.0)
+
+    # Pareto filter: drop configs dominated in both speed and energy.
+    pareto: list[PHTEntry] = []
+    for candidate in points:
+        dominated = any(
+            other.speed >= candidate.speed
+            and other.energy_per_sample <= candidate.energy_per_sample
+            and other is not candidate
+            for other in points
+        )
+        if not dominated:
+            pareto.append(candidate)
+    pareto.sort(key=lambda e: e.speed)
+
+    # Lower convex hull over (speed, energy_per_sample).
+    hull: list[PHTEntry] = []
+    for entry in pareto:
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            cross = (b.speed - a.speed) * (entry.energy_per_sample - a.energy_per_sample) - (
+                b.energy_per_sample - a.energy_per_sample
+            ) * (entry.speed - a.speed)
+            if cross <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(entry)
+    return PerformanceHashTable(entries=hull or pareto, trained_on=device.spec.name)
+
+
+@dataclass(frozen=True)
+class CaloreeRun:
+    """Outcome of one CALOREE-controlled execution."""
+
+    deadline_s: float
+    actual_time_s: float
+    energy_percent: float
+    configs_used: tuple[AllocationConfig, ...]
+
+    @property
+    def deadline_error(self) -> float:
+        """|actual − deadline| / deadline (Table 2's metric)."""
+        return abs(self.actual_time_s - self.deadline_s) / self.deadline_s
+
+
+class CaloreeController:
+    """Deadline-driven configuration selection from a PHT.
+
+    ``switch_overhead_s`` models the cache/scheduler disturbance of a
+    mid-run configuration change (the effect §3.4 blames for CALOREE's
+    lost energy savings).
+    """
+
+    def __init__(self, pht: PerformanceHashTable, switch_overhead_s: float = 0.25):
+        self.pht = pht
+        self.switch_overhead_s = switch_overhead_s
+
+    def plan(
+        self, workload_samples: int, deadline_s: float
+    ) -> list[tuple[AllocationConfig, int]]:
+        """Split the workload across hull configs to just meet the deadline.
+
+        Picks the slowest (lowest-energy) single configuration that meets
+        the deadline according to the PHT; when the deadline falls between
+        two hull speeds, time-weights the two adjacent configurations,
+        which is CALOREE's optimal schedule.
+        """
+        if workload_samples <= 0:
+            raise ValueError("workload must be positive")
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        required_speed = workload_samples / deadline_s
+        entries = self.pht.entries
+        # Deadline met even by the slowest config: use it alone.
+        if required_speed <= entries[0].speed:
+            return [(entries[0].allocation, workload_samples)]
+        # Even the fastest config misses the deadline: best effort, alone.
+        if required_speed >= entries[-1].speed:
+            return [(entries[-1].allocation, workload_samples)]
+        # Mix the two hull configs bracketing the required speed.
+        for slow, fast in zip(entries, entries[1:]):
+            if slow.speed <= required_speed <= fast.speed:
+                # Fraction of *time* on the fast config solving the mix.
+                frac_fast_time = (
+                    (required_speed - slow.speed) / (fast.speed - slow.speed)
+                )
+                fast_samples = int(round(
+                    frac_fast_time * fast.speed / required_speed * workload_samples
+                ))
+                fast_samples = min(max(fast_samples, 0), workload_samples)
+                slow_samples = workload_samples - fast_samples
+                plan = []
+                if slow_samples > 0:
+                    plan.append((slow.allocation, slow_samples))
+                if fast_samples > 0:
+                    plan.append((fast.allocation, fast_samples))
+                return plan
+        raise RuntimeError("unreachable: required speed not bracketed")
+
+    def execute(
+        self, device: SimulatedDevice, workload_samples: int, deadline_s: float
+    ) -> CaloreeRun:
+        """Run the planned schedule on a (possibly different) device."""
+        plan = self.plan(workload_samples, deadline_s)
+        total_time = 0.0
+        total_energy = 0.0
+        for allocation, samples in plan:
+            measurement = device.execute(samples, allocation)
+            total_time += measurement.computation_time_s
+            total_energy += measurement.energy_percent
+        if len(plan) > 1:
+            # Each switch stalls the pipeline with the cores still active.
+            switches = len(plan) - 1
+            total_time += switches * self.switch_overhead_s
+            overhead_power_w = device.spec.idle_power_w + device.spec.big.power_w
+            extra_mwh = overhead_power_w * switches * self.switch_overhead_s / 3.6
+            total_energy += 100.0 * extra_mwh / device.spec.battery_mwh
+        return CaloreeRun(
+            deadline_s=deadline_s,
+            actual_time_s=total_time,
+            energy_percent=total_energy,
+            configs_used=tuple(alloc for alloc, _ in plan),
+        )

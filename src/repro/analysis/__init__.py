@@ -1,0 +1,30 @@
+"""Analysis toolkit: distribution stats, convergence metrics, text charts.
+
+The evaluation harness (benchmarks/), the examples and EXPERIMENTS.md all
+report through this subpackage, so "steps to 80 %", "p90 SLO deviation" and
+"Gaussian body + long tail" mean exactly one thing across the repo.
+"""
+
+from repro.analysis.charts import bar_chart, cdf_table, curve_table, sparkline
+from repro.analysis.convergence import (
+    accuracy_auc,
+    interpolated_steps_to_target,
+    is_diverged,
+    speedup_percent,
+)
+from repro.analysis.stats import Ecdf, PercentileSummary, gaussian_tail_split, summarize
+
+__all__ = [
+    "Ecdf",
+    "PercentileSummary",
+    "summarize",
+    "gaussian_tail_split",
+    "interpolated_steps_to_target",
+    "accuracy_auc",
+    "speedup_percent",
+    "is_diverged",
+    "sparkline",
+    "bar_chart",
+    "cdf_table",
+    "curve_table",
+]

@@ -1,0 +1,93 @@
+"""Plain-text charts for terminal reports.
+
+The benchmark harness prints a "paper reproduction report"; these helpers
+render small ASCII sparklines, horizontal bars and CDF tables so the shape
+of each figure is visible directly in the pytest output without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "cdf_table", "curve_table"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, low: float | None = None, high: float | None = None) -> str:
+    """One-line unicode sparkline of a series.
+
+    ``low``/``high`` pin the scale (defaults to the series range); a flat
+    series renders at the middle level.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("sparkline needs at least one value")
+    lo = float(values.min()) if low is None else float(low)
+    hi = float(values.max()) if high is None else float(high)
+    if hi < lo:
+        raise ValueError("high must be >= low")
+    if hi == lo:
+        return _SPARK_LEVELS[3] * values.size
+    scaled = (np.clip(values, lo, hi) - lo) / (hi - lo)
+    indices = np.minimum((scaled * len(_SPARK_LEVELS)).astype(int), len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def bar_chart(
+    labels: list[str], values: np.ndarray, width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bar chart; one row per label, scaled to the max value."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(labels) != values.size:
+        raise ValueError("labels and values differ in length")
+    if values.size == 0:
+        raise ValueError("bar_chart needs at least one row")
+    if (values < 0).any():
+        raise ValueError("bar_chart values must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    peak = values.max()
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else int(round(width * value / peak))
+        suffix = f" {value:.4g}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label:<{label_width}} |{'█' * filled}{suffix}")
+    return "\n".join(lines)
+
+
+def cdf_table(
+    values: np.ndarray, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99), unit: str = ""
+) -> str:
+    """Compact quantile table of a sample (the Figs. 12-13 report format)."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cdf_table needs at least one value")
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantiles must be in [0, 1]")
+    suffix = f" {unit}" if unit else ""
+    parts = [f"p{int(q * 100)}={np.quantile(values, q):.4g}{suffix}" for q in quantiles]
+    return f"n={values.size}  " + "  ".join(parts)
+
+
+def curve_table(
+    steps: np.ndarray, accuracy: np.ndarray, name: str, spark_width: int = 30
+) -> str:
+    """One labelled report row: final value + sparkline of the trajectory."""
+    steps = np.asarray(steps).reshape(-1)
+    accuracy = np.asarray(accuracy, dtype=np.float64).reshape(-1)
+    if steps.size != accuracy.size or steps.size == 0:
+        raise ValueError("steps/accuracy must be equal-length and non-empty")
+    if accuracy.size > spark_width:
+        # Downsample evenly so the sparkline fits the requested width.
+        pick = np.linspace(0, accuracy.size - 1, spark_width).astype(int)
+        spark_values = accuracy[pick]
+    else:
+        spark_values = accuracy
+    return (
+        f"{name}  final={accuracy[-1]:.3f} @ step {int(steps[-1])}  "
+        f"{sparkline(spark_values, low=0.0, high=1.0)}"
+    )

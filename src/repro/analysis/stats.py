@@ -1,0 +1,112 @@
+"""Distribution statistics used by the evaluation harness.
+
+The paper reports its results as CDFs of deviations (Figs. 12-13), staleness
+histograms (Fig. 7) and percentile summaries (§3.1 energy).  This module
+holds those estimators so benches, examples and EXPERIMENTS.md all compute
+them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ecdf", "PercentileSummary", "summarize", "gaussian_tail_split"]
+
+
+class Ecdf:
+    """Empirical cumulative distribution function of a sample."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            raise ValueError("Ecdf needs at least one value")
+        if not np.isfinite(values).all():
+            raise ValueError("Ecdf values must be finite")
+        self._sorted = np.sort(values)
+
+    @property
+    def n(self) -> int:
+        return self._sorted.size
+
+    def __call__(self, x: float) -> float:
+        """P(X ≤ x) under the empirical distribution."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` ∈ [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(self._sorted, q))
+
+    def support(self) -> tuple[float, float]:
+        """(min, max) of the sample."""
+        return float(self._sorted[0]), float(self._sorted[-1])
+
+    def curve(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays for plotting/reporting the full CDF."""
+        if points < 2:
+            raise ValueError("points must be at least 2")
+        xs = np.linspace(self._sorted[0], self._sorted[-1], points)
+        ys = np.searchsorted(self._sorted, xs, side="right") / self.n
+        return xs, ys
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """The five-number-style summary the paper quotes (§3.1 energy)."""
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    n: int
+
+    def row(self, unit: str = "") -> str:
+        """One formatted report line."""
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"avg {self.mean:.4g}{suffix} / med {self.median:.4g}{suffix} / "
+            f"p90 {self.p90:.4g}{suffix} / p99 {self.p99:.4g}{suffix} / "
+            f"max {self.maximum:.4g}{suffix} (n={self.n})"
+        )
+
+
+def summarize(values: np.ndarray) -> PercentileSummary:
+    """Percentile summary of a sample."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not np.isfinite(values).all():
+        raise ValueError("summary values must be finite")
+    return PercentileSummary(
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p90=float(np.percentile(values, 90)),
+        p99=float(np.percentile(values, 99)),
+        maximum=float(values.max()),
+        n=values.size,
+    )
+
+
+def gaussian_tail_split(
+    values: np.ndarray, tail_z: float = 3.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a sample into its Gaussian body and its long tail (Fig. 7).
+
+    The paper observes staleness follows "a Gaussian distribution with a
+    long tail"; the split point is ``median + tail_z · (robust σ)`` where
+    the robust σ is estimated from the interquartile range (IQR / 1.349),
+    so extreme tail mass cannot inflate its own threshold.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot split an empty sample")
+    if tail_z <= 0:
+        raise ValueError("tail_z must be positive")
+    q25, q75 = np.percentile(values, [25, 75])
+    robust_sigma = (q75 - q25) / 1.349
+    cut = float(np.median(values) + tail_z * robust_sigma)
+    return values[values <= cut], values[values > cut]

@@ -1,0 +1,312 @@
+"""Command-line interface: run scaled-down versions of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro staleness --algorithm adasgd --steps 600 --mu 6 --sigma 2
+    python -m repro online --days 4
+    python -m repro profile --device "Galaxy S7" --requests 8
+    python -m repro dampening --tau-thres 12
+    python -m repro fleet-sim --users 20 --hours 1
+    python -m repro freshness --users 16
+
+Every command prints a compact textual report; the benchmark suite in
+``benchmarks/`` remains the authoritative regeneration of the paper's
+tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        ("staleness", "AdaSGD/DynSGD/FedAvg/SSGD under Gaussian staleness (Fig. 8)"),
+        ("online", "Online vs Standard FL on the tweet stream (Fig. 6)"),
+        ("profile", "I-Prof vs MAUI on one device (Fig. 12)"),
+        ("dampening", "print the Fig. 5 dampening curves"),
+        ("devices", "list the simulated device catalog"),
+        ("fleet-sim", "end-to-end middleware simulation on a virtual clock"),
+        ("freshness", "Standard vs Online FL data-freshness gap (Fig. 1)"),
+    ]
+    for name, desc in rows:
+        print(f"  {name:<10} {desc}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.devices import CATALOG
+
+    print(f"{'model':<18} {'year':<5} {'cores':<8} {'ms/sample':<10} battery")
+    for spec in sorted(CATALOG.values(), key=lambda s: s.alpha_time):
+        little = spec.little.num_cores if spec.little else 0
+        print(f"{spec.name:<18} {spec.year:<5} {spec.big.num_cores}+{little:<6} "
+              f"{spec.alpha_time*1e3:<10.2f} {spec.battery_mwh:.0f} mWh")
+    return 0
+
+
+def _cmd_dampening(args: argparse.Namespace) -> int:
+    from repro.core import ExponentialDampening, InverseDampening
+
+    exp_d = ExponentialDampening(args.tau_thres)
+    inv_d = InverseDampening()
+    print(f"tau_thres = {args.tau_thres}, beta = {exp_d.beta:.4f}")
+    print(f"{'tau':>5} {'AdaSGD':>10} {'DynSGD':>10}")
+    for tau in range(0, int(4 * args.tau_thres) + 1, max(1, int(args.tau_thres / 4))):
+        print(f"{tau:>5} {exp_d(tau):>10.4f} {inv_d(tau):>10.4f}")
+    return 0
+
+
+def _cmd_staleness(args: argparse.Namespace) -> int:
+    from repro.core import make_adasgd, make_dynsgd, make_fedavg, make_ssgd
+    from repro.data import make_mnist_like, shard_non_iid_split
+    from repro.nn import build_mnist_cnn
+    from repro.simulation import GaussianStaleness, run_staleness_experiment
+
+    dataset = make_mnist_like(seed=args.seed, train_per_class=80, test_per_class=25)
+    partition = shard_non_iid_split(
+        dataset.train_y, 20, np.random.default_rng(args.seed)
+    )
+    model = build_mnist_cnn(np.random.default_rng(args.seed + 1), scale=0.5)
+    params = model.get_parameters()
+
+    factories = {
+        "adasgd": lambda: make_adasgd(
+            params.copy(), 10, learning_rate=args.learning_rate,
+            initial_tau_thres=args.mu + 3 * args.sigma,
+        ),
+        "dynsgd": lambda: make_dynsgd(params.copy(), learning_rate=args.learning_rate),
+        "fedavg": lambda: make_fedavg(params.copy(), learning_rate=args.learning_rate),
+        "ssgd": lambda: make_ssgd(params.copy(), learning_rate=args.learning_rate),
+    }
+    if args.algorithm not in factories:
+        print(f"unknown algorithm {args.algorithm!r}", file=sys.stderr)
+        return 2
+    server = factories[args.algorithm]()
+    staleness = None
+    if args.algorithm != "ssgd":
+        staleness = GaussianStaleness(
+            args.mu, args.sigma, np.random.default_rng(args.seed + 2)
+        )
+    curve = run_staleness_experiment(
+        server, model, dataset, partition, staleness, num_steps=args.steps,
+        rng=np.random.default_rng(args.seed + 3), batch_size=args.batch_size,
+        eval_every=max(1, args.steps // 8), eval_size=200,
+    )
+    print(f"{args.algorithm} on non-IID MNIST-like, staleness "
+          f"N({args.mu}, {args.sigma}), {args.steps} steps:")
+    for step, acc in zip(curve.steps, curve.accuracy):
+        print(f"  step {step:>5}  accuracy {acc:.3f}")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.data.tweets import TweetStream, TweetStreamConfig
+    from repro.nn import build_hashtag_rnn
+    from repro.simulation.online import run_online_comparison
+
+    config = TweetStreamConfig(
+        num_days=args.days, tweets_per_hour=25, num_users=30,
+        vocab_size=120, num_hashtags=30, seed=args.seed,
+    )
+    stream = TweetStream(config)
+
+    def builder():
+        return build_hashtag_rnn(
+            np.random.default_rng(0), vocab_size=config.vocab_size,
+            embed_dim=12, hidden_dim=16, num_hashtags=config.num_hashtags,
+        )
+
+    result = run_online_comparison(stream, builder, learning_rate=0.4)
+    online, standard, baseline = result.mean_f1()
+    print(f"F1@top-5 over {len(result.chunk_index)} chunks: "
+          f"online {online:.3f}, standard {standard:.3f}, baseline {baseline:.3f}")
+    print(f"boost: {result.mean_boost():.2f}x")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.devices import SimulatedDevice, get_spec
+    from repro.profiler import IProf, SLO, collect_offline_dataset
+
+    train = [
+        SimulatedDevice(get_spec(n), np.random.default_rng(i))
+        for i, n in enumerate(["Galaxy S6", "Nexus 5", "Pixel", "MotoG3"])
+    ]
+    xs, ys = collect_offline_dataset(train, slo_seconds=args.slo, kind="time")
+    iprof = IProf()
+    iprof.pretrain_time(xs, ys)
+    device = SimulatedDevice(get_spec(args.device), np.random.default_rng(args.seed))
+    slo = SLO(time_seconds=args.slo)
+    print(f"I-Prof on {args.device}, SLO {args.slo}s:")
+    for k in range(args.requests):
+        features = device.features().as_vector()
+        decision = iprof.recommend(args.device, features, slo)
+        m = device.execute(decision.batch_size)
+        iprof.report(args.device, features, decision.batch_size,
+                     computation_time_s=m.computation_time_s)
+        print(f"  req {k}: batch {decision.batch_size:>5}  "
+              f"actual {m.computation_time_s:.2f}s  "
+              f"error {m.computation_time_s - args.slo:+.2f}s")
+        device.idle(45.0)
+    return 0
+
+
+def _cmd_fleet_sim(args: argparse.Namespace) -> int:
+    from repro.analysis import cdf_table, gaussian_tail_split
+    from repro.core import make_adasgd
+    from repro.data import iid_split, make_mnist_like
+    from repro.devices import SimulatedDevice, fleet_specs
+    from repro.nn import build_logistic
+    from repro.profiler import IProf, SLO, collect_offline_dataset
+    from repro.server import FleetServer
+    from repro.simulation import FleetSimConfig, FleetSimulation
+
+    rng = np.random.default_rng(args.seed)
+    dataset = make_mnist_like(train_per_class=200, test_per_class=25)
+    partition = iid_split(dataset.train_y, args.users, rng)
+    training = [
+        SimulatedDevice(spec, np.random.default_rng(60 + i))
+        for i, spec in enumerate(fleet_specs(5, np.random.default_rng(6)))
+    ]
+    xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
+    iprof = IProf()
+    iprof.pretrain_time(xs, ys)
+    model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
+    server = FleetServer(
+        make_adasgd(model.get_parameters(), num_labels=10, learning_rate=0.02,
+                    initial_tau_thres=12.0),
+        iprof, SLO(time_seconds=3.0),
+    )
+    simulation = FleetSimulation(
+        server=server, model=model, dataset=dataset, partition=partition,
+        rng=rng,
+        config=FleetSimConfig(horizon_s=args.hours * 3600.0,
+                              mean_think_time_s=args.think_time),
+    )
+    result = simulation.run()
+    print(f"{result.completed} tasks completed, {result.aborted} aborted, "
+          f"{server.clock} model updates, final accuracy "
+          f"{result.final_accuracy():.3f}")
+    print("round trip:", cdf_table(np.array(result.round_trip_seconds), unit="s"))
+    staleness = result.applied_staleness(server)
+    body, tail = gaussian_tail_split(staleness)
+    print(f"staleness: body mean {body.mean():.1f} std {body.std():.1f}, "
+          f"tail n={tail.size}, max {staleness.max():.0f}")
+    return 0
+
+
+def _cmd_freshness(args: argparse.Namespace) -> int:
+    from repro.devices.activity import UserActivityModel
+    from repro.devices.charging import ChargingModel
+    from repro.analysis import sparkline
+    from repro.network import WIFI, NetworkConditions, NetworkInterface
+    from repro.simulation.standard_fl import (
+        EligibilityPolicy,
+        ParticipantProfile,
+        eligibility_fraction,
+        simulate_freshness,
+    )
+
+    profiles = []
+    for user in range(args.users):
+        rng = np.random.default_rng(args.seed * 1000 + user)
+        conditions = (NetworkConditions(rng, fixed_link=WIFI) if user % 4 == 0
+                      else NetworkConditions(rng, mean_dwell_s=1800.0))
+        profiles.append(ParticipantProfile(
+            activity=UserActivityModel(seed=user),
+            charging=ChargingModel(seed=user),
+            network=NetworkInterface(conditions, rng),
+        ))
+    curve = eligibility_fraction(
+        profiles, EligibilityPolicy.standard_fl(), day_start_s=24 * 3600.0
+    )
+    print(f"Standard-FL eligibility by hour: {sparkline(curve, low=0.0, high=1.0)}")
+    online = simulate_freshness(profiles, EligibilityPolicy.online_fl(),
+                                np.random.default_rng(0), policy_name="online")
+    standard = simulate_freshness(profiles, EligibilityPolicy.standard_fl(),
+                                  np.random.default_rng(0), policy_name="standard")
+    print(f"median data-to-model delay: online {online.median_delay_s/60:.1f} min, "
+          f"standard {standard.median_delay_s/3600:.1f} h "
+          f"({standard.median_delay_s/online.median_delay_s:.0f}x gap)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLeet reproduction: scaled-down paper experiments",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("devices", help="list the simulated device catalog")
+
+    damp = sub.add_parser("dampening", help="print Fig. 5 dampening curves")
+    damp.add_argument("--tau-thres", type=float, default=12.0)
+
+    stale = sub.add_parser("staleness", help="run one Fig. 8-style training")
+    stale.add_argument("--algorithm", default="adasgd",
+                       choices=["adasgd", "dynsgd", "fedavg", "ssgd"])
+    stale.add_argument("--steps", type=int, default=600)
+    stale.add_argument("--mu", type=float, default=6.0)
+    stale.add_argument("--sigma", type=float, default=2.0)
+    stale.add_argument("--learning-rate", type=float, default=0.1)
+    stale.add_argument("--batch-size", type=int, default=64)
+    stale.add_argument("--seed", type=int, default=0)
+
+    online = sub.add_parser("online", help="Online vs Standard FL (Fig. 6)")
+    online.add_argument("--days", type=int, default=4)
+    online.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser("profile", help="I-Prof on one device (Fig. 12)")
+    profile.add_argument("--device", default="Galaxy S7")
+    profile.add_argument("--requests", type=int, default=6)
+    profile.add_argument("--slo", type=float, default=3.0)
+    profile.add_argument("--seed", type=int, default=0)
+
+    fleet = sub.add_parser(
+        "fleet-sim", help="end-to-end middleware simulation (virtual clock)"
+    )
+    fleet.add_argument("--users", type=int, default=20)
+    fleet.add_argument("--hours", type=float, default=0.5)
+    fleet.add_argument("--think-time", type=float, default=15.0)
+    fleet.add_argument("--seed", type=int, default=0)
+
+    freshness = sub.add_parser(
+        "freshness", help="Standard vs Online FL freshness gap (Fig. 1)"
+    )
+    freshness.add_argument("--users", type=int, default=16)
+    freshness.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "devices": _cmd_devices,
+    "dampening": _cmd_dampening,
+    "staleness": _cmd_staleness,
+    "online": _cmd_online,
+    "profile": _cmd_profile,
+    "fleet-sim": _cmd_fleet_sim,
+    "freshness": _cmd_freshness,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""The paper's primary contribution: staleness-aware adaptive SGD.
+
+``StalenessAwareServer`` implements Equation 3; the ``make_*`` factories
+configure it as AdaSGD, DynSGD, FedAvg-style or SSGD.  Supporting modules
+provide the dampening strategies (Fig. 5), the Bhattacharyya similarity
+tracker (Eq. 4) and the differentially private gradient mechanism (Fig. 11).
+"""
+
+from repro.core.adasgd import (
+    AppliedUpdate,
+    GradientUpdate,
+    StalenessAwareServer,
+    make_adasgd,
+    make_dynsgd,
+    make_fedavg,
+    make_ssgd,
+)
+from repro.core.async_momentum import (
+    compensated_momentum,
+    estimate_mean_staleness,
+    implicit_momentum_from_staleness,
+    implicit_momentum_from_workers,
+)
+from repro.core.bounded_staleness import (
+    SSPGate,
+    SSPThroughputReport,
+    simulate_ssp_throughput,
+)
+from repro.core.dampening import (
+    ConstantDampening,
+    DampeningStrategy,
+    DropStale,
+    ExponentialDampening,
+    InverseDampening,
+    LinearDampening,
+    PolynomialDampening,
+    StalenessTracker,
+    beta_for_threshold,
+)
+from repro.core.aggregation import HybridAggregator, TimeWindowAggregator
+from repro.core.dp import (
+    clip_gradient,
+    gaussian_mechanism,
+    log_moment,
+    moments_epsilon,
+    noise_for_epsilon,
+)
+from repro.core.label_privacy import (
+    debias_randomized_response,
+    laplace_private_counts,
+    randomized_response_counts,
+    similarity_error,
+)
+from repro.core.robust import (
+    average,
+    coordinate_median,
+    krum,
+    multi_krum,
+    trimmed_mean,
+)
+from repro.core.secure_aggregation import PairwiseMasker, SecureAggregationRound
+from repro.core.similarity import GlobalLabelTracker, bhattacharyya, label_distribution
+
+__all__ = [
+    "GradientUpdate",
+    "AppliedUpdate",
+    "StalenessAwareServer",
+    "make_adasgd",
+    "make_dynsgd",
+    "make_fedavg",
+    "make_ssgd",
+    "DampeningStrategy",
+    "ExponentialDampening",
+    "InverseDampening",
+    "ConstantDampening",
+    "DropStale",
+    "LinearDampening",
+    "PolynomialDampening",
+    "StalenessTracker",
+    "beta_for_threshold",
+    "implicit_momentum_from_workers",
+    "implicit_momentum_from_staleness",
+    "compensated_momentum",
+    "estimate_mean_staleness",
+    "SSPGate",
+    "SSPThroughputReport",
+    "simulate_ssp_throughput",
+    "bhattacharyya",
+    "label_distribution",
+    "GlobalLabelTracker",
+    "clip_gradient",
+    "gaussian_mechanism",
+    "log_moment",
+    "moments_epsilon",
+    "noise_for_epsilon",
+    "TimeWindowAggregator",
+    "HybridAggregator",
+    "PairwiseMasker",
+    "SecureAggregationRound",
+    "laplace_private_counts",
+    "randomized_response_counts",
+    "debias_randomized_response",
+    "similarity_error",
+    "average",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum",
+    "multi_krum",
+]

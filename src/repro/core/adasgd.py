@@ -1,0 +1,369 @@
+"""AdaSGD and the paper's comparison servers (DynSGD, FedAvg-style, SSGD).
+
+This implements Equation 3 of the paper: upon receiving K gradients the
+server updates the model
+
+    θ^{t+1} = θ^t − γ_t Σ_{i=1..K} w_i · G(θ^{t_i}, ξ_i)
+
+where the weight w_i combines a staleness dampening Λ with the
+Bhattacharyya label similarity sim.  The paper writes the combination as
+min(1, Λ(τ_i) · 1/sim(x_i)); we implement the equivalent-at-the-boundaries
+form w_i = min(1, Λ(τ_i · sim(x_i))) — similarity scales the *effective*
+staleness — because the multiplicative boost is one-shot under an
+exponential Λ and cannot reproduce the paper's Fig. 9 (see
+``StalenessAwareServer.weight_of`` and DESIGN.md §5 for the full argument).
+τ_i = t − t_i is the staleness of gradient i, Λ is a dampening strategy
+(:mod:`repro.core.dampening`) and sim comes from
+:mod:`repro.core.similarity`.  Setting the strategy and the similarity
+switch appropriately recovers every algorithm in the paper's evaluation,
+so the comparisons in Figs. 8-11 run through a single, shared code path:
+
+=============  ======================  ==========
+algorithm      dampening               similarity
+=============  ======================  ==========
+AdaSGD         exponential (adaptive)  on
+DynSGD         inverse 1/(τ+1)         off
+FedAvg (§3.2)  constant 1              off
+SSGD           constant 1 (τ always 0) off
+=============  ======================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dampening import (
+    ConstantDampening,
+    DampeningStrategy,
+    ExponentialDampening,
+    InverseDampening,
+    StalenessTracker,
+)
+from repro.core.similarity import GlobalLabelTracker
+from repro.nn.optim import Schedule, VectorSGD, constant_lr
+
+__all__ = [
+    "GradientUpdate",
+    "AppliedUpdate",
+    "StalenessAwareServer",
+    "make_adasgd",
+    "make_dynsgd",
+    "make_fedavg",
+    "make_ssgd",
+]
+
+
+@dataclass
+class GradientUpdate:
+    """A worker's learning-task result, as pushed to the server.
+
+    ``pull_step`` is the server logical clock t_i at which the worker pulled
+    the model; staleness is computed server-side at push time.
+    """
+
+    gradient: np.ndarray
+    pull_step: int
+    label_counts: np.ndarray | None = None
+    batch_size: int = 0
+    worker_id: int | None = None
+
+
+@dataclass
+class AppliedUpdate:
+    """Bookkeeping record for one gradient folded into the model."""
+
+    step: int
+    staleness: float
+    similarity: float
+    dampening: float
+    weight: float
+    worker_id: int | None = None
+
+
+class StalenessAwareServer:
+    """Parameter-server optimizer with pluggable staleness handling.
+
+    Parameters
+    ----------
+    initial_parameters:
+        Flat model vector; the server owns the canonical copy.
+    dampening:
+        A fixed :class:`DampeningStrategy`, or the string ``"adaptive"`` for
+        AdaSGD's exponential dampening whose τ_thres tracks the staleness
+        percentile online (falling back to DynSGD's inverse curve during the
+        bootstrap phase, per §2.3).
+    similarity_tracker:
+        ``GlobalLabelTracker`` to enable similarity-based boosting, or None.
+    aggregation_k:
+        Number of gradients per model update (paper's K; default 1).
+    learning_rate:
+        Scalar or schedule γ_t.
+    """
+
+    def __init__(
+        self,
+        initial_parameters: np.ndarray,
+        dampening: DampeningStrategy | str = "adaptive",
+        similarity_tracker: GlobalLabelTracker | None = None,
+        aggregation_k: int = 1,
+        learning_rate: float | Schedule = 0.01,
+        staleness_percentile: float = 99.7,
+        staleness_window: int = 10_000,
+        bootstrap_min_samples: int = 30,
+        initial_tau_thres: float | None = None,
+        drop_zero_weight: bool = True,
+        robust_rule=None,
+    ) -> None:
+        if aggregation_k <= 0:
+            raise ValueError("aggregation_k must be positive")
+        # Optional Byzantine-robust aggregation rule (repro.core.robust):
+        # applied to the weighted gradients of one buffer, scaled back to
+        # sum semantics so plain ``average`` reproduces the default exactly.
+        self.robust_rule = robust_rule
+        self._params = np.asarray(initial_parameters, dtype=np.float64).copy()
+        self._optimizer = VectorSGD(learning_rate=learning_rate)
+        self.aggregation_k = aggregation_k
+        self.similarity_tracker = similarity_tracker
+        self._buffer: list[GradientUpdate] = []
+        self._clock = 0
+        self.drop_zero_weight = drop_zero_weight
+
+        self._adaptive = dampening == "adaptive"
+        if self._adaptive:
+            self.staleness_tracker = StalenessTracker(
+                percentile=staleness_percentile,
+                window=staleness_window,
+                min_samples=bootstrap_min_samples,
+                initial_tau_thres=initial_tau_thres,
+            )
+            self._fixed_dampening: DampeningStrategy | None = None
+        else:
+            if isinstance(dampening, str):
+                raise ValueError(f"unknown dampening spec: {dampening!r}")
+            self.staleness_tracker = StalenessTracker(
+                percentile=staleness_percentile, window=staleness_window
+            )
+            self._fixed_dampening = dampening
+
+        self.applied: list[AppliedUpdate] = []
+        self.rejected_count = 0
+
+    # ------------------------------------------------------------------
+    # Worker-facing API
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Global logical clock t: number of past model updates."""
+        return self._clock
+
+    def current_parameters(self) -> np.ndarray:
+        """Copy of the canonical model vector (what a model pull returns)."""
+        return self._params.copy()
+
+    def pull(self) -> tuple[np.ndarray, int]:
+        """Model pull: parameters plus the clock t_i stamped on the lease."""
+        return self.current_parameters(), self._clock
+
+    def dampening_strategy(self) -> DampeningStrategy:
+        """The strategy in force right now (adaptive servers re-derive it)."""
+        if not self._adaptive:
+            assert self._fixed_dampening is not None
+            return self._fixed_dampening
+        if not self.staleness_tracker.bootstrapped:
+            return InverseDampening()
+        return ExponentialDampening(self.staleness_tracker.tau_thres())
+
+    def similarity_of(self, update: GradientUpdate) -> float:
+        """Similarity the server would assign to an update (1 if disabled)."""
+        if self.similarity_tracker is None or update.label_counts is None:
+            return 1.0
+        return self.similarity_tracker.similarity(update.label_counts)
+
+    def weight_of(self, update: GradientUpdate) -> tuple[float, float, float]:
+        """(weight, staleness, similarity) assigned to an update.
+
+        The combined rule is Λ(τ · sim) — similarity scales the *effective
+        staleness*, equivalently weight = Λ(τ)^sim for the exponential Λ.
+        At sim = 1 this is exactly Equation 3's Λ(τ); at sim = 0 (maximally
+        novel data) the gradient is applied at full weight regardless of
+        age.  We use this form instead of the paper's literal
+        min(1, Λ(τ)·1/sim) because with an exponential Λ the multiplicative
+        boost is one-shot: once a straggler's label enters LD_global,
+        sim > 0 and Λ(48) ≈ 1e-7 can never overcome it again, so Fig. 9a's
+        repeated incorporation of the straggler class would be impossible
+        (see DESIGN.md §5).
+        """
+        staleness = float(self._clock - update.pull_step)
+        if staleness < 0:
+            raise ValueError(
+                f"update pulled at step {update.pull_step} but clock is {self._clock}"
+            )
+        similarity = self.similarity_of(update)
+        effective_staleness = staleness * similarity
+        weight = min(1.0, self.dampening_strategy()(effective_staleness))
+        return weight, staleness, similarity
+
+    def submit(self, update: GradientUpdate) -> bool:
+        """Buffer one gradient; apply a model update when K have arrived.
+
+        Returns True if this submission triggered a model update.
+        A non-finite gradient (NaN/Inf from a worker's numeric blow-up or a
+        corrupt upload) is dropped and counted as rejected rather than
+        allowed to poison the global model — a middleware must survive its
+        clients.
+        """
+        if update.gradient.shape != self._params.shape:
+            raise ValueError("gradient shape does not match model parameters")
+        if not np.isfinite(update.gradient).all():
+            self.rejected_count += 1
+            return False
+        self._buffer.append(update)
+        if len(self._buffer) >= self.aggregation_k:
+            self._apply_buffer()
+            return True
+        return False
+
+    def flush(self) -> bool:
+        """Force-apply a partial buffer (time-window aggregation mode)."""
+        if not self._buffer:
+            return False
+        self._apply_buffer()
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_buffer(self) -> None:
+        aggregate = np.zeros_like(self._params)
+        weighted_gradients = []
+        records = []
+        for update in self._buffer:
+            weight, staleness, similarity = self.weight_of(update)
+            dampening = self.dampening_strategy()(staleness)
+            # Observe *after* computing the weight so the estimate in force
+            # matches what was actually applied to this gradient.
+            self.staleness_tracker.observe(staleness)
+            if weight == 0.0 and self.drop_zero_weight:
+                self.rejected_count += 1
+                continue
+            aggregate += weight * update.gradient
+            weighted_gradients.append(weight * update.gradient)
+            records.append(
+                AppliedUpdate(
+                    step=self._clock,
+                    staleness=staleness,
+                    similarity=similarity,
+                    dampening=dampening,
+                    weight=weight,
+                    worker_id=update.worker_id,
+                )
+            )
+            if self.similarity_tracker is not None and update.label_counts is not None:
+                # Usage-weighted: only what the model actually absorbed
+                # counts as "previously used samples" (see similarity.py).
+                self.similarity_tracker.update(update.label_counts, weight=weight)
+        self._buffer.clear()
+        if not records:
+            return
+        if self.robust_rule is not None and len(weighted_gradients) > 1:
+            stacked = np.stack(weighted_gradients)
+            aggregate = self.robust_rule(stacked) * len(weighted_gradients)
+        self._params = self._optimizer.step(self._params, aggregate)
+        self._clock += 1
+        self.applied.extend(records)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the experiment harness
+    # ------------------------------------------------------------------
+    def applied_weights(self) -> np.ndarray:
+        """All per-gradient scaling factors applied so far (Fig. 9b)."""
+        return np.array([rec.weight for rec in self.applied], dtype=np.float64)
+
+    def applied_staleness(self) -> np.ndarray:
+        """Staleness values of all applied gradients (Fig. 7)."""
+        return np.array([rec.staleness for rec in self.applied], dtype=np.float64)
+
+
+def make_adasgd(
+    initial_parameters: np.ndarray,
+    num_labels: int,
+    learning_rate: float | Schedule = 0.01,
+    aggregation_k: int = 1,
+    staleness_percentile: float = 99.7,
+    initial_tau_thres: float | None = None,
+    boost_similarity: bool = True,
+    similarity_bootstrap_samples: float = 512.0,
+) -> StalenessAwareServer:
+    """AdaSGD: adaptive exponential dampening + similarity boosting.
+
+    ``similarity_bootstrap_samples`` delays boosting until the global label
+    distribution is backed by that many effectively-used samples; before
+    that, similarity is neutral (1.0) and AdaSGD dampens purely by
+    staleness.
+    """
+    tracker = (
+        GlobalLabelTracker(num_labels, bootstrap_samples=similarity_bootstrap_samples)
+        if boost_similarity
+        else None
+    )
+    return StalenessAwareServer(
+        initial_parameters,
+        dampening="adaptive",
+        similarity_tracker=tracker,
+        aggregation_k=aggregation_k,
+        learning_rate=learning_rate,
+        staleness_percentile=staleness_percentile,
+        initial_tau_thres=initial_tau_thres,
+    )
+
+
+def make_dynsgd(
+    initial_parameters: np.ndarray,
+    learning_rate: float | Schedule = 0.01,
+    aggregation_k: int = 1,
+) -> StalenessAwareServer:
+    """DynSGD: inverse dampening 1/(τ+1), no similarity boosting."""
+    return StalenessAwareServer(
+        initial_parameters,
+        dampening=InverseDampening(),
+        aggregation_k=aggregation_k,
+        learning_rate=learning_rate,
+    )
+
+
+def make_fedavg(
+    initial_parameters: np.ndarray,
+    learning_rate: float | Schedule = 0.01,
+    aggregation_k: int = 1,
+) -> StalenessAwareServer:
+    """The paper's staleness-unaware arm: every gradient applied at weight 1.
+
+    With ``aggregation_k > 1`` this averages gradients like FedAvg's
+    server-side aggregation (module the 1/K factor folded into γ).
+    """
+    return StalenessAwareServer(
+        initial_parameters,
+        dampening=ConstantDampening(1.0),
+        aggregation_k=aggregation_k,
+        learning_rate=learning_rate,
+    )
+
+
+def make_ssgd(
+    initial_parameters: np.ndarray,
+    learning_rate: float | Schedule = 0.01,
+    aggregation_k: int = 1,
+) -> StalenessAwareServer:
+    """Synchronous SGD: the staleness-free ideal.
+
+    The simulation guarantees τ = 0 for SSGD runs; the server itself is the
+    constant-weight server.
+    """
+    return StalenessAwareServer(
+        initial_parameters,
+        dampening=ConstantDampening(1.0),
+        aggregation_k=aggregation_k,
+        learning_rate=learning_rate,
+    )

@@ -1,0 +1,77 @@
+"""Aggregation policies for the server's update trigger (paper §2.3).
+
+"Each update takes place after AdaSGD receives K gradients.  The
+aggregation parameter K can be either fixed or based on a time window
+(e.g., update the model every 1 hour)."  The count-based policy is built
+into :class:`repro.core.adasgd.StalenessAwareServer` (``aggregation_k``);
+this module adds the time-window policy and a hybrid that fires on
+whichever comes first, driving the server's ``submit``/``flush`` API from
+(virtual) timestamps.
+"""
+
+from __future__ import annotations
+
+from repro.core.adasgd import GradientUpdate, StalenessAwareServer
+
+__all__ = ["TimeWindowAggregator", "HybridAggregator"]
+
+
+class TimeWindowAggregator:
+    """Flush the server's gradient buffer every ``window_s`` of task time.
+
+    The server must be configured with an ``aggregation_k`` larger than the
+    number of gradients expected per window (so the count trigger never
+    fires first); this wrapper owns the time trigger.
+    """
+
+    def __init__(self, server: StalenessAwareServer, window_s: float):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.server = server
+        self.window_s = window_s
+        self._window_start: float | None = None
+        self.windows_flushed = 0
+
+    def submit(self, update: GradientUpdate, now_s: float) -> bool:
+        """Buffer a gradient stamped at ``now_s``; flush when the window
+        closes.  Returns True when a model update happened."""
+        if self._window_start is None:
+            self._window_start = now_s
+        updated = self.server.submit(update)
+        if now_s - self._window_start >= self.window_s:
+            updated = self.server.flush() or updated
+            self._window_start = now_s
+            self.windows_flushed += 1
+        return updated
+
+    def tick(self, now_s: float) -> bool:
+        """Advance time without a gradient (flush if the window elapsed)."""
+        if self._window_start is None:
+            self._window_start = now_s
+            return False
+        if now_s - self._window_start >= self.window_s:
+            updated = self.server.flush()
+            self._window_start = now_s
+            if updated:
+                self.windows_flushed += 1
+            return updated
+        return False
+
+
+class HybridAggregator(TimeWindowAggregator):
+    """Update on K gradients *or* a closed time window, whichever first.
+
+    Unlike :class:`TimeWindowAggregator`, the server's own ``aggregation_k``
+    stays active, so bursts flush early while quiet periods still produce
+    periodic updates.
+    """
+
+    def submit(self, update: GradientUpdate, now_s: float) -> bool:
+        if self._window_start is None:
+            self._window_start = now_s
+        updated = self.server.submit(update)
+        if updated:
+            # The count trigger fired; restart the window.
+            self._window_start = now_s
+            return True
+        return self.tick(now_s)

@@ -1,0 +1,78 @@
+"""Implicit momentum induced by asynchrony (paper ref [58]).
+
+Mitliagkas et al., "Asynchrony begets momentum" (Allerton 2016) — cited by
+the paper's staleness discussion — show that an asynchronous SGD system
+with N homogeneous workers behaves in expectation like synchronous SGD
+with a momentum term
+
+    μ_implicit = 1 − 1/N,
+
+and more generally, under a geometric staleness distribution with mean τ̄,
+like momentum μ = τ̄ / (τ̄ + 1).  The practical consequence for a FLeet
+deployment that also runs *explicit* server momentum: the two compose, so
+the explicit coefficient should be reduced as the fleet grows or the model
+over-accelerates and diverges.  This module provides the estimates and the
+compensation rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "implicit_momentum_from_workers",
+    "implicit_momentum_from_staleness",
+    "compensated_momentum",
+    "estimate_mean_staleness",
+]
+
+
+def implicit_momentum_from_workers(num_workers: int) -> float:
+    """μ = 1 − 1/N: the homogeneous-fleet estimate of ref [58]."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    return 1.0 - 1.0 / num_workers
+
+
+def implicit_momentum_from_staleness(mean_staleness: float) -> float:
+    """μ = τ̄ / (τ̄ + 1): the staleness-based estimate.
+
+    Consistent with the worker-count form: N racing workers produce a mean
+    staleness of about N − 1, and (N−1)/N = 1 − 1/N.
+    """
+    if mean_staleness < 0:
+        raise ValueError("mean_staleness must be non-negative")
+    return mean_staleness / (mean_staleness + 1.0)
+
+
+def compensated_momentum(target: float, implicit: float) -> float:
+    """Explicit momentum to configure so total acceleration meets ``target``.
+
+    Momentum terms compose approximately as 1−(1−μ1)(1−μ2); solving for the
+    explicit coefficient given the implicit one:
+
+        μ_explicit = 1 − (1 − μ_target) / (1 − μ_implicit)
+
+    clipped to [0, μ_target].  When the fleet already supplies more implicit
+    momentum than the target, the answer is zero (run plain SGD) — the
+    regime the paper's figures live in, which is why AdaSGD uses no
+    explicit momentum at all.
+    """
+    if not 0.0 <= target < 1.0:
+        raise ValueError("target momentum must be in [0, 1)")
+    if not 0.0 <= implicit < 1.0:
+        raise ValueError("implicit momentum must be in [0, 1)")
+    if implicit >= target:
+        return 0.0
+    value = 1.0 - (1.0 - target) / (1.0 - implicit)
+    return float(np.clip(value, 0.0, target))
+
+
+def estimate_mean_staleness(staleness_values: np.ndarray) -> float:
+    """Mean staleness from observations (e.g. ``server.applied_staleness()``)."""
+    values = np.asarray(staleness_values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("need at least one staleness observation")
+    if (values < 0).any():
+        raise ValueError("staleness observations must be non-negative")
+    return float(values.mean())

@@ -1,0 +1,150 @@
+"""Bounded staleness (Stale Synchronous Parallel) — the datacenter arm.
+
+The paper's related-work section (§4, Cui et al. USENIX ATC'14, Qiao et
+al.) notes that large-scale ML systems *control* staleness to boost
+convergence, and argues this is impossible in Online FL because blocking
+fast workers would throttle the model update frequency.  To make that
+argument testable, this module implements the SSP contract those systems
+use:
+
+* a worker at logical clock c may proceed only while c − c_min ≤ bound,
+  where c_min is the slowest active worker's clock;
+* gradients are therefore never more than ``bound`` updates stale, at the
+  cost of fast workers blocking.
+
+``SSPGate`` tracks per-worker clocks and answers admit/block;
+``simulate_ssp_throughput`` quantifies the paper's claim by measuring how
+much update throughput bounding costs under heterogeneous worker speeds —
+the Online-FL trade-off in one number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SSPGate", "SSPThroughputReport", "simulate_ssp_throughput"]
+
+
+class SSPGate:
+    """Stale-Synchronous-Parallel admission gate over worker clocks.
+
+    A worker must ``register`` before participating.  ``may_proceed`` asks
+    whether the worker can start a new task; ``advance`` moves its clock
+    after a completed task.  The gate never mutates clocks on queries, so
+    callers can probe scheduling decisions cheaply.
+    """
+
+    def __init__(self, bound: int) -> None:
+        if bound < 0:
+            raise ValueError("staleness bound must be non-negative")
+        self.bound = bound
+        self._clocks: dict[int, int] = {}
+
+    def register(self, worker_id: int) -> None:
+        """Add a worker at clock 0 (idempotent)."""
+        self._clocks.setdefault(worker_id, 0)
+
+    def deregister(self, worker_id: int) -> None:
+        """Remove a departed worker so it cannot block the others forever.
+
+        This is exactly the operation mobile churn makes mandatory and
+        datacenter SSP implementations rarely need — without it one
+        vanished phone stalls the entire fleet at ``bound`` updates.
+        """
+        self._clocks.pop(worker_id, None)
+
+    def clock_of(self, worker_id: int) -> int:
+        try:
+            return self._clocks[worker_id]
+        except KeyError:
+            raise KeyError(f"worker {worker_id} is not registered") from None
+
+    @property
+    def min_clock(self) -> int:
+        """Clock of the slowest registered worker (0 when empty)."""
+        return min(self._clocks.values(), default=0)
+
+    def may_proceed(self, worker_id: int) -> bool:
+        """True when the worker's lead over the slowest is within bound."""
+        return self.clock_of(worker_id) - self.min_clock <= self.bound
+
+    def advance(self, worker_id: int) -> int:
+        """Complete one task: bump the worker's clock, return the new value."""
+        clock = self.clock_of(worker_id)
+        self._clocks[worker_id] = clock + 1
+        return clock + 1
+
+    def max_observable_staleness(self) -> int:
+        """Largest clock gap currently in the system (≤ bound + spread)."""
+        if not self._clocks:
+            return 0
+        values = self._clocks.values()
+        return max(values) - min(values)
+
+
+@dataclass(frozen=True)
+class SSPThroughputReport:
+    """What bounding staleness costs under heterogeneous worker speeds."""
+
+    bound: int
+    total_updates: int
+    unbounded_updates: int
+    blocked_attempts: int
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Updates achieved relative to the unbounded (async) schedule."""
+        if self.unbounded_updates == 0:
+            return 1.0
+        return self.total_updates / self.unbounded_updates
+
+
+def simulate_ssp_throughput(
+    task_rates: np.ndarray,
+    bound: int,
+    horizon_s: float,
+    rng: np.random.Generator,
+) -> SSPThroughputReport:
+    """Measure SSP's update throughput against the async schedule.
+
+    Each worker i produces tasks as a Poisson process of rate
+    ``task_rates[i]`` (tasks/second).  Under SSP a ready worker whose lead
+    exceeds the bound blocks (the attempt is counted and the task is lost —
+    the mobile worker's user has put the phone away by the time the gate
+    opens).  The async schedule admits everything, so its update count is
+    simply the number of arrivals.
+    """
+    task_rates = np.asarray(task_rates, dtype=np.float64)
+    if task_rates.ndim != 1 or task_rates.size == 0:
+        raise ValueError("task_rates must be a non-empty 1-D array")
+    if (task_rates <= 0).any():
+        raise ValueError("every task rate must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+
+    gate = SSPGate(bound)
+    arrivals: list[tuple[float, int]] = []
+    for worker_id, rate in enumerate(task_rates):
+        gate.register(worker_id)
+        t = float(rng.exponential(1.0 / rate))
+        while t < horizon_s:
+            arrivals.append((t, worker_id))
+            t += float(rng.exponential(1.0 / rate))
+    arrivals.sort()
+
+    total = 0
+    blocked = 0
+    for _, worker_id in arrivals:
+        if gate.may_proceed(worker_id):
+            gate.advance(worker_id)
+            total += 1
+        else:
+            blocked += 1
+    return SSPThroughputReport(
+        bound=bound,
+        total_updates=total,
+        unbounded_updates=len(arrivals),
+        blocked_attempts=blocked,
+    )

@@ -1,0 +1,207 @@
+"""Staleness-dampening strategies (paper §2.3, Figure 5).
+
+The server scales each incoming gradient by a factor that depends on its
+staleness τ (number of global model updates between the worker's model pull
+and its gradient push):
+
+* **AdaSGD** (this paper): Λ(τ) = exp(-β·τ), with β chosen so the
+  exponential curve intersects DynSGD's inverse curve at τ_thres / 2, where
+  τ_thres is the s-th percentile of past staleness values.  Formally β
+  solves 1 / (τ_thres/2 + 1) = exp(-β · τ_thres/2).
+* **DynSGD** (Jiang et al., SIGMOD'17): Λ(τ) = 1 / (τ + 1).
+* **FedAvg** as run in the paper's comparison: staleness-unaware, Λ(τ) = 1.
+* **Synchronous drop** (Standard FL): results with τ > 0 are discarded.
+
+``StalenessTracker`` maintains the empirical staleness distribution and the
+percentile estimate τ_thres that AdaSGD needs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "DampeningStrategy",
+    "ExponentialDampening",
+    "InverseDampening",
+    "ConstantDampening",
+    "DropStale",
+    "LinearDampening",
+    "PolynomialDampening",
+    "StalenessTracker",
+    "beta_for_threshold",
+]
+
+
+def beta_for_threshold(tau_thres: float) -> float:
+    """β such that exp(-β·τ_thres/2) equals the inverse curve 1/(τ_thres/2+1).
+
+    Solving exp(-β·h) = 1/(h+1) at h = τ_thres/2 gives β = ln(h+1)/h.
+    For τ_thres → 0 the limit is β = 1 (L'Hôpital), which we use to keep the
+    function total.
+    """
+    if tau_thres < 0:
+        raise ValueError(f"tau_thres must be non-negative, got {tau_thres}")
+    half = tau_thres / 2.0
+    if half < 1e-12:
+        return 1.0
+    return math.log(half + 1.0) / half
+
+
+class DampeningStrategy:
+    """Interface: map a staleness value to a gradient scaling factor."""
+
+    def factor(self, staleness: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, staleness: float) -> float:
+        if staleness < 0:
+            raise ValueError(f"staleness must be non-negative, got {staleness}")
+        return self.factor(staleness)
+
+
+class ExponentialDampening(DampeningStrategy):
+    """AdaSGD's Λ(τ) = exp(-β·τ) with β tied to τ_thres."""
+
+    def __init__(self, tau_thres: float) -> None:
+        self.tau_thres = float(tau_thres)
+        self.beta = beta_for_threshold(self.tau_thres)
+
+    def factor(self, staleness: float) -> float:
+        return math.exp(-self.beta * staleness)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDampening(tau_thres={self.tau_thres:.3g}, beta={self.beta:.3g})"
+
+
+class InverseDampening(DampeningStrategy):
+    """DynSGD's Λ(τ) = 1 / (τ + 1)."""
+
+    def factor(self, staleness: float) -> float:
+        return 1.0 / (staleness + 1.0)
+
+    def __repr__(self) -> str:
+        return "InverseDampening()"
+
+
+class ConstantDampening(DampeningStrategy):
+    """Staleness-unaware scaling (the paper's FedAvg comparison arm)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise ValueError("dampening constant must be positive")
+        self.value = float(value)
+
+    def factor(self, staleness: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantDampening({self.value})"
+
+
+class DropStale(DampeningStrategy):
+    """Standard-FL semantics: any result older than ``max_staleness`` is dropped."""
+
+    def __init__(self, max_staleness: float = 0.0) -> None:
+        self.max_staleness = float(max_staleness)
+
+    def factor(self, staleness: float) -> float:
+        return 1.0 if staleness <= self.max_staleness else 0.0
+
+    def __repr__(self) -> str:
+        return f"DropStale(max_staleness={self.max_staleness})"
+
+
+class LinearDampening(DampeningStrategy):
+    """Λ(τ) = max(0, 1 − τ/τ_max): linear decay to a hard cut-off.
+
+    An ablation arm between DynSGD's slow inverse decay and AdaSGD's
+    exponential: it keeps near-full weight for fresh gradients but, unlike
+    both published curves, assigns *exactly* zero beyond τ_max, so the
+    server's ``drop_zero_weight`` accounting also exercises the rejection
+    path.
+    """
+
+    def __init__(self, tau_max: float) -> None:
+        if tau_max <= 0:
+            raise ValueError("tau_max must be positive")
+        self.tau_max = float(tau_max)
+
+    def factor(self, staleness: float) -> float:
+        return max(0.0, 1.0 - staleness / self.tau_max)
+
+    def __repr__(self) -> str:
+        return f"LinearDampening(tau_max={self.tau_max:.3g})"
+
+
+class PolynomialDampening(DampeningStrategy):
+    """Λ(τ) = (τ + 1)^(−p): DynSGD generalized to a tunable decay power.
+
+    p = 1 recovers DynSGD exactly; p between the inverse and exponential
+    regimes lets the Fig. 5 ablation chart where along that family the
+    benefit of faster-than-inverse decay appears.
+    """
+
+    def __init__(self, power: float = 1.0) -> None:
+        if power <= 0:
+            raise ValueError("power must be positive")
+        self.power = float(power)
+
+    def factor(self, staleness: float) -> float:
+        return (staleness + 1.0) ** (-self.power)
+
+    def __repr__(self) -> str:
+        return f"PolynomialDampening(power={self.power:.3g})"
+
+
+class StalenessTracker:
+    """Sliding empirical staleness distribution and its s-th percentile.
+
+    The paper treats the expected percentage of non-stragglers (s%) as a
+    system parameter; τ_thres is then the s-th percentile of observed
+    staleness.  During an initial bootstrap phase (fewer than
+    ``min_samples`` observations) AdaSGD falls back to DynSGD's inverse
+    dampening, exactly as §2.3 prescribes.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 99.7,
+        window: int = 10_000,
+        min_samples: int = 30,
+        initial_tau_thres: float | None = None,
+    ) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self._values: deque[float] = deque(maxlen=window)
+        self._initial_tau_thres = initial_tau_thres
+
+    def observe(self, staleness: float) -> None:
+        """Record one staleness observation."""
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        self._values.append(float(staleness))
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._values)
+
+    @property
+    def bootstrapped(self) -> bool:
+        """True once enough observations exist to trust the percentile."""
+        if self._initial_tau_thres is not None:
+            return True
+        return len(self._values) >= self.min_samples
+
+    def tau_thres(self) -> float:
+        """Current τ_thres estimate (s-th percentile of the window)."""
+        if self._initial_tau_thres is not None and len(self._values) < self.min_samples:
+            return self._initial_tau_thres
+        if not self._values:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._values, dtype=float), self.percentile))

@@ -1,0 +1,138 @@
+"""Differentially private gradient perturbation (paper §3.2, Figure 11).
+
+The paper perturbs worker gradients as in Abadi et al. (CCS'16): clip each
+per-task gradient to L2 norm C, add Gaussian noise N(0, σ²C²·I), and account
+for the privacy loss ε with the *moments accountant* given the sampling
+ratio q = batch/N, the noise multiplier σ, the number of iterations T, and
+δ fixed to 1/N².
+
+``moments_epsilon`` implements the accountant numerically: the λ-th log
+moment of the privacy loss of the sampled Gaussian mechanism is computed by
+integrating over the mixture ν1 = (1−q)·N(0,σ²) + q·N(1,σ²) against
+ν0 = N(0,σ²); composition adds the per-step moments, and
+
+    ε(δ) = min_λ ( T·α(λ) + ln(1/δ) ) / λ .
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+__all__ = [
+    "clip_gradient",
+    "gaussian_mechanism",
+    "log_moment",
+    "moments_epsilon",
+    "noise_for_epsilon",
+]
+
+
+def clip_gradient(gradient: np.ndarray, clip_norm: float) -> np.ndarray:
+    """Scale a gradient so its L2 norm is at most ``clip_norm``."""
+    if clip_norm <= 0:
+        raise ValueError("clip_norm must be positive")
+    norm = float(np.linalg.norm(gradient))
+    if norm <= clip_norm or norm == 0.0:
+        return gradient.copy()
+    return gradient * (clip_norm / norm)
+
+
+def gaussian_mechanism(
+    gradient: np.ndarray,
+    clip_norm: float,
+    noise_multiplier: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Clip to ``clip_norm`` and add N(0, (σ·C)²) noise per coordinate."""
+    if noise_multiplier < 0:
+        raise ValueError("noise_multiplier must be non-negative")
+    clipped = clip_gradient(gradient, clip_norm)
+    if noise_multiplier == 0.0:
+        return clipped
+    noise = rng.normal(0.0, noise_multiplier * clip_norm, size=gradient.shape)
+    return clipped + noise
+
+
+def log_moment(q: float, sigma: float, lam: int) -> float:
+    """α(λ): λ-th log moment of one sampled-Gaussian step (exact).
+
+    With ν0 = N(0, σ²) and ν1 = (1−q)·N(0, σ²) + q·N(1, σ²), the ratio is
+    ν1/ν0 = (1−q) + q·exp((2z−1)/(2σ²)), so for integer λ the binomial
+    theorem gives a closed form using the Gaussian MGF
+    E[exp(j(2z−1)/(2σ²))] = exp(j(j−1)/(2σ²)):
+
+        E_{ν0}[(ν1/ν0)^λ] = Σ_{j=0}^{λ} C(λ,j) (1−q)^{λ−j} q^j e^{j(j−1)/(2σ²)}
+
+    evaluated with logsumexp for numerical safety at small σ / large λ.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError("sampling ratio q must be in (0, 1)")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if lam < 1:
+        raise ValueError("lambda must be >= 1")
+
+    j = np.arange(lam + 1, dtype=np.float64)
+    log_binom = gammaln(lam + 1) - gammaln(j + 1) - gammaln(lam - j + 1)
+    log_terms = (
+        log_binom
+        + (lam - j) * math.log1p(-q)
+        + j * math.log(q)
+        + j * (j - 1.0) / (2.0 * sigma**2)
+    )
+    value = float(logsumexp(log_terms))
+    # The moment is >= 1 (Jensen), so its log is non-negative.
+    return max(value, 0.0)
+
+
+def moments_epsilon(
+    q: float,
+    sigma: float,
+    steps: int,
+    delta: float,
+    max_lambda: int = 32,
+) -> float:
+    """ε(δ) after ``steps`` compositions of the sampled Gaussian mechanism."""
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    best = math.inf
+    for lam in range(1, max_lambda + 1):
+        alpha = log_moment(q, sigma, lam)
+        eps = (steps * alpha + math.log(1.0 / delta)) / lam
+        best = min(best, eps)
+    return best
+
+
+def noise_for_epsilon(
+    target_epsilon: float,
+    q: float,
+    steps: int,
+    delta: float,
+    sigma_low: float = 0.3,
+    sigma_high: float = 64.0,
+    tol: float = 1e-3,
+) -> float:
+    """Smallest noise multiplier σ achieving ε ≤ target (bisection search).
+
+    ε is monotone decreasing in σ, so bisection is sound.  Raises if the
+    bracket does not contain a solution.
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target_epsilon must be positive")
+    lo, hi = sigma_low, sigma_high
+    if moments_epsilon(q, hi, steps, delta) > target_epsilon:
+        raise ValueError("target epsilon unreachable within sigma bracket")
+    if moments_epsilon(q, lo, steps, delta) <= target_epsilon:
+        return lo
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if moments_epsilon(q, mid, steps, delta) <= target_epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,103 @@
+"""Byzantine-robust gradient aggregation rules (paper §4).
+
+The paper notes that robustness against adversarial users (the authors'
+AggregaThor / Kardam line of work) is orthogonal to Online FL and "can be
+adapted for AdaSGD and plugged into FLeet".  This module provides the three
+standard gradient-aggregation rules (GARs) those systems build on, operating
+on the K buffered gradients of one server update:
+
+* **coordinate-wise median** — resilient to up to ⌈K/2⌉−1 Byzantine inputs;
+* **trimmed mean** — drops the b largest and smallest values per coordinate;
+* **Krum / multi-Krum** (Blanchard et al., NeurIPS'17) — selects the
+  gradient(s) with the smallest sum of distances to their closest peers.
+
+``StalenessAwareServer`` accepts any of these as its ``robust_rule``; the
+rule is applied to the *weighted* gradients, so staleness dampening and
+Byzantine filtering compose.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "average",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum",
+    "multi_krum",
+    "RobustRule",
+]
+
+RobustRule = Callable[[np.ndarray], np.ndarray]
+
+
+def _check(gradients: np.ndarray) -> np.ndarray:
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if gradients.ndim != 2 or gradients.shape[0] == 0:
+        raise ValueError("gradients must be a non-empty (K, d) matrix")
+    return gradients
+
+
+def average(gradients: np.ndarray) -> np.ndarray:
+    """Plain mean — the non-robust baseline (FedAvg's aggregation)."""
+    return _check(gradients).mean(axis=0)
+
+
+def coordinate_median(gradients: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median of the K gradients."""
+    return np.median(_check(gradients), axis=0)
+
+
+def trimmed_mean(gradients: np.ndarray, trim: int = 1) -> np.ndarray:
+    """Mean after dropping the ``trim`` largest and smallest per coordinate."""
+    gradients = _check(gradients)
+    k = gradients.shape[0]
+    if trim < 0:
+        raise ValueError("trim must be non-negative")
+    if 2 * trim >= k:
+        raise ValueError(f"cannot trim {trim} from each side of {k} gradients")
+    ordered = np.sort(gradients, axis=0)
+    if trim == 0:
+        return ordered.mean(axis=0)
+    return ordered[trim : k - trim].mean(axis=0)
+
+
+def _krum_scores(gradients: np.ndarray, num_byzantine: int) -> np.ndarray:
+    k = gradients.shape[0]
+    closest = k - num_byzantine - 2
+    if closest < 1:
+        raise ValueError(
+            f"Krum needs K >= f + 3 (got K={k}, f={num_byzantine})"
+        )
+    # Pairwise squared distances.
+    sq = ((gradients[:, None, :] - gradients[None, :, :]) ** 2).sum(axis=2)
+    scores = np.empty(k)
+    for i in range(k):
+        others = np.delete(sq[i], i)
+        scores[i] = np.sort(others)[:closest].sum()
+    return scores
+
+
+def krum(gradients: np.ndarray, num_byzantine: int = 1) -> np.ndarray:
+    """The gradient with the smallest Krum score."""
+    gradients = _check(gradients)
+    scores = _krum_scores(gradients, num_byzantine)
+    return gradients[int(scores.argmin())].copy()
+
+
+def multi_krum(
+    gradients: np.ndarray, num_byzantine: int = 1, num_selected: int | None = None
+) -> np.ndarray:
+    """Mean of the ``num_selected`` lowest-score gradients (multi-Krum)."""
+    gradients = _check(gradients)
+    scores = _krum_scores(gradients, num_byzantine)
+    k = gradients.shape[0]
+    if num_selected is None:
+        num_selected = max(1, k - num_byzantine)
+    if not 1 <= num_selected <= k:
+        raise ValueError("num_selected out of range")
+    chosen = np.argsort(scores)[:num_selected]
+    return gradients[chosen].mean(axis=0)

@@ -1,0 +1,34 @@
+"""Synthetic datasets and federated partitioning."""
+
+from repro.data.federated_split import (
+    UserPartition,
+    dirichlet_split,
+    iid_split,
+    shard_non_iid_split,
+)
+from repro.data.sampling import minibatch_iterator, sample_minibatch
+from repro.data.synthetic_images import (
+    ImageDataset,
+    make_cifar100_like,
+    make_emnist_like,
+    make_image_dataset,
+    make_mnist_like,
+)
+from repro.data.tweets import Tweet, TweetStream, TweetStreamConfig
+
+__all__ = [
+    "ImageDataset",
+    "make_image_dataset",
+    "make_mnist_like",
+    "make_emnist_like",
+    "make_cifar100_like",
+    "UserPartition",
+    "iid_split",
+    "shard_non_iid_split",
+    "dirichlet_split",
+    "sample_minibatch",
+    "minibatch_iterator",
+    "Tweet",
+    "TweetStream",
+    "TweetStreamConfig",
+]

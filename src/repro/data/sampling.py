@@ -1,0 +1,38 @@
+"""Mini-batch sampling utilities shared by the worker runtime and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_minibatch", "minibatch_iterator"]
+
+
+def sample_minibatch(
+    indices: np.ndarray, batch_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``batch_size`` example indices from a user's data.
+
+    Matches the paper's worker behaviour: the mini-batch ξ is drawn uniformly
+    from the local dataset.  When the local dataset is smaller than the batch
+    size, the whole dataset is used (no resampling with replacement, to keep
+    the gradient an unbiased estimate of the local loss).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if indices.size <= batch_size:
+        return indices.copy()
+    return rng.choice(indices, size=batch_size, replace=False)
+
+
+def minibatch_iterator(
+    num_examples: int, batch_size: int, rng: np.random.Generator
+):
+    """Infinite shuffled mini-batch index generator (for SSGD baselines)."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    while True:
+        perm = rng.permutation(num_examples)
+        for start in range(0, num_examples, batch_size):
+            chunk = perm[start : start + batch_size]
+            if chunk.size > 0:
+                yield chunk

@@ -1,0 +1,225 @@
+"""Synthetic temporal tweet stream for the Online-vs-Standard FL experiment.
+
+The paper (§3.1) collects 2.6 M geo-located tweets over 13 days, divides them
+into 2-day shards and 1-hour chunks, and trains a hashtag recommender whose
+quality is highly sensitive to model freshness because hashtag popularity
+drifts by the hour.  Tweepy data cannot be downloaded offline, so this module
+generates a stream with the properties that drive the experiment:
+
+* hashtags are born, trend for a few hours and decay (temporal drift);
+* popularity is power-law distributed (a few big tags, a long tail);
+* volume follows a diurnal cycle with bursty peaks (the long staleness tail
+  in Fig. 7 comes from peak-hour congestion);
+* each hashtag has a token signature so tweet text is predictive of its
+  hashtags — otherwise no recommender could beat the most-popular baseline.
+
+Each tweet carries a wall-clock timestamp (seconds), a user id, a fixed-
+length token sequence and a set of hashtag ids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tweet", "TweetStream", "TweetStreamConfig"]
+
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """A single synthetic tweet."""
+
+    timestamp: float
+    user_id: int
+    tokens: np.ndarray
+    hashtags: frozenset[int]
+
+
+@dataclass
+class TweetStreamConfig:
+    """Knobs for the synthetic stream.
+
+    Defaults are scaled down ~1000× from the paper's corpus while keeping the
+    hour-scale drift that the Fig. 6 comparison measures.
+    """
+
+    num_days: int = 13
+    tweets_per_hour: int = 40
+    num_users: int = 60
+    vocab_size: int = 300
+    num_hashtags: int = 60
+    tokens_per_tweet: int = 8
+    hashtags_per_tweet: int = 2
+    signature_tokens: int = 6
+    # Mean trending lifetime of a hashtag, in hours.
+    mean_lifetime_hours: float = 18.0
+    # Power-law exponent for base hashtag popularity.
+    popularity_exponent: float = 1.2
+    # Fraction of tokens drawn from the hashtag signature (vs common noise).
+    signal_fraction: float = 0.7
+    # Amplitude of the diurnal volume cycle in [0, 1).
+    diurnal_amplitude: float = 0.5
+    # Poisson burst multiplier applied at random peak hours.
+    burst_probability: float = 0.08
+    burst_multiplier: float = 4.0
+    seed: int = 0
+
+
+class TweetStream:
+    """Generator and container for the synthetic stream."""
+
+    def __init__(self, config: TweetStreamConfig | None = None) -> None:
+        self.config = config or TweetStreamConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self._rng = rng
+
+        # Per-hashtag base popularity: power law over a random ordering.
+        ranks = rng.permutation(cfg.num_hashtags) + 1
+        self._base_popularity = ranks.astype(np.float64) ** (-cfg.popularity_exponent)
+
+        # Birth times spread over the horizon so fresh tags keep appearing;
+        # lifetime exponential around the configured mean.
+        horizon_hours = cfg.num_days * HOURS_PER_DAY
+        self._births = rng.uniform(-cfg.mean_lifetime_hours, horizon_hours, cfg.num_hashtags)
+        self._lifetimes = np.maximum(
+            2.0, rng.exponential(cfg.mean_lifetime_hours, cfg.num_hashtags)
+        )
+
+        # Token signature per hashtag.
+        self._signatures = np.stack(
+            [
+                rng.choice(cfg.vocab_size, size=cfg.signature_tokens, replace=False)
+                for _ in range(cfg.num_hashtags)
+            ]
+        )
+
+        self.tweets: list[Tweet] = []
+        self._generate()
+
+    # ------------------------------------------------------------------
+    # Popularity model
+    # ------------------------------------------------------------------
+    def hashtag_intensity(self, hour: float) -> np.ndarray:
+        """Un-normalized popularity of every hashtag at a given hour.
+
+        A tag ramps up quickly after birth, peaks, then decays exponentially:
+        intensity = base · (age/2)·exp(1 - age/2) for age ≥ 0 (Gamma-like
+        pulse with scale tied to the tag's lifetime), 0 before birth.
+        """
+        age = np.maximum(hour - self._births, 0.0)
+        scale = self._lifetimes / 4.0
+        pulse = (age / scale) * np.exp(1.0 - age / scale)
+        return self._base_popularity * pulse
+
+    def _hourly_volume(self, hour_index: int, rng: np.random.Generator) -> int:
+        cfg = self.config
+        hour_of_day = hour_index % HOURS_PER_DAY
+        diurnal = 1.0 + cfg.diurnal_amplitude * math.sin(
+            2.0 * math.pi * (hour_of_day - 6.0) / HOURS_PER_DAY
+        )
+        rate = cfg.tweets_per_hour * max(0.1, diurnal)
+        if rng.random() < cfg.burst_probability:
+            rate *= cfg.burst_multiplier
+        return int(rng.poisson(rate))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _generate(self) -> None:
+        cfg = self.config
+        rng = self._rng
+        horizon_hours = cfg.num_days * HOURS_PER_DAY
+        for hour in range(horizon_hours):
+            count = self._hourly_volume(hour, rng)
+            intensity = self.hashtag_intensity(hour + 0.5)
+            total = intensity.sum()
+            if total <= 0.0 or count == 0:
+                continue
+            probs = intensity / total
+            for _ in range(count):
+                timestamp = (hour + rng.random()) * SECONDS_PER_HOUR
+                user = int(rng.integers(cfg.num_users))
+                k = max(1, int(rng.binomial(cfg.hashtags_per_tweet * 2, 0.5)))
+                k = min(k, cfg.num_hashtags, int(np.count_nonzero(probs)))
+                tags = rng.choice(cfg.num_hashtags, size=k, replace=False, p=probs)
+                tokens = self._tokens_for(tags, rng)
+                self.tweets.append(
+                    Tweet(timestamp, user, tokens, frozenset(int(t) for t in tags))
+                )
+        self.tweets.sort(key=lambda t: t.timestamp)
+
+    def _tokens_for(self, tags: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        cfg = self.config
+        tokens = np.empty(cfg.tokens_per_tweet, dtype=np.int64)
+        signature_pool = self._signatures[tags].reshape(-1)
+        for i in range(cfg.tokens_per_tweet):
+            if rng.random() < cfg.signal_fraction:
+                tokens[i] = signature_pool[rng.integers(signature_pool.size)]
+            else:
+                tokens[i] = rng.integers(cfg.vocab_size)
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Chunking (paper: 2-day shards of 1-hour chunks)
+    # ------------------------------------------------------------------
+    def chunks(self, chunk_hours: float = 1.0) -> list[list[Tweet]]:
+        """Split the stream into consecutive fixed-duration chunks."""
+        if chunk_hours <= 0:
+            raise ValueError("chunk_hours must be positive")
+        horizon = self.config.num_days * HOURS_PER_DAY
+        num_chunks = int(math.ceil(horizon / chunk_hours))
+        out: list[list[Tweet]] = [[] for _ in range(num_chunks)]
+        width = chunk_hours * SECONDS_PER_HOUR
+        for tweet in self.tweets:
+            idx = min(num_chunks - 1, int(tweet.timestamp // width))
+            out[idx].append(tweet)
+        return out
+
+    def shards(self, shard_days: int = 2) -> list[list[list[Tweet]]]:
+        """Group hour-chunks into multi-day shards (paper: 2-day shards)."""
+        hourly = self.chunks(chunk_hours=1.0)
+        per_shard = shard_days * HOURS_PER_DAY
+        return [
+            hourly[start : start + per_shard]
+            for start in range(0, len(hourly), per_shard)
+        ]
+
+    # ------------------------------------------------------------------
+    # Model I/O
+    # ------------------------------------------------------------------
+    def to_arrays(
+        self, tweets: list[Tweet]
+    ) -> tuple[np.ndarray, np.ndarray, list[set[int]]]:
+        """Convert tweets into (token matrix, multi-hot targets, label sets)."""
+        cfg = self.config
+        n = len(tweets)
+        xs = np.zeros((n, cfg.tokens_per_tweet), dtype=np.int64)
+        ys = np.zeros((n, cfg.num_hashtags), dtype=np.float64)
+        sets: list[set[int]] = []
+        for i, tweet in enumerate(tweets):
+            xs[i] = tweet.tokens
+            for tag in tweet.hashtags:
+                ys[i, tag] = 1.0
+            sets.append(set(tweet.hashtags))
+        return xs, ys, sets
+
+    def group_by_user(self, tweets: list[Tweet]) -> dict[int, list[Tweet]]:
+        """Mini-batch grouping by user id (the paper batches per user)."""
+        groups: dict[int, list[Tweet]] = {}
+        for tweet in tweets:
+            groups.setdefault(tweet.user_id, []).append(tweet)
+        return groups
+
+    def hashtag_counts(self, tweets: list[Tweet]) -> np.ndarray:
+        """Histogram of hashtag usage in a set of tweets."""
+        counts = np.zeros(self.config.num_hashtags, dtype=np.int64)
+        for tweet in tweets:
+            for tag in tweet.hashtags:
+                counts[tag] += 1
+        return counts

@@ -1,0 +1,39 @@
+"""Simulated mobile-device fleet (the paper's 40 Android phones)."""
+
+from repro.devices.charging import ChargingModel
+from repro.devices.activity import UserActivityModel, find_quiet_window
+from repro.devices.catalog import (
+    CATALOG,
+    CoreCluster,
+    DeviceModelSpec,
+    fleet_specs,
+    get_spec,
+)
+from repro.devices.device import DeviceFeatures, SimulatedDevice, TaskMeasurement
+from repro.devices.energy import (
+    AllocationConfig,
+    battery_percent,
+    mwh_from_watts,
+    power_draw_w,
+)
+from repro.devices.thermal import AMBIENT_C, ThermalState
+
+__all__ = [
+    "CATALOG",
+    "CoreCluster",
+    "DeviceModelSpec",
+    "get_spec",
+    "fleet_specs",
+    "SimulatedDevice",
+    "DeviceFeatures",
+    "TaskMeasurement",
+    "AllocationConfig",
+    "power_draw_w",
+    "mwh_from_watts",
+    "battery_percent",
+    "ThermalState",
+    "AMBIENT_C",
+    "UserActivityModel",
+    "ChargingModel",
+    "find_quiet_window",
+]

@@ -1,0 +1,112 @@
+"""User-activity model and low-activity task scheduling (paper §2.4).
+
+The FLeet worker runs inside the foreground app and should "execute in a
+window of low user activity (e.g., while the user is reading an article)"
+so that the app's own work does not perturb I-Prof's measurements.  This
+module models a user's interaction intensity as a diurnal base load plus
+session bursts, and provides the scheduler the worker runtime uses to find
+a quiet window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UserActivityModel", "find_quiet_window"]
+
+
+@dataclass
+class UserActivityModel:
+    """Interaction intensity of one user over the day, in [0, 1].
+
+    Activity = diurnal envelope × session bursts.  The envelope peaks in the
+    evening; sessions are random bursts of a few minutes during which the
+    user actively scrolls/taps (intensity near 1), separated by reading
+    pauses (intensity near the floor).
+    """
+
+    seed: int = 0
+    # Fraction of within-session time the user actively interacts.
+    interaction_duty_cycle: float = 0.4
+    session_rate_per_hour: float = 2.0
+    mean_session_minutes: float = 8.0
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.interaction_duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if self.session_rate_per_hour < 0:
+            raise ValueError("session rate must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        # Pre-sample a day of sessions: (start_s, end_s) tuples.  A zero
+        # rate models a user who never opens the app that day.
+        sessions = []
+        t = 0.0
+        horizon = 24 * 3600.0
+        while t < horizon and self.session_rate_per_hour > 0:
+            gap = rng.exponential(3600.0 / self.session_rate_per_hour)
+            start = t + gap
+            length = rng.exponential(self.mean_session_minutes * 60.0)
+            sessions.append((start, start + length))
+            t = start + length
+        self._sessions = sessions
+        self._rng = rng
+
+    def _diurnal(self, time_s: float) -> float:
+        hour = (time_s / 3600.0) % 24.0
+        # Low at 4 am, peaks around 8 pm.
+        return 0.5 + 0.5 * math.sin(2.0 * math.pi * (hour - 14.0) / 24.0)
+
+    def in_session(self, time_s: float) -> bool:
+        """Is the user inside an app session at this time?"""
+        day_time = time_s % (24 * 3600.0)
+        return any(start <= day_time < end for start, end in self._sessions)
+
+    def intensity(self, time_s: float) -> float:
+        """Interaction intensity in [0, 1] at ``time_s``."""
+        if not self.in_session(time_s):
+            return 0.0
+        base = self._diurnal(time_s)
+        # Within a session, interaction alternates with reading pauses on a
+        # ~30 s cadence; deterministic per (user, half-minute) for replay.
+        slot = int(time_s // 30.0)
+        slot_rng = np.random.default_rng((self.seed * 1_000_003 + slot) % 2**63)
+        interacting = slot_rng.random() < self.interaction_duty_cycle
+        if not interacting:
+            return self.floor
+        return max(self.floor, base)
+
+
+def find_quiet_window(
+    model: UserActivityModel,
+    start_s: float,
+    duration_s: float,
+    horizon_s: float = 1800.0,
+    threshold: float = 0.2,
+    step_s: float = 15.0,
+) -> float | None:
+    """Earliest time in [start, start+horizon] opening a quiet window.
+
+    A window is quiet when the sampled intensity stays below ``threshold``
+    for the full task ``duration_s``.  Returns the window start, or None if
+    the user never goes quiet within the horizon (the worker then defers to
+    the next request, matching the middleware's best-effort posture).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    t = start_s
+    while t + duration_s <= start_s + horizon_s:
+        probe = t
+        quiet = True
+        while probe < t + duration_s:
+            if model.intensity(probe) > threshold:
+                quiet = False
+                break
+            probe += step_s
+        if quiet:
+            return t
+        t += step_s
+    return None

@@ -1,0 +1,211 @@
+"""Catalog of simulated phone models.
+
+Each :class:`DeviceModelSpec` captures what the paper's Android fleet
+exposes to I-Prof through the stock Android API — total memory, the sum of
+maximum CPU frequencies, a thermal envelope — plus the *hidden* ground truth
+the simulator uses to produce measurements: per-sample computation-time and
+energy slopes (the α of §2.2), core topology for big.LITTLE, and noise
+levels.
+
+Slope values are calibrated against Figure 4 of the paper: e.g. a Galaxy S7
+computes a 3200-sample task in roughly 19 s (α ≈ 6 ms/sample), an
+Xperia E3 is ~4× slower, and an Honor 10 is ~3.5× faster.  The catalog
+spans the same generational spread as the paper's 40-device fleet
+(2013 entry-level through 2018 flagship).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CoreCluster", "DeviceModelSpec", "CATALOG", "get_spec", "fleet_specs"]
+
+
+@dataclass(frozen=True)
+class CoreCluster:
+    """A homogeneous CPU cluster (e.g. the 'big' side of big.LITTLE)."""
+
+    num_cores: int
+    max_freq_ghz: float
+    # Relative single-core throughput (big flagship core == 1.0).
+    perf: float
+    # Active power per core at max frequency, watts.
+    power_w: float
+
+
+@dataclass(frozen=True)
+class DeviceModelSpec:
+    """Static description of one phone model."""
+
+    name: str
+    year: int
+    total_memory_mb: float
+    big: CoreCluster
+    little: CoreCluster | None
+    # Ground-truth seconds per sample on the default allocation, cold device.
+    alpha_time: float
+    # Ground-truth battery % per sample, cold device.
+    alpha_energy: float
+    battery_mwh: float
+    idle_power_w: float
+    # Thermal response: °C added per second of full load / cooling time-const.
+    heat_rate: float = 0.08
+    cool_rate: float = 0.01
+    throttle_temp_c: float = 42.0
+    # Fractional slowdown per °C above the throttle knee.
+    throttle_slope: float = 0.035
+    # Multiplicative measurement noise (std of a lognormal-ish factor).
+    noise_std: float = 0.05
+
+    @property
+    def sum_max_freq_ghz(self) -> float:
+        """Sum of the max frequency over all cores (an I-Prof feature)."""
+        total = self.big.num_cores * self.big.max_freq_ghz
+        if self.little is not None:
+            total += self.little.num_cores * self.little.max_freq_ghz
+        return total
+
+    @property
+    def energy_per_cpu_second(self) -> float:
+        """Battery % drained per non-idle CPU second (I-Prof's energy feature)."""
+        power = self.big.num_cores * self.big.power_w + self.idle_power_w
+        return 100.0 * power / (self.battery_mwh * 3.6)
+
+    @property
+    def is_big_little(self) -> bool:
+        return self.little is not None
+
+
+def _spec(
+    name: str,
+    year: int,
+    mem: float,
+    big: CoreCluster,
+    little: CoreCluster | None,
+    alpha_time: float,
+    alpha_energy: float,
+    battery: float,
+    idle_w: float = 0.4,
+    **kwargs,
+) -> DeviceModelSpec:
+    return DeviceModelSpec(
+        name=name,
+        year=year,
+        total_memory_mb=mem,
+        big=big,
+        little=little,
+        alpha_time=alpha_time,
+        alpha_energy=alpha_energy,
+        battery_mwh=battery,
+        idle_power_w=idle_w,
+        **kwargs,
+    )
+
+
+# Calibration anchors from the paper: Fig. 4 slopes, §3.1 battery capacities
+# (>= 11000 mWh claim refers to modern phones; actual capacities vary).
+CATALOG: dict[str, DeviceModelSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("Galaxy S7", 2016, 4096,
+              CoreCluster(4, 2.3, 1.00, 1.25), CoreCluster(4, 1.6, 0.30, 0.35),
+              alpha_time=0.0060, alpha_energy=1.5e-4, battery=11400),
+        _spec("Galaxy S8", 2017, 4096,
+              CoreCluster(4, 2.35, 1.12, 1.20), CoreCluster(4, 1.9, 0.34, 0.33),
+              alpha_time=0.0046, alpha_energy=1.2e-4, battery=11400),
+        _spec("Galaxy S6", 2015, 3072,
+              CoreCluster(4, 2.1, 0.80, 1.30), CoreCluster(4, 1.5, 0.26, 0.36),
+              alpha_time=0.0082, alpha_energy=1.9e-4, battery=9690),
+        _spec("Galaxy S6 Edge", 2015, 3072,
+              CoreCluster(4, 2.1, 0.81, 1.30), CoreCluster(4, 1.5, 0.26, 0.36),
+              alpha_time=0.0080, alpha_energy=1.9e-4, battery=9880),
+        _spec("Galaxy S5", 2014, 2048,
+              CoreCluster(4, 2.5, 0.62, 1.45), None,
+              alpha_time=0.0115, alpha_energy=2.6e-4, battery=10640),
+        _spec("Galaxy S4 mini", 2013, 1536,
+              CoreCluster(2, 1.7, 0.38, 1.10), None,
+              alpha_time=0.0230, alpha_energy=4.2e-4, battery=7220),
+        _spec("Galaxy Note5", 2015, 4096,
+              CoreCluster(4, 2.1, 0.82, 1.28), CoreCluster(4, 1.5, 0.27, 0.36),
+              alpha_time=0.0078, alpha_energy=1.8e-4, battery=11400),
+        _spec("Honor 10", 2018, 4096,
+              CoreCluster(4, 2.36, 1.18, 1.15), CoreCluster(4, 1.8, 0.36, 0.31),
+              alpha_time=0.0017, alpha_energy=0.7e-4, battery=12540,
+              heat_rate=0.12, throttle_slope=0.06),
+        _spec("Honor 9", 2017, 4096,
+              CoreCluster(4, 2.4, 1.02, 1.18), CoreCluster(4, 1.8, 0.33, 0.32),
+              alpha_time=0.0038, alpha_energy=1.1e-4, battery=12160),
+        _spec("Xperia E3", 2014, 1024,
+              CoreCluster(4, 1.2, 0.24, 0.80), None,
+              alpha_time=0.0250, alpha_energy=5.5e-4, battery=8740),
+        _spec("Nexus 6", 2014, 3072,
+              CoreCluster(4, 2.7, 0.66, 1.50), None,
+              alpha_time=0.0105, alpha_energy=2.4e-4, battery=12160),
+        _spec("Nexus 5", 2013, 2048,
+              CoreCluster(4, 2.3, 0.52, 1.40), None,
+              alpha_time=0.0140, alpha_energy=3.0e-4, battery=8740),
+        _spec("MotoG3", 2015, 2048,
+              CoreCluster(4, 1.4, 0.33, 0.90), None,
+              alpha_time=0.0185, alpha_energy=3.8e-4, battery=9290),
+        _spec("Moto G (4)", 2016, 2048,
+              CoreCluster(4, 1.5, 0.42, 0.95), CoreCluster(4, 1.2, 0.18, 0.30),
+              alpha_time=0.0150, alpha_energy=3.2e-4, battery=11400),
+        _spec("Moto G (2nd Gen)", 2014, 1024,
+              CoreCluster(4, 1.2, 0.26, 0.80), None,
+              alpha_time=0.0225, alpha_energy=4.8e-4, battery=8170),
+        _spec("XT1096", 2014, 2048,
+              CoreCluster(4, 2.5, 0.58, 1.45), None,
+              alpha_time=0.0120, alpha_energy=2.7e-4, battery=8930),
+        _spec("XT1254", 2014, 3072,
+              CoreCluster(4, 2.7, 0.64, 1.50), None,
+              alpha_time=0.0108, alpha_energy=2.5e-4, battery=11780),
+        _spec("SM-N900P", 2013, 3072,
+              CoreCluster(4, 2.3, 0.50, 1.40), None,
+              alpha_time=0.0145, alpha_energy=3.1e-4, battery=12160),
+        _spec("SM-G950U1", 2017, 4096,
+              CoreCluster(4, 2.35, 1.10, 1.20), CoreCluster(4, 1.9, 0.34, 0.33),
+              alpha_time=0.0048, alpha_energy=1.2e-4, battery=11400),
+        _spec("Lenovo TB-8504F", 2017, 2048,
+              CoreCluster(4, 1.4, 0.36, 0.85), None,
+              alpha_time=0.0170, alpha_energy=3.6e-4, battery=18240),
+        _spec("Venue 8", 2014, 1024,
+              CoreCluster(4, 2.1, 0.45, 1.20), None,
+              alpha_time=0.0160, alpha_energy=3.4e-4, battery=15390),
+        _spec("Pixel", 2016, 4096,
+              CoreCluster(2, 2.15, 0.95, 1.25), CoreCluster(2, 1.6, 0.30, 0.35),
+              alpha_time=0.0062, alpha_energy=1.5e-4, battery=10260),
+        _spec("HTC U11", 2017, 4096,
+              CoreCluster(4, 2.45, 1.08, 1.22), CoreCluster(4, 1.9, 0.33, 0.33),
+              alpha_time=0.0050, alpha_energy=1.3e-4, battery=11400),
+        _spec("HTC One A9", 2015, 2048,
+              CoreCluster(4, 1.5, 0.48, 1.00), CoreCluster(4, 1.2, 0.20, 0.30),
+              alpha_time=0.0135, alpha_energy=2.9e-4, battery=7900),
+        _spec("LG-H910", 2016, 4096,
+              CoreCluster(2, 2.15, 0.92, 1.25), CoreCluster(2, 1.6, 0.29, 0.35),
+              alpha_time=0.0068, alpha_energy=1.6e-4, battery=12160),
+        _spec("LG-H830", 2016, 4096,
+              CoreCluster(2, 2.15, 0.90, 1.25), CoreCluster(2, 1.6, 0.29, 0.35),
+              alpha_time=0.0070, alpha_energy=1.7e-4, battery=10640),
+    ]
+}
+
+
+def get_spec(name: str) -> DeviceModelSpec:
+    """Look up a device model by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device model {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+
+
+def fleet_specs(
+    count: int, rng: np.random.Generator, names: list[str] | None = None
+) -> list[DeviceModelSpec]:
+    """Sample a fleet of ``count`` devices (with repetition) from the catalog."""
+    pool = [CATALOG[n] for n in names] if names else list(CATALOG.values())
+    picks = rng.integers(0, len(pool), size=count)
+    return [pool[int(i)] for i in picks]

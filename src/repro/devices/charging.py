@@ -1,0 +1,101 @@
+"""Charging model: when is a phone plugged in?
+
+Standard FL's eligibility rule requires the device to be *charging* (plus
+idle and on WiFi).  The paper's motivation (§1) hinges on the resulting
+skew: "with most devices available at night the model is generally updated
+every 24 hours".  This model produces that skew — an overnight charging
+block per user (individual bedtime/wake-up), plus occasional daytime
+top-ups — so the eligibility dynamics of Standard FL can be simulated
+faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ChargingModel"]
+
+_DAY_S = 24 * 3600.0
+
+
+class ChargingModel:
+    """Per-user charging schedule over repeated days.
+
+    The user plugs in around ``bedtime_hour`` (per-user jitter, resampled
+    each day) and unplugs around ``wakeup_hour``.  During the day, short
+    top-up sessions occur at a small Poisson rate (desk chargers, cars).
+    Deterministic per (seed, day), so queries can arrive in any order.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bedtime_hour: float = 23.0,
+        wakeup_hour: float = 7.0,
+        jitter_hours: float = 1.0,
+        topup_rate_per_day: float = 0.8,
+        topup_minutes: float = 45.0,
+    ) -> None:
+        if not 0.0 <= bedtime_hour < 24.0 or not 0.0 <= wakeup_hour < 24.0:
+            raise ValueError("hours must be in [0, 24)")
+        if jitter_hours < 0:
+            raise ValueError("jitter_hours must be non-negative")
+        if topup_rate_per_day < 0 or topup_minutes <= 0:
+            raise ValueError("top-up parameters must be positive")
+        self.seed = seed
+        self.bedtime_hour = bedtime_hour
+        self.wakeup_hour = wakeup_hour
+        self.jitter_hours = jitter_hours
+        self.topup_rate_per_day = topup_rate_per_day
+        self.topup_minutes = topup_minutes
+
+    def _day_rng(self, day: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed * 2_654_435_761 + day) % 2**63)
+
+    def _overnight_block(self, day: int) -> tuple[float, float]:
+        """(plug_in_s, unplug_s) of the night starting on ``day``, absolute."""
+        rng = self._day_rng(day)
+        plug_hour = self.bedtime_hour + rng.normal(0.0, self.jitter_hours / 3.0)
+        unplug_hour = self.wakeup_hour + rng.normal(0.0, self.jitter_hours / 3.0)
+        plug = day * _DAY_S + plug_hour * 3600.0
+        # The unplug belongs to the following morning.
+        unplug = (day + 1) * _DAY_S + unplug_hour * 3600.0
+        return plug, unplug
+
+    def _topups(self, day: int) -> list[tuple[float, float]]:
+        rng = self._day_rng(day)
+        count = rng.poisson(self.topup_rate_per_day)
+        sessions = []
+        for _ in range(count):
+            start_hour = rng.uniform(8.0, 21.0)
+            start = day * _DAY_S + start_hour * 3600.0
+            sessions.append((start, start + self.topup_minutes * 60.0))
+        return sessions
+
+    def is_charging(self, time_s: float) -> bool:
+        """Is the device on power at absolute time ``time_s``?"""
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        day = int(time_s // _DAY_S)
+        # Check this day's overnight block, the previous night's tail, and
+        # this day's top-ups.
+        for block_day in (day - 1, day):
+            if block_day < 0:
+                continue
+            plug, unplug = self._overnight_block(block_day)
+            if plug <= time_s < unplug:
+                return True
+        return any(start <= time_s < end for start, end in self._topups(day))
+
+    def next_charging_start(self, time_s: float, horizon_s: float = 3 * _DAY_S) -> float | None:
+        """Earliest charging instant at or after ``time_s`` (None if beyond
+        the search horizon — an unplugged-for-days device)."""
+        if self.is_charging(time_s):
+            return time_s
+        step = 300.0  # 5-minute probe grid is finer than any session
+        t = time_s
+        while t <= time_s + horizon_s:
+            if self.is_charging(t):
+                return t
+            t += step
+        return None

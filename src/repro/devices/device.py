@@ -1,0 +1,200 @@
+"""Simulated Android device runtime.
+
+``SimulatedDevice`` is the substitute for the paper's 40 commercial phones:
+it exposes exactly the information a stock (non-rooted) Android API yields —
+the I-Prof feature vector — and it executes learning tasks, returning
+measured computation time and energy while mutating hidden state
+(temperature, battery level).  The ground-truth measurement model is
+
+    t_comp  = α_time(device, temp, allocation) · n · noise
+    energy  = P(allocation, utilization) · t_comp   (as % of battery)
+
+matching the linearity observation of §2.2 and Figure 4, with the slope
+drifting as the device heats (thermal throttling bends the 'up' ramp just
+like the paper's Honor 10 measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.catalog import DeviceModelSpec
+from repro.devices.energy import AllocationConfig, battery_percent, mwh_from_watts, power_draw_w
+from repro.devices.thermal import ThermalState
+
+__all__ = ["DeviceFeatures", "TaskMeasurement", "SimulatedDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceFeatures:
+    """What I-Prof can read through the standard Android API (§2.2)."""
+
+    available_memory_mb: float
+    total_memory_mb: float
+    temperature_c: float
+    sum_max_freq_ghz: float
+    # Battery % per non-idle CPU second; the extra feature the energy
+    # predictor needs (§2.2, "energy consumption per non-idle CPU time").
+    energy_per_cpu_second: float
+
+    def as_vector(self, include_bias: bool = True) -> np.ndarray:
+        """Feature vector x for the slope regression α̂ = xᵀθ."""
+        values = [
+            self.available_memory_mb / 1024.0,
+            self.total_memory_mb / 1024.0,
+            self.temperature_c / 10.0,
+            self.sum_max_freq_ghz,
+            self.energy_per_cpu_second * 1e3,
+        ]
+        if include_bias:
+            values.append(1.0)
+        return np.array(values, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class TaskMeasurement:
+    """Outcome of one learning-task execution on a device."""
+
+    batch_size: int
+    computation_time_s: float
+    energy_percent: float
+    energy_mwh: float
+    features: DeviceFeatures
+    temperature_after_c: float
+
+
+class SimulatedDevice:
+    """One phone instance with mutable thermal/battery/memory state."""
+
+    def __init__(
+        self,
+        spec: DeviceModelSpec,
+        rng: np.random.Generator,
+        device_id: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.device_id = device_id
+        self._rng = rng
+        self.thermal = ThermalState(
+            heat_rate=spec.heat_rate,
+            cool_rate=spec.cool_rate,
+            throttle_temp_c=spec.throttle_temp_c,
+            throttle_slope=spec.throttle_slope,
+        )
+        self.battery_percent_remaining = 100.0
+        # Memory pressure wobbles as the user opens/closes apps.
+        self._memory_load_fraction = float(rng.uniform(0.35, 0.65))
+        self.tasks_executed = 0
+
+    # ------------------------------------------------------------------
+    # Allocation policy (paper §2.4)
+    # ------------------------------------------------------------------
+    def default_allocation(self) -> AllocationConfig:
+        """FLeet's scheme: big cores only on big.LITTLE, else all cores."""
+        if self.spec.is_big_little:
+            return AllocationConfig(big_cores=self.spec.big.num_cores)
+        return AllocationConfig(big_cores=self.spec.big.num_cores)
+
+    def available_allocations(self) -> list[AllocationConfig]:
+        """All core-count combinations a non-rooted device can select."""
+        configs = []
+        little_max = self.spec.little.num_cores if self.spec.little else 0
+        for big in range(self.spec.big.num_cores + 1):
+            for little in range(little_max + 1):
+                if big + little > 0:
+                    configs.append(AllocationConfig(big, little))
+        return configs
+
+    def _perf_units(self, allocation: AllocationConfig) -> float:
+        """Relative throughput of an allocation (default allocation == ref)."""
+        perf = allocation.big_cores * self.spec.big.perf
+        if allocation.little_cores > 0 and self.spec.little is not None:
+            perf += allocation.little_cores * self.spec.little.perf
+            if allocation.big_cores > 0:
+                # Mixing clusters costs synchronization on the slowest lane.
+                perf *= 0.88
+        return perf
+
+    # ------------------------------------------------------------------
+    # Android-API-visible state
+    # ------------------------------------------------------------------
+    def features(self) -> DeviceFeatures:
+        """Snapshot of the feature vector I-Prof reads before a task."""
+        jitter = self._rng.normal(0.0, 0.03)
+        self._memory_load_fraction = float(
+            np.clip(self._memory_load_fraction + jitter, 0.2, 0.85)
+        )
+        available = self.spec.total_memory_mb * (1.0 - self._memory_load_fraction)
+        return DeviceFeatures(
+            available_memory_mb=available,
+            total_memory_mb=self.spec.total_memory_mb,
+            temperature_c=self.thermal.temperature_c,
+            sum_max_freq_ghz=self.spec.sum_max_freq_ghz,
+            energy_per_cpu_second=self.spec.energy_per_cpu_second,
+        )
+
+    # ------------------------------------------------------------------
+    # Task execution (ground truth)
+    # ------------------------------------------------------------------
+    def true_time_slope(self, allocation: AllocationConfig | None = None) -> float:
+        """Current seconds-per-sample slope, including thermal throttling."""
+        allocation = allocation or self.default_allocation()
+        ref = self._perf_units(self.default_allocation())
+        actual = self._perf_units(allocation)
+        return self.spec.alpha_time * (ref / actual) * self.thermal.throttle_factor()
+
+    def _utilization(self, batch_size: int) -> float:
+        """Pipeline utilization saturates quickly with batch size (§2.2)."""
+        return 0.6 + 0.4 * batch_size / (batch_size + 8.0)
+
+    def execute(
+        self,
+        batch_size: int,
+        allocation: AllocationConfig | None = None,
+    ) -> TaskMeasurement:
+        """Run one learning task and return the measured cost."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        allocation = allocation or self.default_allocation()
+        features = self.features()
+
+        noise = float(np.exp(self._rng.normal(0.0, self.spec.noise_std)))
+        seconds = self.true_time_slope(allocation) * batch_size * noise
+
+        utilization = self._utilization(batch_size)
+        watts = power_draw_w(
+            self.spec.idle_power_w,
+            self.spec.big,
+            self.spec.little,
+            allocation,
+            utilization,
+        )
+        energy_mwh = mwh_from_watts(watts, seconds)
+        energy_pct = battery_percent(energy_mwh, self.spec.battery_mwh)
+
+        dynamic_watts = watts - self.spec.idle_power_w
+        self.thermal.heat(dynamic_watts, seconds)
+        self.battery_percent_remaining = max(
+            0.0, self.battery_percent_remaining - energy_pct
+        )
+        self.tasks_executed += 1
+        return TaskMeasurement(
+            batch_size=batch_size,
+            computation_time_s=seconds,
+            energy_percent=energy_pct,
+            energy_mwh=energy_mwh,
+            features=features,
+            temperature_after_c=self.thermal.temperature_c,
+        )
+
+    def idle(self, seconds: float) -> None:
+        """Let the device cool between tasks."""
+        self.thermal.cool(seconds)
+
+    def reset(self) -> None:
+        """Cold restart: ambient temperature, full battery."""
+        self.thermal.reset()
+        self.battery_percent_remaining = 100.0
+        self.tasks_executed = 0

@@ -1,0 +1,73 @@
+"""Energy accounting for simulated devices.
+
+Power is decomposed as idle + per-active-core dynamic power; the energy of a
+compute burst is power × duration, reported as a percentage of the battery
+capacity (the unit used throughout the paper's Figures 4, 13 and 14).
+
+The §3.1 Raspberry Pi measurements (1.9 W idle, 2.1 W at batch 1, 2.3 W at
+batch 100) motivate the mild dependence of power on workload size: larger
+mini-batches keep the SIMD pipelines fuller.  We model that with a
+saturating utilization term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.catalog import CoreCluster
+
+__all__ = ["AllocationConfig", "power_draw_w", "mwh_from_watts", "battery_percent"]
+
+
+@dataclass(frozen=True)
+class AllocationConfig:
+    """How many cores of each cluster a task may use."""
+
+    big_cores: int
+    little_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.big_cores < 0 or self.little_cores < 0:
+            raise ValueError("core counts must be non-negative")
+        if self.big_cores == 0 and self.little_cores == 0:
+            raise ValueError("allocation must use at least one core")
+
+    @property
+    def total_cores(self) -> int:
+        return self.big_cores + self.little_cores
+
+
+def power_draw_w(
+    idle_w: float,
+    big: CoreCluster,
+    little: CoreCluster | None,
+    allocation: AllocationConfig,
+    utilization: float = 1.0,
+) -> float:
+    """Total power when running a compute burst under an allocation."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    if allocation.big_cores > big.num_cores:
+        raise ValueError("allocation requests more big cores than available")
+    dynamic = allocation.big_cores * big.power_w
+    if allocation.little_cores > 0:
+        if little is None:
+            raise ValueError("allocation requests little cores on a symmetric device")
+        if allocation.little_cores > little.num_cores:
+            raise ValueError("allocation requests more little cores than available")
+        dynamic += allocation.little_cores * little.power_w
+    return idle_w + utilization * dynamic
+
+
+def mwh_from_watts(watts: float, seconds: float) -> float:
+    """Convert a power/duration pair into milliwatt-hours."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    return watts * seconds * 1000.0 / 3600.0
+
+
+def battery_percent(energy_mwh: float, battery_mwh: float) -> float:
+    """Express an energy amount as % of a battery capacity."""
+    if battery_mwh <= 0:
+        raise ValueError("battery capacity must be positive")
+    return 100.0 * energy_mwh / battery_mwh

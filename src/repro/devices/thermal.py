@@ -1,0 +1,61 @@
+"""Thermal model for simulated devices.
+
+Figure 4 of the paper shows that the time-vs-batch-size slope changes with
+temperature for some devices (Honor 10, Galaxy S7): the "up" ramp heats the
+phone until thermal throttling bends the line, and the "down" ramp after a
+cool-off is straighter.  We reproduce that with a first-order thermal model:
+
+* load heats the die proportionally to active power and duration;
+* idle time cools it exponentially toward ambient;
+* above a knee temperature the effective per-sample slope grows linearly
+  with the overshoot (clock throttling).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ThermalState"]
+
+AMBIENT_C = 25.0
+
+
+@dataclass
+class ThermalState:
+    """Mutable die temperature with heating/cooling dynamics.
+
+    Parameters mirror :class:`repro.devices.catalog.DeviceModelSpec`:
+    ``heat_rate`` is °C per (watt·second) of dissipated energy, ``cool_rate``
+    is the exponential cooling constant (1/s) toward ambient.
+    """
+
+    heat_rate: float
+    cool_rate: float
+    throttle_temp_c: float
+    throttle_slope: float
+    temperature_c: float = AMBIENT_C
+
+    def cool(self, idle_seconds: float) -> None:
+        """Exponential decay toward ambient over an idle period."""
+        if idle_seconds < 0:
+            raise ValueError("idle_seconds must be non-negative")
+        decay = math.exp(-self.cool_rate * idle_seconds)
+        self.temperature_c = AMBIENT_C + (self.temperature_c - AMBIENT_C) * decay
+
+    def heat(self, watts: float, busy_seconds: float) -> None:
+        """Add heat for a compute burst (applied after the burst)."""
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        self.temperature_c += self.heat_rate * watts * busy_seconds
+        # Physical ceiling: skin temperature protection kicks in around 55 °C.
+        self.temperature_c = min(self.temperature_c, 55.0)
+
+    def throttle_factor(self) -> float:
+        """Multiplier >= 1 applied to the per-sample slope at this temperature."""
+        overshoot = max(0.0, self.temperature_c - self.throttle_temp_c)
+        return 1.0 + self.throttle_slope * overshoot
+
+    def reset(self) -> None:
+        """Return to ambient (a long cool-down)."""
+        self.temperature_c = AMBIENT_C

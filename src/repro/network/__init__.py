@@ -1,0 +1,37 @@
+"""Mobile network substrate: link profiles, conditions, transfers.
+
+The paper's middleware defers network time/energy estimation to prior work
+(§2.2, refs [4, 51, 66]); this subpackage supplies that substrate so the
+end-to-end simulation (:mod:`repro.simulation.fleet_sim`) can charge
+realistic transfer latency and radio energy to every learning task, and so
+Standard FL's "unmetered network only" eligibility rule can be enforced.
+"""
+
+from repro.network.conditions import HandoverChain, NetworkConditions, SignalProcess
+from repro.network.interface import NetworkInterface, RoundTripOutcome, TransferOutcome
+from repro.network.profiles import HSPA_3G, LTE_4G, PROFILES, WIFI, LinkProfile, get_profile
+from repro.network.throughput import (
+    EwmaThroughputPredictor,
+    HarmonicMeanPredictor,
+    ThroughputSample,
+    prediction_error,
+)
+
+__all__ = [
+    "LinkProfile",
+    "WIFI",
+    "LTE_4G",
+    "HSPA_3G",
+    "PROFILES",
+    "get_profile",
+    "SignalProcess",
+    "HandoverChain",
+    "NetworkConditions",
+    "NetworkInterface",
+    "TransferOutcome",
+    "RoundTripOutcome",
+    "ThroughputSample",
+    "EwmaThroughputPredictor",
+    "HarmonicMeanPredictor",
+    "prediction_error",
+]

@@ -1,0 +1,168 @@
+"""Time-varying network conditions: signal quality and handover.
+
+Mobile throughput is far from the profile's nominal rate most of the time:
+signal strength drifts as the user moves, and the device hands over between
+WiFi, LTE and HSPA+ as coverage changes.  The paper treats these dynamics as
+an orthogonal concern handled by prior work (§2.2); for the end-to-end
+simulation we still need them, because the *variability* of round-trip
+latency is precisely what produces the staleness distributions of Fig. 7.
+
+``SignalProcess`` is a mean-reverting AR(1) (discrete Ornstein-Uhlenbeck)
+process on signal quality in [floor, 1].  ``HandoverChain`` is a
+continuous-time Markov chain over link profiles.  ``NetworkConditions``
+composes the two into the sampling interface the network interface consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.profiles import HSPA_3G, LTE_4G, WIFI, LinkProfile
+
+__all__ = ["SignalProcess", "HandoverChain", "NetworkConditions"]
+
+
+class SignalProcess:
+    """Mean-reverting signal quality in [floor, 1].
+
+    ``quality(t)`` multiplies the link's nominal throughput.  The process is
+    sampled lazily on a fixed grid and interpolated, so queries at arbitrary
+    (monotone or not) times are deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean: float = 0.75,
+        reversion: float = 0.2,
+        volatility: float = 0.12,
+        floor: float = 0.15,
+        grid_s: float = 30.0,
+    ) -> None:
+        if not 0.0 < mean <= 1.0:
+            raise ValueError("mean quality must be in (0, 1]")
+        if not 0.0 < reversion <= 1.0:
+            raise ValueError("reversion must be in (0, 1]")
+        if volatility < 0:
+            raise ValueError("volatility must be non-negative")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError("floor must be in [0, 1)")
+        if grid_s <= 0:
+            raise ValueError("grid_s must be positive")
+        self.mean = mean
+        self.reversion = reversion
+        self.volatility = volatility
+        self.floor = floor
+        self.grid_s = grid_s
+        self._rng = rng
+        self._samples: list[float] = [mean]
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._samples) <= index:
+            prev = self._samples[-1]
+            step = (
+                prev
+                + self.reversion * (self.mean - prev)
+                + self._rng.normal(0.0, self.volatility)
+            )
+            self._samples.append(float(np.clip(step, self.floor, 1.0)))
+
+    def quality(self, time_s: float) -> float:
+        """Signal quality at ``time_s``, linearly interpolated on the grid."""
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        position = time_s / self.grid_s
+        low = int(position)
+        self._extend_to(low + 1)
+        frac = position - low
+        return (1.0 - frac) * self._samples[low] + frac * self._samples[low + 1]
+
+
+class HandoverChain:
+    """Continuous-time Markov chain over link profiles.
+
+    Dwell times are exponential per state; the jump distribution favours the
+    neighbouring technology (WiFi ↔ 4G ↔ 3G), matching how coverage actually
+    degrades.  Like ``SignalProcess``, trajectories are materialized lazily
+    and are deterministic per seed, so ``link_at`` may be queried in any
+    order.
+    """
+
+    _JUMP = {
+        "wifi": [("4g", 0.85), ("3g", 0.15)],
+        "4g": [("wifi", 0.55), ("3g", 0.45)],
+        "3g": [("4g", 0.8), ("wifi", 0.2)],
+    }
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        initial: LinkProfile = LTE_4G,
+        mean_dwell_s: float = 900.0,
+    ) -> None:
+        if mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be positive")
+        self._rng = rng
+        self.mean_dwell_s = mean_dwell_s
+        # Segments: (start_s, profile); first starts at t = 0.
+        self._segments: list[tuple[float, LinkProfile]] = [(0.0, initial)]
+        self._horizon = 0.0
+
+    def _profile_named(self, name: str) -> LinkProfile:
+        return {"wifi": WIFI, "4g": LTE_4G, "3g": HSPA_3G}[name]
+
+    def _extend_to(self, time_s: float) -> None:
+        while self._horizon <= time_s:
+            start, profile = self._segments[-1]
+            dwell = float(self._rng.exponential(self.mean_dwell_s))
+            self._horizon = start + dwell
+            choices = self._JUMP[profile.name]
+            names = [name for name, _ in choices]
+            weights = np.array([weight for _, weight in choices])
+            nxt = self._rng.choice(names, p=weights / weights.sum())
+            self._segments.append((self._horizon, self._profile_named(str(nxt))))
+
+    def link_at(self, time_s: float) -> LinkProfile:
+        """The link profile in force at ``time_s``."""
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_to(time_s)
+        # Scan from the back: queries cluster near the frontier.
+        for start, profile in reversed(self._segments):
+            if start <= time_s:
+                return profile
+        return self._segments[0][1]
+
+
+class NetworkConditions:
+    """Joint signal-quality and link state seen by one device.
+
+    ``fixed_link`` pins the technology (used by experiments that compare 4G
+    vs 3G directly); otherwise the handover chain drives it.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        fixed_link: LinkProfile | None = None,
+        mean_quality: float = 0.75,
+        mean_dwell_s: float = 900.0,
+    ) -> None:
+        self.signal = SignalProcess(rng, mean=mean_quality)
+        self._fixed_link = fixed_link
+        self._chain = (
+            None
+            if fixed_link is not None
+            else HandoverChain(rng, mean_dwell_s=mean_dwell_s)
+        )
+
+    def link_at(self, time_s: float) -> LinkProfile:
+        """Radio access technology in force at ``time_s``."""
+        if self._fixed_link is not None:
+            return self._fixed_link
+        assert self._chain is not None
+        return self._chain.link_at(time_s)
+
+    def quality_at(self, time_s: float) -> float:
+        """Throughput multiplier in (0, 1] at ``time_s``."""
+        return self.signal.quality(time_s)

@@ -1,0 +1,115 @@
+"""Per-device network interface: transfers with time, energy and policy.
+
+This is the piece the paper's §2.2 explicitly leaves to prior work: given a
+payload, the current link and signal quality, produce the transfer's latency
+and radio energy so the end-to-end simulation can charge them alongside the
+gradient computation's cost.  It also implements Standard FL's *unmetered*
+eligibility check, which is what Online FL drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.conditions import NetworkConditions
+from repro.network.profiles import LinkProfile
+
+__all__ = ["TransferOutcome", "RoundTripOutcome", "NetworkInterface"]
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Measured cost of one one-way transfer."""
+
+    payload_bytes: int
+    seconds: float
+    energy_mwh: float
+    link_name: str
+    signal_quality: float
+
+
+@dataclass(frozen=True)
+class RoundTripOutcome:
+    """Model pull + gradient push, as charged to one learning task."""
+
+    down: TransferOutcome
+    up: TransferOutcome
+
+    @property
+    def seconds(self) -> float:
+        return self.down.seconds + self.up.seconds
+
+    @property
+    def energy_mwh(self) -> float:
+        return self.down.energy_mwh + self.up.energy_mwh
+
+
+class NetworkInterface:
+    """The radio of one simulated device.
+
+    Transfers are charged at the link's nominal rate scaled by the signal
+    quality in force at the start of the transfer, with multiplicative
+    log-normal noise reproducing the residual variability Liu & Lee report
+    after conditioning on signal.
+    """
+
+    def __init__(
+        self,
+        conditions: NetworkConditions,
+        rng: np.random.Generator,
+        noise_std: float = 0.15,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        self.conditions = conditions
+        self._rng = rng
+        self.noise_std = noise_std
+        self.transfers: list[TransferOutcome] = []
+
+    def link_at(self, time_s: float) -> LinkProfile:
+        """Link profile in force at ``time_s``."""
+        return self.conditions.link_at(time_s)
+
+    def is_unmetered(self, time_s: float) -> bool:
+        """Standard FL's eligibility: is the device on an unmetered link?"""
+        return not self.link_at(time_s).metered
+
+    def transfer(
+        self, payload_bytes: int, time_s: float, uplink: bool
+    ) -> TransferOutcome:
+        """Execute one transfer starting at ``time_s`` and record it."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        link = self.conditions.link_at(time_s)
+        quality = self.conditions.quality_at(time_s)
+        noise = float(np.exp(self._rng.normal(0.0, self.noise_std)))
+        # Quality scales the rate, so it divides the ideal transfer time;
+        # the RTT component is left unscaled (it is propagation, not rate).
+        rate_seconds = (link.one_way_seconds(payload_bytes, uplink) - link.rtt_s) / max(
+            quality, 1e-6
+        )
+        seconds = (link.rtt_s + rate_seconds) * noise
+        energy_mwh = link.transfer_energy_mwh(seconds)
+        outcome = TransferOutcome(
+            payload_bytes=payload_bytes,
+            seconds=seconds,
+            energy_mwh=energy_mwh,
+            link_name=link.name,
+            signal_quality=quality,
+        )
+        self.transfers.append(outcome)
+        return outcome
+
+    def round_trip(
+        self, down_bytes: int, up_bytes: int, time_s: float
+    ) -> RoundTripOutcome:
+        """Model pull then gradient push; the push starts after the pull."""
+        down = self.transfer(down_bytes, time_s, uplink=False)
+        up = self.transfer(up_bytes, time_s + down.seconds, uplink=True)
+        return RoundTripOutcome(down=down, up=up)
+
+    def total_energy_mwh(self) -> float:
+        """Radio energy of all transfers so far."""
+        return sum(outcome.energy_mwh for outcome in self.transfers)

@@ -1,0 +1,121 @@
+"""Link profiles for the mobile networks the paper's workers use.
+
+FLeet's §3.1 latency model charges 1.1 s (4G LTE) / 3.8 s (3G HSPA+) for a
+model pull plus gradient push of a ~123 k-parameter model, and §2.2 defers
+network time/energy estimation to prior work (Altamimi et al. [4] for
+energy, Liu & Lee [51] for throughput prediction).  This module provides the
+calibrated substrate those references describe: per-technology throughput,
+round-trip time, and a radio power model with the cellular "tail" state (the
+radio lingers in a high-power state after the last byte, which dominates the
+energy of small transfers).
+
+All throughputs are sustained application-layer rates, asymmetric between
+downlink (model pull) and uplink (gradient push), matching the public LTE /
+HSPA+ measurement surveys the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkProfile", "WIFI", "LTE_4G", "HSPA_3G", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Static characteristics of one radio access technology.
+
+    ``transfer_power_w`` is the radio's power draw while bits are in flight;
+    ``tail_power_w``/``tail_seconds`` model the post-transfer high-power
+    state of cellular radios (zero for WiFi, whose radio drops to idle
+    almost immediately).  ``metered`` records whether Standard FL's
+    "unmetered network" constraint excludes the link.
+    """
+
+    name: str
+    down_mbps: float
+    up_mbps: float
+    rtt_s: float
+    transfer_power_w: float
+    tail_power_w: float
+    tail_seconds: float
+    metered: bool
+
+    def __post_init__(self) -> None:
+        if self.down_mbps <= 0 or self.up_mbps <= 0:
+            raise ValueError("throughput must be positive")
+        if self.rtt_s < 0 or self.tail_seconds < 0:
+            raise ValueError("rtt and tail duration must be non-negative")
+        if self.transfer_power_w < 0 or self.tail_power_w < 0:
+            raise ValueError("power draws must be non-negative")
+
+    def one_way_seconds(self, payload_bytes: int, uplink: bool) -> float:
+        """Time to move ``payload_bytes`` in one direction at full signal."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        rate_mbps = self.up_mbps if uplink else self.down_mbps
+        return self.rtt_s + payload_bytes * 8.0 / (rate_mbps * 1e6)
+
+    def transfer_energy_mwh(self, active_seconds: float) -> float:
+        """Radio energy for a transfer of ``active_seconds``, tail included.
+
+        Energy = P_transfer · t_active + P_tail · t_tail, the two-state model
+        of Altamimi et al. [4].  Returned in mWh to match
+        :mod:`repro.devices.energy`.
+        """
+        if active_seconds < 0:
+            raise ValueError("active_seconds must be non-negative")
+        joules = (
+            self.transfer_power_w * active_seconds
+            + self.tail_power_w * self.tail_seconds
+        )
+        return joules * 1000.0 / 3600.0
+
+
+# Calibrated so that a 123 k-parameter model (≈ 0.5 MB as float32, ≈ 0.3 MB
+# deflated) pulls + pushes in ≈ 1.1 s over LTE and ≈ 3.8 s over HSPA+, the
+# §3.1 figures.
+WIFI = LinkProfile(
+    name="wifi",
+    down_mbps=60.0,
+    up_mbps=30.0,
+    rtt_s=0.015,
+    transfer_power_w=0.9,
+    tail_power_w=0.0,
+    tail_seconds=0.0,
+    metered=False,
+)
+
+LTE_4G = LinkProfile(
+    name="4g",
+    down_mbps=12.0,
+    up_mbps=8.0,
+    rtt_s=0.05,
+    transfer_power_w=1.8,
+    tail_power_w=1.0,
+    tail_seconds=2.5,
+    metered=True,
+)
+
+HSPA_3G = LinkProfile(
+    name="3g",
+    down_mbps=3.0,
+    up_mbps=1.5,
+    rtt_s=0.1,
+    transfer_power_w=1.5,
+    tail_power_w=0.8,
+    tail_seconds=5.0,
+    metered=True,
+)
+
+PROFILES = {profile.name: profile for profile in (WIFI, LTE_4G, HSPA_3G)}
+
+
+def get_profile(name: str) -> LinkProfile:
+    """Look up a link profile by name ("wifi", "4g", "3g")."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown link profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,128 @@
+"""Throughput prediction from observed transfers (paper ref [51]).
+
+The paper defers network time estimation to Liu & Lee's empirical study of
+throughput prediction in mobile data networks.  Their finding — and the one
+this module reproduces — is that simple history-based predictors work well:
+an exponentially weighted moving average on recent samples, and the harmonic
+mean, which is the right average for predicting the *time* of a
+fixed-size transfer (time ∝ 1/throughput, so E[time] needs E[1/throughput]).
+
+Predictors consume ``ThroughputSample`` observations produced by the network
+interface after each real transfer and answer "how long will the next
+``payload_bytes`` take?", which is what the FLeet server needs to schedule
+around slow links.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ThroughputSample",
+    "EwmaThroughputPredictor",
+    "HarmonicMeanPredictor",
+    "prediction_error",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One observed transfer: how many bytes moved in how many seconds."""
+
+    payload_bytes: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+
+    @property
+    def mbps(self) -> float:
+        """Achieved application-layer throughput in Mbit/s."""
+        return self.payload_bytes * 8.0 / (self.seconds * 1e6)
+
+
+class EwmaThroughputPredictor:
+    """Exponentially weighted moving average of achieved throughput.
+
+    ``alpha`` is the weight of the newest sample.  Before any observation the
+    predictor falls back to ``prior_mbps`` so cold-start predictions stay
+    finite.
+    """
+
+    def __init__(self, alpha: float = 0.3, prior_mbps: float = 5.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if prior_mbps <= 0:
+            raise ValueError("prior_mbps must be positive")
+        self.alpha = alpha
+        self._estimate_mbps = prior_mbps
+        self.samples_seen = 0
+
+    def observe(self, sample: ThroughputSample) -> None:
+        """Fold one observed transfer into the estimate."""
+        self._estimate_mbps = (
+            self.alpha * sample.mbps + (1.0 - self.alpha) * self._estimate_mbps
+        )
+        self.samples_seen += 1
+
+    def predicted_mbps(self) -> float:
+        """Current throughput estimate."""
+        return self._estimate_mbps
+
+    def predict_seconds(self, payload_bytes: int) -> float:
+        """Predicted transfer time for ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return payload_bytes * 8.0 / (self._estimate_mbps * 1e6)
+
+
+class HarmonicMeanPredictor:
+    """Windowed harmonic mean of achieved throughput.
+
+    The harmonic mean underweights throughput spikes, which makes it the
+    unbiased choice for predicting transfer *durations*: averaging 1/rate is
+    exactly averaging seconds-per-byte.
+    """
+
+    def __init__(self, window: int = 20, prior_mbps: float = 5.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if prior_mbps <= 0:
+            raise ValueError("prior_mbps must be positive")
+        self.window = window
+        self.prior_mbps = prior_mbps
+        self._recent: deque[float] = deque(maxlen=window)
+
+    def observe(self, sample: ThroughputSample) -> None:
+        """Fold one observed transfer into the window."""
+        self._recent.append(sample.mbps)
+
+    @property
+    def samples_seen(self) -> int:
+        return len(self._recent)
+
+    def predicted_mbps(self) -> float:
+        """Harmonic mean of the window (prior before any sample)."""
+        if not self._recent:
+            return self.prior_mbps
+        rates = np.asarray(self._recent, dtype=np.float64)
+        return float(len(rates) / np.sum(1.0 / rates))
+
+    def predict_seconds(self, payload_bytes: int) -> float:
+        """Predicted transfer time for ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return payload_bytes * 8.0 / (self.predicted_mbps() * 1e6)
+
+
+def prediction_error(predicted_s: float, actual_s: float) -> float:
+    """Relative error |predicted − actual| / actual of one prediction."""
+    if actual_s <= 0:
+        raise ValueError("actual_s must be positive")
+    return abs(predicted_s - actual_s) / actual_s

@@ -1,0 +1,108 @@
+"""Numpy deep-learning substrate.
+
+Replaces the paper's C++ CNN library / DL4J / TensorFlow back-ends with a
+deterministic pure-numpy implementation: layers, losses, optimizers, the
+Table-1 model zoo and evaluation metrics.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAveragePool1D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    mse,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.metrics import (
+    accuracy,
+    f1_at_top_k,
+    per_class_accuracy,
+    steps_to_accuracy,
+    top_k_sets,
+)
+from repro.nn.models import (
+    Sequential,
+    build_cifar100_cnn,
+    build_emnist_cnn,
+    build_hashtag_gru,
+    build_hashtag_rnn,
+    build_logistic,
+    build_mnist_cnn,
+)
+from repro.nn.normalization import BatchNorm2D, LayerNorm
+from repro.nn.optim import (
+    VectorAdam,
+    VectorSGD,
+    clip_by_global_norm,
+    constant_lr,
+    global_norm,
+    inverse_time_decay,
+    step_decay,
+)
+from repro.nn.recurrent import GRU, SimpleRNN
+from repro.nn.serialization import (
+    architecture_fingerprint,
+    load_into_model,
+    load_parameters,
+    save_model,
+)
+
+__all__ = [
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GlobalAveragePool1D",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "Tanh",
+    "SimpleRNN",
+    "GRU",
+    "BatchNorm2D",
+    "LayerNorm",
+    "global_norm",
+    "clip_by_global_norm",
+    "architecture_fingerprint",
+    "save_model",
+    "load_parameters",
+    "load_into_model",
+    "Sequential",
+    "build_mnist_cnn",
+    "build_emnist_cnn",
+    "build_cifar100_cnn",
+    "build_hashtag_rnn",
+    "build_hashtag_gru",
+    "build_logistic",
+    "VectorSGD",
+    "VectorAdam",
+    "constant_lr",
+    "inverse_time_decay",
+    "step_decay",
+    "softmax",
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "sigmoid",
+    "mse",
+    "accuracy",
+    "per_class_accuracy",
+    "top_k_sets",
+    "f1_at_top_k",
+    "steps_to_accuracy",
+]

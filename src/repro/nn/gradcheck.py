@@ -1,0 +1,67 @@
+"""Finite-difference gradient checking for the substrate's layers.
+
+Used by the test suite to validate every analytic backward pass against a
+central-difference approximation of the loss surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["numerical_gradient", "max_relative_error", "check_model_gradients"]
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f(x)
+        flat[i] = original - eps
+        minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def max_relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Element-wise max of |a - n| / max(1e-8, |a| + |n|)."""
+    denom = np.maximum(1e-8, np.abs(analytic) + np.abs(numeric))
+    return float((np.abs(analytic - numeric) / denom).max())
+
+
+def check_model_gradients(
+    model, x: np.ndarray, y: np.ndarray, eps: float = 1e-5, sample: int = 40,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Compare a model's flat gradient vector against finite differences.
+
+    Checking every coordinate of a CNN is too slow, so a random ``sample`` of
+    coordinates is verified.  Returns the max relative error over the sample.
+    """
+    rng = rng or np.random.default_rng(0)
+    _, analytic = model.compute_gradient(x, y)
+    params = model.get_parameters()
+    indices = rng.choice(params.size, size=min(sample, params.size), replace=False)
+    worst = 0.0
+    for idx in indices:
+        original = params[idx]
+        params[idx] = original + eps
+        model.set_parameters(params)
+        loss_plus, _ = model.compute_gradient(x, y)
+        params[idx] = original - eps
+        model.set_parameters(params)
+        loss_minus, _ = model.compute_gradient(x, y)
+        params[idx] = original
+        numeric = (loss_plus - loss_minus) / (2.0 * eps)
+        denom = max(1e-8, abs(analytic[idx]) + abs(numeric))
+        worst = max(worst, abs(analytic[idx] - numeric) / denom)
+    model.set_parameters(params)
+    return worst

@@ -1,0 +1,55 @@
+"""Weight initializers for the numpy deep-learning substrate.
+
+Every initializer takes an explicit ``numpy.random.Generator`` so that all
+model construction is deterministic given a seed.  The fan-in / fan-out
+conventions follow Glorot & Bengio (2010) and He et al. (2015).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "uniform"]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a parameter tensor shape.
+
+    Dense kernels are ``(in, out)``; convolution kernels are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialization."""
+    fan_in, fan_out = _fans(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = math.sqrt(2.0 / max(1, fan_in))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.05, high: float = 0.05
+) -> np.ndarray:
+    """Plain uniform initialization (embeddings)."""
+    return rng.uniform(low, high, size=shape).astype(np.float64)

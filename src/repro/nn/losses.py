@@ -1,0 +1,92 @@
+"""Loss functions for the numpy deep-learning substrate.
+
+The primary loss is fused softmax cross-entropy, which is what every model in
+the paper trains with (image classification and hashtag recommendation).
+Losses return ``(value, gradient_wrt_logits)``; the gradient is already
+averaged over the batch so optimizer steps are batch-size invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "softmax_cross_entropy",
+    "sigmoid",
+    "binary_cross_entropy_with_logits",
+    "mse",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Fused softmax + cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` raw scores.
+    labels:
+        Either ``(N,)`` integer class ids or ``(N, C)`` soft/one-hot targets.
+
+    Returns
+    -------
+    ``(loss, grad)`` where ``grad`` has shape ``(N, C)`` and is divided by N.
+    """
+    n = logits.shape[0]
+    probs = softmax(logits)
+    if labels.ndim == 1:
+        eps = 1e-12
+        picked = probs[np.arange(n), labels.astype(np.int64)]
+        loss = float(-np.log(picked + eps).mean())
+        grad = probs.copy()
+        grad[np.arange(n), labels.astype(np.int64)] -= 1.0
+    else:
+        eps = 1e-12
+        loss = float(-(labels * np.log(probs + eps)).sum(axis=-1).mean())
+        grad = probs - labels
+    return loss, grad / n
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def binary_cross_entropy_with_logits(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Multi-label BCE used by the hashtag recommender head.
+
+    ``logits`` and ``targets`` are both ``(N, C)``; targets are 0/1 multi-hot.
+    """
+    n = logits.shape[0]
+    # log(1 + exp(-|x|)) formulation avoids overflow for large |logits|.
+    loss_terms = np.maximum(logits, 0.0) - logits * targets + np.log1p(
+        np.exp(-np.abs(logits))
+    )
+    loss = float(loss_terms.mean())
+    grad = (sigmoid(logits) - targets) / (n * logits.shape[1])
+    return loss, grad
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error with gradient w.r.t. ``pred``."""
+    diff = pred - target
+    loss = float((diff**2).mean())
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,88 @@
+"""Evaluation metrics.
+
+``f1_at_top_k`` reproduces the paper's hashtag-recommendation metric
+(F1-score @ top-5, §3.1): for each example, the top-k scored labels are
+compared against the true label set; precision and recall are combined per
+example and averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "per_class_accuracy",
+    "top_k_sets",
+    "f1_at_top_k",
+    "steps_to_accuracy",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches between predictions and integer labels."""
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Accuracy restricted to each true class; NaN for absent classes."""
+    out = np.full(num_classes, np.nan)
+    for cls in range(num_classes):
+        mask = labels == cls
+        if mask.any():
+            out[cls] = float((predictions[mask] == cls).mean())
+    return out
+
+
+def top_k_sets(scores: np.ndarray, k: int) -> list[set[int]]:
+    """Top-k label indices per row of a score matrix."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, scores.shape[1])
+    top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    return [set(int(i) for i in row) for row in top]
+
+
+def f1_at_top_k(
+    scores: np.ndarray, true_label_sets: list[set[int]], k: int = 5
+) -> float:
+    """Mean per-example F1 between top-k recommendations and true labels.
+
+    Examples with an empty true-label set are skipped, mirroring hashtag
+    evaluation where only tweets that contain hashtags are scored.
+    """
+    if scores.shape[0] != len(true_label_sets):
+        raise ValueError("scores and true_label_sets disagree on example count")
+    recs = top_k_sets(scores, k)
+    f1_values = []
+    for rec, truth in zip(recs, true_label_sets):
+        if not truth:
+            continue
+        hits = len(rec & truth)
+        precision = hits / len(rec)
+        recall = hits / len(truth)
+        if precision + recall == 0.0:
+            f1_values.append(0.0)
+        else:
+            f1_values.append(2.0 * precision * recall / (precision + recall))
+    if not f1_values:
+        return 0.0
+    return float(np.mean(f1_values))
+
+
+def steps_to_accuracy(curve: np.ndarray, target: float) -> int | None:
+    """First index at which an accuracy curve reaches ``target``.
+
+    Used to reproduce the paper's "reaches 80 % accuracy X % faster"
+    statements (Fig. 8).  Returns ``None`` if the target is never reached.
+    """
+    reached = np.nonzero(np.asarray(curve) >= target)[0]
+    if reached.size == 0:
+        return None
+    return int(reached[0])

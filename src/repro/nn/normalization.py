@@ -1,0 +1,135 @@
+"""Normalization layers (BatchNorm2D, LayerNorm).
+
+The Table-1 CNNs of the paper do not use normalization, but any production
+deployment of the FLeet middleware will meet models that do — and batch
+normalization interacts non-trivially with federated learning: the running
+mean/variance are *state*, not parameters, so they are deliberately excluded
+from the flat parameter vector the middleware ships.  Each worker keeps its
+own running statistics (matching how on-device inference would behave), and
+only the learnable scale/shift take part in the global model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["BatchNorm2D", "LayerNorm"]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization over ``(N, C, H, W)`` inputs.
+
+    Training mode normalizes with batch statistics and updates the running
+    estimates; inference mode uses the running estimates.  ``gamma`` and
+    ``beta`` are learnable and live in ``params`` (hence in the FL wire
+    vector); the running statistics are local state.
+    """
+
+    def __init__(self, num_channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.num_channels = num_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {
+            "gamma": np.ones(num_channels, dtype=np.float64),
+            "beta": np.zeros(num_channels, dtype=np.float64),
+        }
+        self.grads = {key: np.zeros_like(val) for key, val in self.params.items()}
+        self.running_mean = np.zeros(num_channels, dtype=np.float64)
+        self.running_var = np.ones(num_channels, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (N, {self.num_channels}, H, W) input, got {x.shape}"
+            )
+        if train:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1.0 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1.0 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        if train:
+            self._cache = (x_hat, std)
+        gamma = self.params["gamma"][None, :, None, None]
+        beta = self.params["beta"][None, :, None, None]
+        return gamma * x_hat + beta
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "forward(train=True) must run before backward"
+        x_hat, std = self._cache
+        n, _, h, w = grad_out.shape
+        m = n * h * w  # elements per channel
+        self.grads["gamma"] += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += grad_out.sum(axis=(0, 2, 3))
+
+        gamma = self.params["gamma"][None, :, None, None]
+        grad_x_hat = grad_out * gamma
+        # Standard batchnorm backward, vectorized per channel.
+        sum_grad = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_xhat = (grad_x_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            grad_x_hat - sum_grad / m - x_hat * sum_grad_xhat / m
+        ) / std[None, :, None, None]
+
+
+class LayerNorm(Layer):
+    """Normalization over the last axis (the transformer-era default).
+
+    Unlike batch normalization this has no cross-example state, so it is
+    entirely safe under federated learning: everything it learns is in the
+    parameter vector.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.params = {
+            "gamma": np.ones(dim, dtype=np.float64),
+            "beta": np.zeros(dim, dtype=np.float64),
+        }
+        self.grads = {key: np.zeros_like(val) for key, val in self.params.items()}
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected last axis {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean) / std
+        self._cache = (x_hat, std)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "forward must run before backward"
+        x_hat, std = self._cache
+        axes = tuple(range(grad_out.ndim - 1))
+        self.grads["gamma"] += (grad_out * x_hat).sum(axis=axes)
+        self.grads["beta"] += grad_out.sum(axis=axes)
+
+        grad_x_hat = grad_out * self.params["gamma"]
+        mean_grad = grad_x_hat.mean(axis=-1, keepdims=True)
+        mean_grad_xhat = (grad_x_hat * x_hat).mean(axis=-1, keepdims=True)
+        return (grad_x_hat - mean_grad - x_hat * mean_grad_xhat) / std

@@ -1,0 +1,178 @@
+"""Optimizers and learning-rate schedules.
+
+The server in the paper applies (scaled) gradient vectors to the global
+model, so the optimizer operates on flat parameter vectors rather than on a
+layer graph.  ``VectorSGD`` is the canonical server-side optimizer; momentum
+is provided for ablations but the paper's experiments use plain SGD.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "VectorSGD",
+    "VectorAdam",
+    "constant_lr",
+    "inverse_time_decay",
+    "step_decay",
+    "global_norm",
+    "clip_by_global_norm",
+]
+
+Schedule = Callable[[int], float]
+
+
+def constant_lr(rate: float) -> Schedule:
+    """Constant learning-rate schedule ``γ_t = rate``."""
+
+    def schedule(step: int) -> float:
+        return rate
+
+    return schedule
+
+
+def inverse_time_decay(rate: float, decay: float) -> Schedule:
+    """``γ_t = rate / (1 + decay · t)``."""
+
+    def schedule(step: int) -> float:
+        return rate / (1.0 + decay * step)
+
+    return schedule
+
+
+def step_decay(rate: float, drop: float, every: int) -> Schedule:
+    """Multiply the rate by ``drop`` every ``every`` steps."""
+
+    def schedule(step: int) -> float:
+        return rate * (drop ** (step // every))
+
+    return schedule
+
+
+class VectorSGD:
+    """SGD on a flat parameter vector with optional momentum.
+
+    ``step(params, grad)`` returns the *new* vector; the caller (the FLeet
+    server) remains the owner of the canonical model state, matching the
+    parameter-server architecture of the paper.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float | Schedule = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if callable(learning_rate):
+            self._schedule = learning_rate
+        else:
+            self._schedule = constant_lr(float(learning_rate))
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: np.ndarray | None = None
+        self.step_count = 0
+
+    def learning_rate(self, step: int | None = None) -> float:
+        """Learning rate at ``step`` (defaults to the internal counter)."""
+        return self._schedule(self.step_count if step is None else step)
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Apply one descent step and return the updated vector."""
+        if params.shape != grad.shape:
+            raise ValueError("parameter and gradient vectors differ in shape")
+        rate = self._schedule(self.step_count)
+        update = grad
+        if self.weight_decay > 0.0:
+            update = update + self.weight_decay * params
+        if self.momentum > 0.0:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(params)
+            self._velocity = self.momentum * self._velocity + update
+            update = self._velocity
+        self.step_count += 1
+        return params - rate * update
+
+    def reset(self) -> None:
+        """Clear momentum state and the step counter."""
+        self._velocity = None
+        self.step_count = 0
+
+
+class VectorAdam:
+    """Adam on a flat parameter vector (Kingma & Ba, 2015).
+
+    Provided as a server-side ablation: the paper's experiments use plain
+    SGD, but adaptive server optimizers are a natural extension point for
+    the FLeet middleware and interact non-trivially with staleness
+    dampening (the second-moment estimate absorbs part of the stale-noise
+    variance).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float | Schedule = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if callable(learning_rate):
+            self._schedule = learning_rate
+        else:
+            self._schedule = constant_lr(float(learning_rate))
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self.step_count = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Apply one Adam step and return the updated vector."""
+        if params.shape != grad.shape:
+            raise ValueError("parameter and gradient vectors differ in shape")
+        if self._m is None:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        self.step_count += 1
+        rate = self._schedule(self.step_count - 1)
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * grad**2
+        m_hat = self._m / (1.0 - self.beta1**self.step_count)
+        v_hat = self._v / (1.0 - self.beta2**self.step_count)
+        return params - rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        """Clear moment estimates and the step counter."""
+        self._m = None
+        self._v = None
+        self.step_count = 0
+
+
+def global_norm(vector: np.ndarray) -> float:
+    """ℓ2 norm of a flat gradient vector."""
+    return float(np.linalg.norm(np.asarray(vector, dtype=np.float64)))
+
+
+def clip_by_global_norm(vector: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``vector`` down so its ℓ2 norm is at most ``max_norm``.
+
+    The standard stabilizer for the recurrent hashtag model (BPTT gradients
+    occasionally spike) and the clipping primitive the DP mechanism builds
+    on.  Vectors already within the bound are returned unchanged (same
+    object), so the hot path allocates nothing.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_norm(vector)
+    if norm <= max_norm or norm == 0.0:
+        return vector
+    return vector * (max_norm / norm)

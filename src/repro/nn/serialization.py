@@ -1,0 +1,95 @@
+"""Model checkpointing: save/load parameter vectors with integrity checks.
+
+The FLeet server owns the canonical model as a flat vector; persisting it
+(e.g. across server restarts, or to hand a trained recommender to the
+serving tier) needs nothing more than the vector plus enough metadata to
+refuse loading it into the wrong architecture.  ``npz`` keeps the repo
+dependency-free; the fingerprint is a stable hash of the per-layer parameter
+shapes, so two models with the same layer shapes interoperate regardless of
+how they were constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.models import Sequential
+
+__all__ = [
+    "architecture_fingerprint",
+    "save_model",
+    "load_parameters",
+    "load_into_model",
+]
+
+_FORMAT_VERSION = 1
+
+
+def architecture_fingerprint(model: Sequential) -> str:
+    """Stable hash of the model's layer/parameter shape signature."""
+    signature = [
+        {
+            "layer": type(layer).__name__,
+            "shapes": {key: list(layer.params[key].shape) for key in sorted(layer.params)},
+        }
+        for layer in model.layers
+    ]
+    blob = json.dumps(signature, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def save_model(model: Sequential, path: str | Path, step: int = 0) -> None:
+    """Write the model's parameter vector and metadata to ``path`` (.npz)."""
+    if step < 0:
+        raise ValueError("step must be non-negative")
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        parameters=model.get_parameters(),
+        fingerprint=np.array(architecture_fingerprint(model)),
+        step=np.array(step, dtype=np.int64),
+        format_version=np.array(_FORMAT_VERSION, dtype=np.int64),
+    )
+
+
+def load_parameters(path: str | Path) -> tuple[np.ndarray, str, int]:
+    """Read (parameters, fingerprint, step) from a checkpoint file."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; accept either spelling.
+        with_suffix = path.with_suffix(path.suffix + ".npz")
+        if not with_suffix.exists():
+            raise FileNotFoundError(f"no checkpoint at {path}")
+        path = with_suffix
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format v{version} not supported (expected v{_FORMAT_VERSION})"
+            )
+        return (
+            archive["parameters"].astype(np.float64),
+            str(archive["fingerprint"]),
+            int(archive["step"]),
+        )
+
+
+def load_into_model(model: Sequential, path: str | Path) -> int:
+    """Load a checkpoint into ``model``; returns the stored step.
+
+    Refuses checkpoints whose architecture fingerprint does not match — a
+    vector of the right *length* but wrong layer shapes would silently
+    scramble the model otherwise.
+    """
+    parameters, fingerprint, step = load_parameters(path)
+    expected = architecture_fingerprint(model)
+    if fingerprint != expected:
+        raise ValueError(
+            f"checkpoint fingerprint {fingerprint} does not match model {expected}"
+        )
+    model.set_parameters(parameters)
+    return step

@@ -1,0 +1,21 @@
+"""Workload profilers: I-Prof (the paper's) and the MAUI baseline."""
+
+from repro.profiler.coldstart import ColdStartModel, collect_offline_dataset
+from repro.profiler.iprof import SLO, IProf, ProfilerDecision, SlopePredictor
+from repro.profiler.maui import MauiProfiler
+from repro.profiler.passive_aggressive import (
+    PassiveAggressiveRegressor,
+    epsilon_insensitive_loss,
+)
+
+__all__ = [
+    "SLO",
+    "IProf",
+    "ProfilerDecision",
+    "SlopePredictor",
+    "ColdStartModel",
+    "collect_offline_dataset",
+    "MauiProfiler",
+    "PassiveAggressiveRegressor",
+    "epsilon_insensitive_loss",
+]

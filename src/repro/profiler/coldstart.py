@@ -1,0 +1,132 @@
+"""Cold-start slope model: ordinary least squares over device features.
+
+I-Prof's cold-start model is pre-trained offline on (feature-vector, slope)
+pairs collected from a set of *training* devices that ramp the mini-batch
+size until the computation time reaches twice the SLO (§2.2 and §3.3).  It
+serves the first request of every previously unseen device model and is
+periodically re-fit as fresh device data is appended.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ColdStartModel", "collect_offline_dataset"]
+
+
+class ColdStartModel:
+    """Ridge-regularized least squares α ≈ xᵀθ with periodic re-fits.
+
+    A light L2 penalty keeps θ stable when device features are collinear
+    (total memory and max frequency correlate strongly across phone
+    generations); plain OLS would produce large cancelling coefficients
+    whose predictions flip sign under small feature jitter.
+    """
+
+    def __init__(
+        self, feature_dim: int, refit_every: int = 50, ridge: float = 1e-3
+    ) -> None:
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if refit_every <= 0:
+            raise ValueError("refit_every must be positive")
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.feature_dim = feature_dim
+        self.refit_every = refit_every
+        self.ridge = ridge
+        self.theta = np.zeros(feature_dim, dtype=np.float64)
+        self._xs: list[np.ndarray] = []
+        self._ys: list[float] = []
+        self._since_fit = 0
+        self.fitted = False
+        # Smallest slope seen in training data; used by callers as a sanity
+        # floor when inverting the cost law (a negative or near-zero
+        # predicted slope would otherwise explode the workload bound).
+        self.min_slope_seen: float | None = None
+
+    def _solve(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        gram = xs.T @ xs
+        scale = np.trace(gram) / max(1, gram.shape[0])
+        reg = self.ridge * max(scale, 1e-12) * np.eye(self.feature_dim)
+        return np.linalg.solve(gram + reg, xs.T @ ys)
+
+    def fit(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Fit θ on a full offline dataset."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.ndim != 2 or xs.shape[1] != self.feature_dim:
+            raise ValueError(f"xs must be (n, {self.feature_dim})")
+        if xs.shape[0] != ys.shape[0]:
+            raise ValueError("xs and ys disagree on sample count")
+        self.theta = self._solve(xs, ys)
+        self._xs = [row.copy() for row in xs]
+        self._ys = [float(y) for y in ys]
+        positive = ys[ys > 0]
+        if positive.size:
+            self.min_slope_seen = float(positive.min())
+        self._since_fit = 0
+        self.fitted = True
+
+    def append(self, x: np.ndarray, y: float) -> None:
+        """Add one observation; re-fit every ``refit_every`` appends."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.feature_dim,):
+            raise ValueError(f"x must have shape ({self.feature_dim},)")
+        self._xs.append(x.copy())
+        self._ys.append(float(y))
+        if y > 0 and (self.min_slope_seen is None or y < self.min_slope_seen):
+            self.min_slope_seen = float(y)
+        self._since_fit += 1
+        if self._since_fit >= self.refit_every and len(self._xs) > self.feature_dim:
+            self.theta = self._solve(np.stack(self._xs), np.array(self._ys))
+            self._since_fit = 0
+            self.fitted = True
+
+    def predict(self, x: np.ndarray) -> float:
+        """Predicted slope for a feature vector."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.feature_dim,):
+            raise ValueError(f"x must have shape ({self.feature_dim},)")
+        return float(x @ self.theta)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._xs)
+
+
+def collect_offline_dataset(
+    devices,
+    slo_seconds: float,
+    kind: str = "time",
+    start_batch: int = 1,
+    growth: float = 1.6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-training data collection, mirroring §3.3.
+
+    Each training device executes learning tasks of geometrically increasing
+    mini-batch size until the computation time reaches twice the SLO; every
+    task contributes one (feature-vector, observed-slope) pair.  ``kind``
+    selects the slope target: seconds per sample ("time") or battery % per
+    sample ("energy").
+    """
+    if kind not in ("time", "energy"):
+        raise ValueError("kind must be 'time' or 'energy'")
+    xs: list[np.ndarray] = []
+    ys: list[float] = []
+    for device in devices:
+        batch = start_batch
+        while True:
+            measurement = device.execute(int(batch))
+            x = measurement.features.as_vector()
+            if kind == "time":
+                slope = measurement.computation_time_s / measurement.batch_size
+            else:
+                slope = measurement.energy_percent / measurement.batch_size
+            xs.append(x)
+            ys.append(slope)
+            if measurement.computation_time_s >= 2.0 * slo_seconds:
+                break
+            batch = max(int(batch * growth), batch + 1)
+        device.idle(120.0)
+    return np.stack(xs), np.array(ys)

@@ -1,0 +1,104 @@
+"""MAUI-style baseline profiler (Cuervo et al., MobiSys 2010; paper §3.3).
+
+The paper adapts MAUI's energy profiler to its setting: a single *global*
+linear-regression model through the origin, ``cost = θ₀ · n``, where n is
+the mini-batch size (standing in for CPU cycles, which are proportional to n
+for a static code path).  There is no device-feature input and no
+per-device personalization — that is precisely the deficiency Figures 12
+and 13 expose.
+
+We keep the model updated with incremental least squares over all observed
+(n, cost) pairs, which is the natural online extension and strictly
+charitable to the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiler.iprof import SLO, ProfilerDecision
+
+__all__ = ["MauiProfiler"]
+
+_MIN_SLOPE = 1e-6
+
+
+class _OriginLeastSquares:
+    """Running least-squares fit of cost = θ·n through the origin."""
+
+    def __init__(self) -> None:
+        self._sum_nn = 0.0
+        self._sum_nc = 0.0
+        self.theta = 0.0
+
+    def observe(self, n: float, cost: float) -> None:
+        self._sum_nn += n * n
+        self._sum_nc += n * cost
+        if self._sum_nn > 0.0:
+            self.theta = self._sum_nc / self._sum_nn
+
+    def predict_slope(self) -> float:
+        return max(_MIN_SLOPE, self.theta)
+
+
+class MauiProfiler:
+    """Global slope-only profiler with the same request/report interface as I-Prof."""
+
+    def __init__(self) -> None:
+        self._time = _OriginLeastSquares()
+        self._energy = _OriginLeastSquares()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Offline pre-training on the same dataset I-Prof receives
+    # ------------------------------------------------------------------
+    def pretrain_time(self, batch_sizes: np.ndarray, times: np.ndarray) -> None:
+        for n, cost in zip(batch_sizes, times):
+            self._time.observe(float(n), float(cost))
+
+    def pretrain_energy(self, batch_sizes: np.ndarray, energies: np.ndarray) -> None:
+        for n, cost in zip(batch_sizes, energies):
+            self._energy.observe(float(n), float(cost))
+
+    # ------------------------------------------------------------------
+    # Request path (features accepted but ignored, by design)
+    # ------------------------------------------------------------------
+    def recommend(
+        self, model_name: str, features: np.ndarray, slo: SLO
+    ) -> ProfilerDecision:
+        candidates: list[float] = []
+        time_slope = energy_slope = None
+        if slo.time_seconds is not None:
+            time_slope = self._time.predict_slope()
+            candidates.append(slo.time_seconds / time_slope)
+        if slo.energy_percent is not None:
+            energy_slope = self._energy.predict_slope()
+            candidates.append(slo.energy_percent / energy_slope)
+        batch = max(1, int(min(candidates)))
+        self.requests_served += 1
+        return ProfilerDecision(
+            batch_size=batch,
+            predicted_time_s=(time_slope * batch) if time_slope is not None else None,
+            predicted_energy_percent=(
+                energy_slope * batch if energy_slope is not None else None
+            ),
+            used_personalized=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback path
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        model_name: str,
+        features: np.ndarray,
+        batch_size: int,
+        computation_time_s: float | None = None,
+        energy_percent: float | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if computation_time_s is not None:
+            self._time.observe(float(batch_size), float(computation_time_s))
+        if energy_percent is not None:
+            self._energy.observe(float(batch_size), float(energy_percent))

@@ -1,0 +1,50 @@
+"""FLeet middleware: server, controller and worker runtime."""
+
+from repro.server.ab_testing import ABGroup, ABThresholdTuner, TunerSnapshot
+from repro.server.codec import EncodedBlob, TransferCostModel, VectorCodec
+from repro.server.telemetry import Counter, Gauge, MetricsRegistry, Summary
+from repro.server.sparsification import (
+    ErrorFeedbackCompressor,
+    SparseGradient,
+    top_k_sparsify,
+)
+from repro.server.controller import Controller, ControllerDecision, PercentileThreshold
+from repro.server.protocol import (
+    RejectionReason,
+    TaskAssignment,
+    TaskRejection,
+    TaskRequest,
+    TaskResult,
+)
+from repro.server.selection import CandidateClient, SelectionResult, select_cohort
+from repro.server.server import FleetServer
+from repro.server.worker import Worker
+
+__all__ = [
+    "FleetServer",
+    "ABGroup",
+    "ABThresholdTuner",
+    "TunerSnapshot",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Summary",
+    "Worker",
+    "Controller",
+    "ControllerDecision",
+    "PercentileThreshold",
+    "TaskRequest",
+    "TaskAssignment",
+    "TaskRejection",
+    "TaskResult",
+    "RejectionReason",
+    "VectorCodec",
+    "EncodedBlob",
+    "TransferCostModel",
+    "ErrorFeedbackCompressor",
+    "SparseGradient",
+    "top_k_sparsify",
+    "CandidateClient",
+    "SelectionResult",
+    "select_cohort",
+]

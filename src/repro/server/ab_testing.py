@@ -1,0 +1,192 @@
+"""A/B threshold tuning for the controller (paper §2.4).
+
+The paper prescribes how a service provider sets the controller's two
+thresholds in production:
+
+    "the system initializes the thresholds to zero and divides the users
+     into two groups.  The first group tests the impact of the mini-batch
+     size and the second the impact of the label similarity.  Both groups
+     gradually increase the thresholds until the impact on the service
+     quality is considered acceptable.  The server can execute this A/B
+     testing procedure periodically, i.e., reset the thresholds after a
+     time interval."
+
+``ABThresholdTuner`` implements exactly that: it hash-partitions users into
+a SIZE group and a SIMILARITY group, raises each group's threshold by one
+step per epoch while the group's observed quality stays within
+``max_quality_drop`` of the control baseline, freezes a threshold whose last
+raise hurt (rolling the raise back), and optionally resets everything on a
+period.  Quality is any scalar the provider tracks — the benches feed it
+held-out accuracy; a production deployment would feed click-through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.controller import Controller
+
+__all__ = ["ABGroup", "ABThresholdTuner", "TunerSnapshot"]
+
+
+class ABGroup(enum.Enum):
+    """Which threshold a user's traffic exercises."""
+
+    SIZE = "size"
+    SIMILARITY = "similarity"
+
+
+@dataclass(frozen=True)
+class TunerSnapshot:
+    """Thresholds and state after one tuning epoch."""
+
+    epoch: int
+    size_threshold: float
+    similarity_threshold: float
+    size_frozen: bool
+    similarity_frozen: bool
+    size_quality: float | None
+    similarity_quality: float | None
+
+
+class ABThresholdTuner:
+    """Gradually raise controller thresholds while quality holds.
+
+    Parameters
+    ----------
+    size_step:
+        Mini-batch threshold increment per epoch for the SIZE group.
+    similarity_step:
+        Similarity threshold increment per epoch (the *max_similarity*
+        bound starts at 1.0 — nothing pruned — and is lowered by this step,
+        which is the "increase" direction for pruning aggressiveness).
+    max_quality_drop:
+        Largest tolerated quality loss relative to the epoch-0 baseline
+        before the group's threshold freezes and rolls back one step.
+    reset_every_epochs:
+        Re-run the procedure from zero after this many epochs (None: never),
+        the paper's periodic reset.
+    """
+
+    def __init__(
+        self,
+        size_step: float = 5.0,
+        similarity_step: float = 0.05,
+        max_quality_drop: float = 0.02,
+        reset_every_epochs: int | None = None,
+    ) -> None:
+        if size_step <= 0 or similarity_step <= 0:
+            raise ValueError("steps must be positive")
+        if max_quality_drop < 0:
+            raise ValueError("max_quality_drop must be non-negative")
+        if reset_every_epochs is not None and reset_every_epochs <= 0:
+            raise ValueError("reset_every_epochs must be positive")
+        self.size_step = size_step
+        self.similarity_step = similarity_step
+        self.max_quality_drop = max_quality_drop
+        self.reset_every_epochs = reset_every_epochs
+        self.epoch = 0
+        self.history: list[TunerSnapshot] = []
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self.size_threshold = 0.0
+        self.similarity_threshold = 1.0  # admit everything
+        self.size_frozen = False
+        self.similarity_frozen = False
+        self._baseline_size_quality: float | None = None
+        self._baseline_similarity_quality: float | None = None
+
+    # ------------------------------------------------------------------
+    # Group assignment
+    # ------------------------------------------------------------------
+    def group_of(self, user_id: int) -> ABGroup:
+        """Deterministic 50/50 hash split of the user population."""
+        return ABGroup.SIZE if (user_id * 2654435761) % 2 == 0 else ABGroup.SIMILARITY
+
+    # ------------------------------------------------------------------
+    # Epoch advance
+    # ------------------------------------------------------------------
+    def advance_epoch(
+        self,
+        size_group_quality: float,
+        similarity_group_quality: float,
+    ) -> TunerSnapshot:
+        """Fold one epoch's quality per group and adjust thresholds.
+
+        The first call establishes the per-group baselines (thresholds at
+        their neutral values).  Afterwards each un-frozen threshold takes
+        one step per epoch; a step that dropped quality by more than
+        ``max_quality_drop`` is rolled back and the threshold freezes.
+        """
+        if not np.isfinite(size_group_quality) or not np.isfinite(
+            similarity_group_quality
+        ):
+            raise ValueError("group qualities must be finite")
+        self.epoch += 1
+        if (
+            self.reset_every_epochs is not None
+            and self.epoch % self.reset_every_epochs == 0
+        ):
+            self._reset_state()
+
+        if self._baseline_size_quality is None:
+            self._baseline_size_quality = size_group_quality
+            self._baseline_similarity_quality = similarity_group_quality
+        else:
+            if not self.size_frozen:
+                if (
+                    self._baseline_size_quality - size_group_quality
+                    > self.max_quality_drop
+                ):
+                    self.size_threshold = max(0.0, self.size_threshold - self.size_step)
+                    self.size_frozen = True
+                else:
+                    self.size_threshold += self.size_step
+            if not self.similarity_frozen:
+                assert self._baseline_similarity_quality is not None
+                if (
+                    self._baseline_similarity_quality - similarity_group_quality
+                    > self.max_quality_drop
+                ):
+                    self.similarity_threshold = min(
+                        1.0, self.similarity_threshold + self.similarity_step
+                    )
+                    self.similarity_frozen = True
+                else:
+                    self.similarity_threshold = max(
+                        0.0, self.similarity_threshold - self.similarity_step
+                    )
+
+        snapshot = TunerSnapshot(
+            epoch=self.epoch,
+            size_threshold=self.size_threshold,
+            similarity_threshold=self.similarity_threshold,
+            size_frozen=self.size_frozen,
+            similarity_frozen=self.similarity_frozen,
+            size_quality=size_group_quality,
+            similarity_quality=similarity_group_quality,
+        )
+        self.history.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Controller wiring
+    # ------------------------------------------------------------------
+    def controller_for(self, group: ABGroup) -> Controller:
+        """A controller enforcing only the group's threshold (A/B isolation)."""
+        if group is ABGroup.SIZE:
+            return Controller(min_batch_size=self.size_threshold or None)
+        return Controller(
+            max_similarity=(
+                self.similarity_threshold if self.similarity_threshold < 1.0 else None
+            )
+        )
+
+    @property
+    def converged(self) -> bool:
+        """Both thresholds frozen: the procedure found its operating point."""
+        return self.size_frozen and self.similarity_frozen

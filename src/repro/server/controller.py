@@ -1,0 +1,112 @@
+"""The controller: admission control for learning tasks (§2.1, §2.4, §3.5).
+
+The controller prevents computation of tasks with low or no utility, saving
+worker energy *before* the gradient is computed.  Two checks:
+
+* **size check** — the mini-batch bound I-Prof predicted must be at least a
+  threshold (tiny gradients from weak devices add noise, Fig. 3);
+* **similarity check** — tasks whose label distribution is too similar to
+  the global one carry little new information and may be pruned (Fig. 15b
+  drops the *most similar* tasks).
+
+Thresholds may be static values or percentiles of the observed history
+(§3.5 sets the threshold to the n-th percentile of past values, grown
+gradually via A/B testing in production).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.protocol import RejectionReason
+
+__all__ = ["ControllerDecision", "Controller", "PercentileThreshold"]
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """Outcome of the admission check."""
+
+    accepted: bool
+    reason: RejectionReason | None = None
+
+
+class PercentileThreshold:
+    """A threshold defined as a percentile of the value history.
+
+    With fewer than ``min_samples`` observations the threshold is inactive
+    (the A/B-testing bootstrap of §2.4 starts with thresholds at zero).
+    """
+
+    def __init__(self, percentile: float, window: int = 5000, min_samples: int = 20):
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self._history: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self._history.append(float(value))
+
+    def value(self) -> float | None:
+        if len(self._history) < self.min_samples:
+            return None
+        return float(
+            np.percentile(np.fromiter(self._history, dtype=float), self.percentile)
+        )
+
+
+class Controller:
+    """Admission control with static or percentile thresholds.
+
+    Parameters
+    ----------
+    min_batch_size:
+        Static lower bound on the assigned mini-batch size, or a
+        :class:`PercentileThreshold` over past batch sizes, or None.
+    max_similarity:
+        Static upper bound on task similarity, or a
+        :class:`PercentileThreshold` over past similarities (tasks above the
+        percentile are dropped as redundant), or None.
+    """
+
+    def __init__(
+        self,
+        min_batch_size: float | PercentileThreshold | None = None,
+        max_similarity: float | PercentileThreshold | None = None,
+    ) -> None:
+        self.min_batch_size = min_batch_size
+        self.max_similarity = max_similarity
+        self.accepted_count = 0
+        self.rejected_count = 0
+
+    def _size_bound(self) -> float | None:
+        if isinstance(self.min_batch_size, PercentileThreshold):
+            return self.min_batch_size.value()
+        return self.min_batch_size
+
+    def _similarity_bound(self) -> float | None:
+        if isinstance(self.max_similarity, PercentileThreshold):
+            return self.max_similarity.value()
+        return self.max_similarity
+
+    def check(self, batch_size: int, similarity: float) -> ControllerDecision:
+        """Admission decision for one request; records history either way."""
+        size_bound = self._size_bound()
+        sim_bound = self._similarity_bound()
+        if isinstance(self.min_batch_size, PercentileThreshold):
+            self.min_batch_size.observe(batch_size)
+        if isinstance(self.max_similarity, PercentileThreshold):
+            self.max_similarity.observe(similarity)
+
+        if size_bound is not None and batch_size < size_bound:
+            self.rejected_count += 1
+            return ControllerDecision(False, RejectionReason.BATCH_TOO_SMALL)
+        if sim_bound is not None and similarity > sim_bound:
+            self.rejected_count += 1
+            return ControllerDecision(False, RejectionReason.SIMILARITY_TOO_HIGH)
+        self.accepted_count += 1
+        return ControllerDecision(True)

@@ -1,0 +1,82 @@
+"""Wire-format dataclasses for the FLeet worker/server protocol (Fig. 2).
+
+The five protocol steps of §2.1 map onto these types:
+
+1. worker → server: :class:`TaskRequest` (device info + label info);
+2. server: I-Prof bounds the workload (:class:`ProfilerDecision`);
+3. server: AdaSGD computes the task similarity;
+4. server → worker: :class:`TaskAssignment` (model + mini-batch size) or
+   :class:`TaskRejection` when the controller's thresholds fail;
+5. worker → server: :class:`TaskResult` (gradient + measurements).
+
+Only label *indices* and device counters travel upstream — never raw user
+data — preserving the privacy posture of Standard FL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.device import DeviceFeatures
+
+__all__ = [
+    "TaskRequest",
+    "TaskAssignment",
+    "TaskRejection",
+    "TaskResult",
+    "RejectionReason",
+]
+
+
+class RejectionReason(enum.Enum):
+    """Why the controller refused to hand out a learning task."""
+
+    BATCH_TOO_SMALL = "batch_too_small"
+    SIMILARITY_TOO_HIGH = "similarity_too_high"
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """Step 1: a worker asks for a learning task."""
+
+    worker_id: int
+    device_model: str
+    features: DeviceFeatures
+    label_counts: np.ndarray
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """Step 4 (accept): model parameters plus the workload bound."""
+
+    parameters: np.ndarray
+    pull_step: int
+    batch_size: int
+    similarity: float
+
+
+@dataclass(frozen=True)
+class TaskRejection:
+    """Step 4 (reject): the controller refused the request."""
+
+    reason: RejectionReason
+    batch_size: int
+    similarity: float
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Step 5: gradient plus the on-device measurements I-Prof learns from."""
+
+    worker_id: int
+    device_model: str
+    features: DeviceFeatures
+    pull_step: int
+    gradient: np.ndarray
+    label_counts: np.ndarray
+    batch_size: int
+    computation_time_s: float
+    energy_percent: float

@@ -1,0 +1,81 @@
+"""Deadline-aware client selection (Nishio & Yonetani, ICC'19; paper §4).
+
+Standard FL selects a random cohort; FedCS instead selects the largest set
+of clients that can all deliver within a round deadline, using per-client
+time estimates.  FLeet's I-Prof provides exactly those estimates, so this
+module composes the two: given candidate requests and the profiler's
+predicted computation times, pick the cohort greedily (shortest predicted
+time first — the classic maximum-cardinality schedule for a shared
+deadline) and report who was deferred.
+
+This matters for the synchronous-round *variant* of FLeet (aggregation
+parameter K > 1 with a time window): a straggler admitted into a cohort
+holds the whole round hostage, which is precisely what Fig. 3's weak
+workers and Fig. 8's stragglers punish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CandidateClient", "SelectionResult", "select_cohort"]
+
+
+@dataclass(frozen=True)
+class CandidateClient:
+    """One client volunteering for a round, with profiler estimates."""
+
+    worker_id: int
+    predicted_time_s: float
+    # Upload time estimate (codec wire size / network throughput).
+    predicted_upload_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.predicted_time_s + self.predicted_upload_s
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a cohort selection."""
+
+    selected: tuple[int, ...]
+    deferred: tuple[int, ...]
+    predicted_round_s: float
+
+
+def select_cohort(
+    candidates: list[CandidateClient],
+    round_deadline_s: float,
+    max_cohort: int | None = None,
+) -> SelectionResult:
+    """Largest cohort whose members all finish within the deadline.
+
+    With a shared deadline (everyone computes in parallel, the round ends
+    when the last selected client reports), admitting clients in increasing
+    predicted-time order and stopping at the first one that would exceed
+    the deadline yields the maximum-cardinality feasible cohort.
+    """
+    if round_deadline_s <= 0:
+        raise ValueError("round deadline must be positive")
+    if max_cohort is not None and max_cohort <= 0:
+        raise ValueError("max_cohort must be positive")
+    ordered = sorted(candidates, key=lambda c: c.total_s)
+    selected: list[int] = []
+    deferred: list[int] = []
+    slowest = 0.0
+    for candidate in ordered:
+        within_deadline = candidate.total_s <= round_deadline_s
+        has_room = max_cohort is None or len(selected) < max_cohort
+        if within_deadline and has_room:
+            selected.append(candidate.worker_id)
+            slowest = max(slowest, candidate.total_s)
+        else:
+            deferred.append(candidate.worker_id)
+    return SelectionResult(
+        selected=tuple(selected),
+        deferred=tuple(deferred),
+        predicted_round_s=slowest,
+    )

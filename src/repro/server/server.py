@@ -1,0 +1,127 @@
+"""The FLeet server: I-Prof + controller + AdaSGD behind one endpoint.
+
+``FleetServer.handle_request`` runs protocol steps 2-4 of Figure 2 (workload
+bound, similarity, admission check) and ``handle_result`` runs the server
+half of step 5 (profiler feedback + staleness-aware model update).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adasgd import GradientUpdate, StalenessAwareServer
+from repro.profiler.iprof import IProf, SLO
+from repro.server.controller import Controller
+from repro.server.protocol import (
+    RejectionReason,
+    TaskAssignment,
+    TaskRejection,
+    TaskRequest,
+    TaskResult,
+)
+
+__all__ = ["FleetServer"]
+
+
+class FleetServer:
+    """Service-provider side of the middleware.
+
+    Parameters
+    ----------
+    optimizer:
+        A configured :class:`StalenessAwareServer` (e.g. via ``make_adasgd``).
+    profiler:
+        I-Prof (or any object with the same recommend/report interface, such
+        as :class:`repro.profiler.maui.MauiProfiler` for baselines).
+    controller:
+        Admission control; a default permissive controller if omitted.
+    slo:
+        The service-level objective advertised to workers.
+    """
+
+    def __init__(
+        self,
+        optimizer: StalenessAwareServer,
+        profiler: IProf,
+        slo: SLO,
+        controller: Controller | None = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.profiler = profiler
+        self.slo = slo
+        self.controller = controller or Controller()
+        self.assignments_issued = 0
+        self.results_applied = 0
+        self.rejections: list[TaskRejection] = []
+
+    # ------------------------------------------------------------------
+    # Steps 2-4: request handling
+    # ------------------------------------------------------------------
+    def handle_request(self, request: TaskRequest) -> TaskAssignment | TaskRejection:
+        """Bound the workload, compute similarity, run the admission check."""
+        decision = self.profiler.recommend(
+            request.device_model, request.features.as_vector(), self.slo
+        )
+        similarity = self.optimizer.similarity_of(
+            GradientUpdate(
+                gradient=np.zeros(0),
+                pull_step=self.optimizer.clock,
+                label_counts=request.label_counts,
+            )
+        )
+        admission = self.controller.check(decision.batch_size, similarity)
+        if not admission.accepted:
+            rejection = TaskRejection(
+                reason=admission.reason,
+                batch_size=decision.batch_size,
+                similarity=similarity,
+            )
+            self.rejections.append(rejection)
+            return rejection
+
+        parameters, pull_step = self.optimizer.pull()
+        self.assignments_issued += 1
+        return TaskAssignment(
+            parameters=parameters,
+            pull_step=pull_step,
+            batch_size=decision.batch_size,
+            similarity=similarity,
+        )
+
+    # ------------------------------------------------------------------
+    # Step 5 (server side): result handling
+    # ------------------------------------------------------------------
+    def handle_result(self, result: TaskResult) -> bool:
+        """Feed the profiler and fold the gradient into the global model.
+
+        Returns True when the submission triggered a model update.
+        """
+        self.profiler.report(
+            result.device_model,
+            result.features.as_vector(),
+            result.batch_size,
+            computation_time_s=result.computation_time_s,
+            energy_percent=result.energy_percent,
+        )
+        update = GradientUpdate(
+            gradient=result.gradient,
+            pull_step=result.pull_step,
+            label_counts=result.label_counts,
+            batch_size=result.batch_size,
+            worker_id=result.worker_id,
+        )
+        updated = self.optimizer.submit(update)
+        if updated:
+            self.results_applied += 1
+        return updated
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def current_parameters(self) -> np.ndarray:
+        """The canonical global model vector."""
+        return self.optimizer.current_parameters()
+
+    @property
+    def clock(self) -> int:
+        return self.optimizer.clock

@@ -1,0 +1,166 @@
+"""Server-side telemetry: counters, gauges and latency summaries.
+
+The paper's FLeet server is an HTTP web application; any production
+deployment of such a middleware exports operational metrics (request rates,
+rejection ratios, staleness quantiles, SLO deviations).  This module is the
+minimal metrics registry the rest of the repo reports into — enough to
+drive the EXPERIMENTS.md summaries and the CLI status output without any
+external monitoring dependency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. in-flight tasks)."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not np.isfinite(value):
+            raise ValueError("gauge values must be finite")
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Summary:
+    """Sliding-window distribution with percentile queries.
+
+    Used for the quantities the paper reports as CDFs: SLO deviation
+    (Figs. 12-13), staleness (Fig. 7), round-trip latency.
+    """
+
+    def __init__(self, name: str, description: str = "", window: int = 100_000):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.description = description
+        self._values: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        if not np.isfinite(value):
+            raise ValueError("summary observations must be finite")
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of the window; NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(np.fromiter(self._values, dtype=float), q))
+
+    def mean(self) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.mean(np.fromiter(self._values, dtype=float)))
+
+    def max(self) -> float:
+        if not self._values:
+            return float("nan")
+        return max(self._values)
+
+
+@dataclass(frozen=True)
+class _MetricRow:
+    """One line of the rendered metrics report."""
+
+    kind: str
+    name: str
+    rendering: str
+
+
+class MetricsRegistry:
+    """Namespace of metrics with idempotent creation and a text report."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._summaries: dict[str, Summary] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create a counter (same name → same object)."""
+        if name not in self._counters:
+            self._check_unique(name, self._counters)
+            self._counters[name] = Counter(name, description)
+        return self._counters[name]
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get or create a gauge."""
+        if name not in self._gauges:
+            self._check_unique(name, self._gauges)
+            self._gauges[name] = Gauge(name, description)
+        return self._gauges[name]
+
+    def summary(self, name: str, description: str = "", window: int = 100_000) -> Summary:
+        """Get or create a summary."""
+        if name not in self._summaries:
+            self._check_unique(name, self._summaries)
+            self._summaries[name] = Summary(name, description, window)
+        return self._summaries[name]
+
+    def _check_unique(self, name: str, own_kind: dict) -> None:
+        for registry in (self._counters, self._gauges, self._summaries):
+            if registry is not own_kind and name in registry:
+                raise ValueError(f"metric {name!r} already exists with another kind")
+
+    def report(self) -> str:
+        """Human-readable dump of every metric (CLI `repro status` style)."""
+        rows: list[_MetricRow] = []
+        for counter in self._counters.values():
+            rows.append(_MetricRow("counter", counter.name, str(counter.value)))
+        for gauge in self._gauges.values():
+            rows.append(_MetricRow("gauge", gauge.name, f"{gauge.value:.6g}"))
+        for summary in self._summaries.values():
+            if summary.count == 0:
+                rendering = "(empty)"
+            else:
+                rendering = (
+                    f"n={summary.count} mean={summary.mean():.4g} "
+                    f"p50={summary.percentile(50):.4g} "
+                    f"p90={summary.percentile(90):.4g} "
+                    f"p99={summary.percentile(99):.4g} max={summary.max():.4g}"
+                )
+            rows.append(_MetricRow("summary", summary.name, rendering))
+        rows.sort(key=lambda row: (row.kind, row.name))
+        width = max((len(row.name) for row in rows), default=0)
+        lines = [f"{row.name:<{width}}  [{row.kind}]  {row.rendering}" for row in rows]
+        return "\n".join(lines)

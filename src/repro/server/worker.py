@@ -1,0 +1,92 @@
+"""Worker runtime: the library embedded in the mobile ML application.
+
+A worker owns (a) a shard of local training data, (b) a simulated device it
+runs on, and (c) a local replica of the model architecture used to compute
+gradients.  It executes the protocol of Figure 2: request a task with label
+and device info, compute one mini-batch gradient on the assigned model
+snapshot, and push the gradient back together with the measured cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sampling import sample_minibatch
+from repro.devices.device import SimulatedDevice
+from repro.nn.models import Sequential
+from repro.server.protocol import TaskAssignment, TaskRequest, TaskResult
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """One FL participant: local data + device + model replica."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Sequential,
+        data_x: np.ndarray,
+        data_y: np.ndarray,
+        num_labels: int,
+        device: SimulatedDevice,
+        rng: np.random.Generator,
+    ) -> None:
+        if data_x.shape[0] != data_y.shape[0]:
+            raise ValueError("data_x and data_y disagree on example count")
+        self.worker_id = worker_id
+        self.model = model
+        self.data_x = data_x
+        self.data_y = data_y
+        self.num_labels = num_labels
+        self.device = device
+        self._rng = rng
+
+    @property
+    def num_examples(self) -> int:
+        return self.data_x.shape[0]
+
+    def label_counts(self) -> np.ndarray:
+        """Label histogram of the local dataset (the request's label info)."""
+        return np.bincount(
+            self.data_y.astype(np.int64), minlength=self.num_labels
+        ).astype(np.float64)
+
+    def build_request(self) -> TaskRequest:
+        """Step 1: label info + device info."""
+        return TaskRequest(
+            worker_id=self.worker_id,
+            device_model=self.device.spec.name,
+            features=self.device.features(),
+            label_counts=self.label_counts(),
+        )
+
+    def execute_assignment(self, assignment: TaskAssignment) -> TaskResult:
+        """Step 5: sample a mini-batch, compute the gradient, measure cost."""
+        batch_size = min(assignment.batch_size, self.num_examples)
+        if batch_size <= 0:
+            raise ValueError("worker has no local data to train on")
+        indices = sample_minibatch(
+            np.arange(self.num_examples), batch_size, self._rng
+        )
+        xb, yb = self.data_x[indices], self.data_y[indices]
+
+        self.model.set_parameters(assignment.parameters)
+        _, gradient = self.model.compute_gradient(xb, yb)
+
+        features = self.device.features()
+        measurement = self.device.execute(batch_size)
+        batch_counts = np.bincount(
+            yb.astype(np.int64), minlength=self.num_labels
+        ).astype(np.float64)
+        return TaskResult(
+            worker_id=self.worker_id,
+            device_model=self.device.spec.name,
+            features=features,
+            pull_step=assignment.pull_step,
+            gradient=gradient,
+            label_counts=batch_counts,
+            batch_size=batch_size,
+            computation_time_s=measurement.computation_time_s,
+            energy_percent=measurement.energy_percent,
+        )

@@ -1,0 +1,68 @@
+"""Event-driven and controlled-staleness simulations of the FLeet deployment."""
+
+from repro.simulation.events import EventLoop
+from repro.simulation.fleet_sim import (
+    FleetSimConfig,
+    FleetSimResult,
+    FleetSimulation,
+    ParticipantState,
+)
+from repro.simulation.latency import (
+    COMPUTE_MEAN_S,
+    NETWORK_3G_S,
+    NETWORK_4G_S,
+    ShiftedExponentialLatency,
+    paper_latency_model,
+)
+from repro.simulation.online import OnlineComparisonResult, run_online_comparison
+from repro.simulation.runner import TaskContext, TrainingCurve, run_staleness_experiment
+from repro.simulation.drift import QualityDriftDetector
+from repro.simulation.stragglers import DynamicStragglerDetector
+from repro.simulation.standard_fl import (
+    EligibilityPolicy,
+    FreshnessReport,
+    ParticipantProfile,
+    eligibility_fraction,
+    simulate_freshness,
+)
+from repro.simulation.staleness import (
+    D1,
+    D2,
+    ConstantStaleness,
+    GaussianStaleness,
+    LongTail,
+    StalenessProcess,
+    staleness_from_timestamps,
+)
+
+__all__ = [
+    "EventLoop",
+    "FleetSimConfig",
+    "FleetSimResult",
+    "FleetSimulation",
+    "ParticipantState",
+    "ShiftedExponentialLatency",
+    "paper_latency_model",
+    "NETWORK_4G_S",
+    "NETWORK_3G_S",
+    "COMPUTE_MEAN_S",
+    "OnlineComparisonResult",
+    "run_online_comparison",
+    "TaskContext",
+    "TrainingCurve",
+    "run_staleness_experiment",
+    "StalenessProcess",
+    "GaussianStaleness",
+    "ConstantStaleness",
+    "LongTail",
+    "D1",
+    "D2",
+    "staleness_from_timestamps",
+    "EligibilityPolicy",
+    "ParticipantProfile",
+    "FreshnessReport",
+    "eligibility_fraction",
+    "simulate_freshness",
+    "DynamicStragglerDetector",
+    "QualityDriftDetector",
+]

@@ -1,0 +1,72 @@
+"""Concept-drift monitoring for online learning quality (paper §1, §3.1).
+
+Online FL exists because data "become obsolete in a matter of hours or even
+minutes".  This module provides the monitoring half of that argument: a
+sliding-window drift detector over a quality metric stream (per-chunk F1 in
+the Fig. 6 experiment) that flags when the current model has gone stale.
+The detector is a two-window mean test (a Page-Hinkley/ADWIN-style
+simplification): drift is declared when the recent window's mean quality
+drops below the reference window's mean by more than ``threshold``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["QualityDriftDetector"]
+
+
+class QualityDriftDetector:
+    """Two-window mean-shift detector over a metric stream."""
+
+    def __init__(
+        self,
+        reference_window: int = 24,
+        recent_window: int = 6,
+        threshold: float = 0.1,
+    ) -> None:
+        if reference_window <= 0 or recent_window <= 0:
+            raise ValueError("window sizes must be positive")
+        if recent_window >= reference_window:
+            raise ValueError("recent window must be shorter than the reference")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self._reference: deque[float] = deque(maxlen=reference_window)
+        self._recent: deque[float] = deque(maxlen=recent_window)
+        self.drifts_detected = 0
+
+    def observe(self, quality: float) -> bool:
+        """Record one metric value; returns True when drift is declared.
+
+        On detection the reference window resets to the recent one, so
+        consecutive chunks of the same degraded regime do not re-trigger.
+        """
+        self._recent.append(float(quality))
+        drift = False
+        if (
+            len(self._reference) == self._reference.maxlen
+            and len(self._recent) == self._recent.maxlen
+        ):
+            gap = float(np.mean(self._reference)) - float(np.mean(self._recent))
+            if gap > self.threshold:
+                drift = True
+                self.drifts_detected += 1
+                self._reference.clear()
+                self._reference.extend(self._recent)
+        self._reference.append(float(quality))
+        return drift
+
+    @property
+    def reference_mean(self) -> float | None:
+        if not self._reference:
+            return None
+        return float(np.mean(self._reference))
+
+    @property
+    def recent_mean(self) -> float | None:
+        if not self._recent:
+            return None
+        return float(np.mean(self._recent))

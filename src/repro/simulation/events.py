@@ -1,0 +1,61 @@
+"""Minimal discrete-event engine for wall-clock middleware simulations.
+
+The controlled-staleness runner injects staleness analytically; the
+full-middleware integration (profiler + controller + asynchronous workers
+racing each other) instead runs on virtual time through this engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Priority-queue event loop with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), action))
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._queue, (when, next(self._counter), action))
+
+    def run_until(self, horizon: float) -> None:
+        """Process events until the queue drains or time passes ``horizon``."""
+        while self._queue and self._queue[0][0] <= horizon:
+            when, _, action = heapq.heappop(self._queue)
+            self.now = when
+            self.events_processed += 1
+            action()
+        self.now = max(self.now, horizon)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue completely (bounded to catch runaway loops)."""
+        processed = 0
+        while self._queue:
+            when, _, action = heapq.heappop(self._queue)
+            self.now = when
+            self.events_processed += 1
+            action()
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events})")
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,55 @@
+"""Round-trip latency models (paper §3.1, staleness-distribution study).
+
+The paper assumes the per-update round-trip latency (gradient computation +
+network) follows an exponential distribution, with the minimum set by the
+fastest path (6 s computation + 1.1 s on 4G LTE = 7.1 s) and the mean at
+8.45 s (average of the 4G and 3G network estimates).  These constants are
+exposed so Fig. 7's study is regenerable verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NETWORK_4G_S",
+    "NETWORK_3G_S",
+    "COMPUTE_MEAN_S",
+    "ShiftedExponentialLatency",
+    "paper_latency_model",
+]
+
+# Network latency for moving a 123,330-parameter model + gradient (§3.1).
+NETWORK_4G_S = 1.1
+NETWORK_3G_S = 3.8
+# Average gradient-computation latency measured on the Raspberry Pi worker.
+COMPUTE_MEAN_S = 6.0
+
+
+class ShiftedExponentialLatency:
+    """Exponential round-trip latency with a hard minimum.
+
+    ``sample()`` returns ``minimum + Exp(mean - minimum)`` so the mean of
+    the distribution equals ``mean``.
+    """
+
+    def __init__(self, minimum_s: float, mean_s: float, rng: np.random.Generator):
+        if minimum_s < 0:
+            raise ValueError("minimum latency must be non-negative")
+        if mean_s <= minimum_s:
+            raise ValueError("mean latency must exceed the minimum")
+        self.minimum_s = minimum_s
+        self.mean_s = mean_s
+        self._rng = rng
+
+    def sample(self, size: int | None = None) -> float | np.ndarray:
+        scale = self.mean_s - self.minimum_s
+        draw = self._rng.exponential(scale, size=size)
+        return self.minimum_s + draw
+
+
+def paper_latency_model(rng: np.random.Generator) -> ShiftedExponentialLatency:
+    """The exact §3.1 parameterization: min 7.1 s, mean 8.45 s."""
+    minimum = COMPUTE_MEAN_S + NETWORK_4G_S
+    mean = COMPUTE_MEAN_S + (NETWORK_4G_S + NETWORK_3G_S) / 2.0
+    return ShiftedExponentialLatency(minimum, mean, rng)

@@ -1,0 +1,144 @@
+"""Controlled-staleness training runner (paper §3.2, Figs. 8-11, 15).
+
+To compare SGD variants under *identical* staleness, the paper injects
+staleness from a known distribution instead of relying on wall-clock racing.
+The runner reproduces that protocol:
+
+1. keep a bounded history of past model versions;
+2. for each learning task, draw τ from the staleness process and hand the
+   worker the model that is τ updates old;
+3. the worker's gradient is submitted with ``pull_step = clock − τ`` so the
+   server observes exactly the injected staleness;
+4. accuracy on the held-out test set is recorded every ``eval_every`` steps.
+
+The same loop serves every algorithm because they differ only in the server
+object (see :mod:`repro.core.adasgd`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adasgd import GradientUpdate, StalenessAwareServer
+from repro.core.dp import gaussian_mechanism
+from repro.data.federated_split import UserPartition
+from repro.data.sampling import sample_minibatch
+from repro.data.synthetic_images import ImageDataset
+from repro.nn.models import Sequential
+from repro.simulation.staleness import ConstantStaleness, StalenessProcess
+
+__all__ = ["TaskContext", "TrainingCurve", "run_staleness_experiment"]
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """What a staleness process may condition on (Fig. 9 predicates)."""
+
+    worker_id: int
+    labels: np.ndarray
+
+
+@dataclass
+class TrainingCurve:
+    """Accuracy trajectory of one run."""
+
+    steps: list[int] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    per_class: list[np.ndarray] = field(default_factory=list)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.steps), np.asarray(self.accuracy)
+
+    def final_accuracy(self) -> float:
+        return self.accuracy[-1] if self.accuracy else 0.0
+
+
+def run_staleness_experiment(
+    server: StalenessAwareServer,
+    model: Sequential,
+    dataset: ImageDataset,
+    partition: UserPartition,
+    staleness: StalenessProcess | None,
+    num_steps: int,
+    rng: np.random.Generator,
+    batch_size: int = 100,
+    eval_every: int = 50,
+    eval_size: int | None = None,
+    history_limit: int = 256,
+    noise_multiplier: float = 0.0,
+    clip_norm: float = 1.0,
+    track_class: int | None = None,
+    batch_size_sampler: Callable[[np.random.Generator], int] | None = None,
+) -> TrainingCurve:
+    """Train ``server``'s model for ``num_steps`` updates under staleness.
+
+    Parameters mirror the paper's setup: ``batch_size`` 100, K folded into
+    the server object, optional differentially private noise
+    (``noise_multiplier`` > 0 perturbs worker gradients as in Fig. 11), and
+    ``track_class`` records per-class accuracy for the Fig. 9 study.
+    ``batch_size_sampler`` overrides the fixed batch size per task (Fig. 15
+    draws batch sizes from N(100, 33)).
+    """
+    staleness = staleness or ConstantStaleness(0)
+    history: deque[np.ndarray] = deque(maxlen=history_limit)
+    history.append(server.current_parameters())
+    curve = TrainingCurve()
+
+    eval_x, eval_y = dataset.test_x, dataset.test_y
+    if eval_size is not None and eval_size < eval_x.shape[0]:
+        pick = rng.choice(eval_x.shape[0], size=eval_size, replace=False)
+        eval_x, eval_y = eval_x[pick], eval_y[pick]
+
+    num_users = partition.num_users
+    while server.clock < num_steps:
+        worker_id = int(rng.integers(num_users))
+        indices = partition.user_indices[worker_id]
+        if indices.size == 0:
+            continue
+        task_batch = (
+            batch_size_sampler(rng) if batch_size_sampler is not None else batch_size
+        )
+        task_batch = max(1, min(task_batch, indices.size))
+        chosen = sample_minibatch(indices, task_batch, rng)
+        xb, yb = dataset.train_x[chosen], dataset.train_y[chosen]
+
+        tau = staleness.sample(TaskContext(worker_id=worker_id, labels=yb))
+        tau = min(tau, len(history) - 1)
+        stale_params = history[len(history) - 1 - tau]
+
+        model.set_parameters(stale_params)
+        _, gradient = model.compute_gradient(xb, yb)
+        if noise_multiplier > 0.0:
+            gradient = gaussian_mechanism(gradient, clip_norm, noise_multiplier, rng)
+
+        label_counts = np.bincount(
+            yb.astype(np.int64), minlength=dataset.num_classes
+        ).astype(np.float64)
+        updated = server.submit(
+            GradientUpdate(
+                gradient=gradient,
+                pull_step=server.clock - tau,
+                label_counts=label_counts,
+                batch_size=task_batch,
+                worker_id=worker_id,
+            )
+        )
+        if updated:
+            history.append(server.current_parameters())
+            if server.clock % eval_every == 0 or server.clock == num_steps:
+                model.set_parameters(server.current_parameters())
+                acc = model.evaluate_accuracy(eval_x, eval_y)
+                curve.steps.append(server.clock)
+                curve.accuracy.append(acc)
+                if track_class is not None:
+                    mask = eval_y == track_class
+                    if mask.any():
+                        preds = model.predict(eval_x[mask])
+                        curve.per_class.append(
+                            np.array([float((preds == track_class).mean())])
+                        )
+    return curve

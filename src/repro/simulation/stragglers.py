@@ -1,0 +1,64 @@
+"""Dynamic straggler detection (paper §2.3; Ouyang et al. [64]).
+
+AdaSGD's system parameter s% — the expected fraction of non-stragglers —
+"can be adapted dynamically".  This module implements the adaptive scheme
+the paper cites: a straggler threshold computed from the running latency
+distribution (median + k·MAD by default, the standard robust rule), which
+the service provider can feed back into AdaSGD's staleness percentile.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DynamicStragglerDetector"]
+
+
+class DynamicStragglerDetector:
+    """Online straggler detection over a sliding latency window.
+
+    A completed task is a straggler when its latency exceeds
+    ``median + k · MAD`` of the recent window (MAD = median absolute
+    deviation, scaled by 1.4826 to be σ-consistent for Gaussians).
+    """
+
+    def __init__(self, k: float = 3.0, window: int = 500, min_samples: int = 20):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        self.k = k
+        self.min_samples = min_samples
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.stragglers_seen = 0
+        self.total_seen = 0
+
+    def observe(self, latency_s: float) -> bool:
+        """Record one completed task; returns True if it is a straggler."""
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        is_straggler = False
+        threshold = self.threshold()
+        if threshold is not None and latency_s > threshold:
+            is_straggler = True
+            self.stragglers_seen += 1
+        self.total_seen += 1
+        self._latencies.append(float(latency_s))
+        return is_straggler
+
+    def threshold(self) -> float | None:
+        """Current straggler latency threshold (None while warming up)."""
+        if len(self._latencies) < self.min_samples:
+            return None
+        values = np.fromiter(self._latencies, dtype=float)
+        median = float(np.median(values))
+        mad = float(np.median(np.abs(values - median))) * 1.4826
+        return median + self.k * max(mad, 1e-12)
+
+    def non_straggler_percent(self) -> float:
+        """The s% estimate AdaSGD consumes (100 until warmed up)."""
+        if self.total_seen == 0:
+            return 100.0
+        return 100.0 * (1.0 - self.stragglers_seen / self.total_seen)

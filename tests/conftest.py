@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_images import make_image_dataset
+from repro.devices import SimulatedDevice, get_spec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A fast 6-class dataset for convergence smoke tests."""
+    return make_image_dataset(
+        num_classes=6,
+        channels=1,
+        side=12,
+        train_per_class=30,
+        test_per_class=10,
+        seed=7,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def galaxy_s7(rng) -> SimulatedDevice:
+    return SimulatedDevice(get_spec("Galaxy S7"), rng)

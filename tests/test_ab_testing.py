@@ -1,0 +1,133 @@
+"""Tests for the §2.4 A/B threshold-tuning procedure (server.ab_testing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.ab_testing import ABGroup, ABThresholdTuner
+
+
+class TestGroupAssignment:
+    def test_deterministic(self):
+        tuner = ABThresholdTuner()
+        for user in range(50):
+            assert tuner.group_of(user) is tuner.group_of(user)
+
+    def test_roughly_balanced(self):
+        tuner = ABThresholdTuner()
+        groups = [tuner.group_of(user) for user in range(1000)]
+        size_share = sum(1 for g in groups if g is ABGroup.SIZE) / len(groups)
+        assert 0.35 <= size_share <= 0.65
+
+
+class TestEpochAdvance:
+    def test_first_epoch_sets_baseline_without_moving(self):
+        tuner = ABThresholdTuner(size_step=5.0, similarity_step=0.05)
+        snapshot = tuner.advance_epoch(0.8, 0.8)
+        assert snapshot.size_threshold == 0.0
+        assert snapshot.similarity_threshold == 1.0
+        assert not snapshot.size_frozen and not snapshot.similarity_frozen
+
+    def test_thresholds_tighten_while_quality_holds(self):
+        tuner = ABThresholdTuner(size_step=5.0, similarity_step=0.05)
+        tuner.advance_epoch(0.8, 0.8)
+        snapshot = tuner.advance_epoch(0.8, 0.8)
+        assert snapshot.size_threshold == 5.0
+        assert snapshot.similarity_threshold == pytest.approx(0.95)
+        snapshot = tuner.advance_epoch(0.79, 0.79)  # within tolerance
+        assert snapshot.size_threshold == 10.0
+        assert snapshot.similarity_threshold == pytest.approx(0.90)
+
+    def test_quality_drop_freezes_and_rolls_back_size(self):
+        tuner = ABThresholdTuner(size_step=5.0, max_quality_drop=0.02)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)  # size: 5
+        snapshot = tuner.advance_epoch(0.7, 0.8)  # size group tanked
+        assert snapshot.size_frozen
+        assert snapshot.size_threshold == 0.0  # rolled back one step
+        assert not snapshot.similarity_frozen
+
+    def test_quality_drop_freezes_and_rolls_back_similarity(self):
+        tuner = ABThresholdTuner(similarity_step=0.05, max_quality_drop=0.02)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)  # similarity: 0.95
+        snapshot = tuner.advance_epoch(0.8, 0.7)
+        assert snapshot.similarity_frozen
+        assert snapshot.similarity_threshold == pytest.approx(1.0)
+        assert not snapshot.size_frozen
+
+    def test_frozen_thresholds_stop_moving(self):
+        tuner = ABThresholdTuner(size_step=5.0)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.5, 0.5)  # both freeze
+        frozen = tuner.advance_epoch(0.9, 0.9)
+        assert frozen.size_threshold == tuner.history[-2].size_threshold
+        assert frozen.similarity_threshold == pytest.approx(
+            tuner.history[-2].similarity_threshold
+        )
+        assert tuner.converged
+
+    def test_similarity_threshold_floor_zero(self):
+        tuner = ABThresholdTuner(similarity_step=0.5)
+        tuner.advance_epoch(0.8, 0.8)
+        for _ in range(5):
+            snapshot = tuner.advance_epoch(0.8, 0.8)
+        assert snapshot.similarity_threshold == 0.0
+
+    def test_periodic_reset(self):
+        tuner = ABThresholdTuner(size_step=5.0, reset_every_epochs=3)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)
+        assert tuner.size_threshold == 5.0
+        snapshot = tuner.advance_epoch(0.8, 0.8)  # epoch 3 → reset
+        assert snapshot.size_threshold == 0.0
+        assert snapshot.similarity_threshold == 1.0
+        assert not tuner.converged
+
+    def test_non_finite_quality_rejected(self):
+        tuner = ABThresholdTuner()
+        with pytest.raises(ValueError):
+            tuner.advance_epoch(float("nan"), 0.5)
+        with pytest.raises(ValueError):
+            tuner.advance_epoch(0.5, float("inf"))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            ABThresholdTuner(size_step=0.0)
+        with pytest.raises(ValueError):
+            ABThresholdTuner(similarity_step=-1.0)
+        with pytest.raises(ValueError):
+            ABThresholdTuner(max_quality_drop=-0.01)
+        with pytest.raises(ValueError):
+            ABThresholdTuner(reset_every_epochs=0)
+
+    def test_history_records_every_epoch(self):
+        tuner = ABThresholdTuner()
+        for i in range(4):
+            tuner.advance_epoch(0.8, 0.8)
+        assert [snap.epoch for snap in tuner.history] == [1, 2, 3, 4]
+
+
+class TestControllerWiring:
+    def test_size_group_controller_enforces_size_only(self):
+        tuner = ABThresholdTuner(size_step=10.0)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)  # size threshold: 10
+        controller = tuner.controller_for(ABGroup.SIZE)
+        assert not controller.check(batch_size=5, similarity=1.0).accepted
+        assert controller.check(batch_size=50, similarity=1.0).accepted
+
+    def test_similarity_group_controller_enforces_similarity_only(self):
+        tuner = ABThresholdTuner(similarity_step=0.2)
+        tuner.advance_epoch(0.8, 0.8)
+        tuner.advance_epoch(0.8, 0.8)  # similarity threshold: 0.8
+        controller = tuner.controller_for(ABGroup.SIMILARITY)
+        assert not controller.check(batch_size=1, similarity=0.95).accepted
+        assert controller.check(batch_size=1, similarity=0.5).accepted
+
+    def test_neutral_thresholds_admit_everything(self):
+        tuner = ABThresholdTuner()
+        for group in ABGroup:
+            controller = tuner.controller_for(group)
+            assert controller.check(batch_size=1, similarity=1.0).accepted

@@ -1,0 +1,82 @@
+"""Tests for the user-activity model and quiet-window scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import UserActivityModel, find_quiet_window
+
+
+class TestActivityModel:
+    def test_intensity_bounds(self):
+        model = UserActivityModel(seed=0)
+        times = np.linspace(0, 24 * 3600, 500)
+        values = [model.intensity(float(t)) for t in times]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_zero_outside_sessions(self):
+        model = UserActivityModel(seed=1)
+        outside = [
+            t for t in np.linspace(0, 24 * 3600, 1000) if not model.in_session(float(t))
+        ]
+        assert outside, "model should have idle gaps"
+        assert all(model.intensity(float(t)) == 0.0 for t in outside[:50])
+
+    def test_sessions_exist(self):
+        model = UserActivityModel(seed=2)
+        inside = [
+            t for t in np.linspace(0, 24 * 3600, 2000) if model.in_session(float(t))
+        ]
+        assert len(inside) > 10
+
+    def test_deterministic(self):
+        a = UserActivityModel(seed=3)
+        b = UserActivityModel(seed=3)
+        for t in np.linspace(0, 86400, 100):
+            assert a.intensity(float(t)) == b.intensity(float(t))
+
+    def test_different_seeds_differ(self):
+        a = UserActivityModel(seed=4)
+        b = UserActivityModel(seed=5)
+        values_a = [a.in_session(float(t)) for t in np.linspace(0, 86400, 300)]
+        values_b = [b.in_session(float(t)) for t in np.linspace(0, 86400, 300)]
+        assert values_a != values_b
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            UserActivityModel(interaction_duty_cycle=0.0)
+
+
+class TestQuietWindow:
+    def test_finds_idle_gap(self):
+        model = UserActivityModel(seed=6)
+        # Find a time with no session, then the scheduler must accept it.
+        for t in np.linspace(0, 86400, 2000):
+            if not model.in_session(float(t)) and not model.in_session(float(t) + 120):
+                start = find_quiet_window(model, float(t), duration_s=60.0)
+                assert start is not None
+                assert start >= t
+                return
+        pytest.skip("no idle gap in this seed")
+
+    def test_respects_duration(self):
+        model = UserActivityModel(seed=7)
+        window = find_quiet_window(model, 0.0, duration_s=120.0, threshold=0.2)
+        if window is not None:
+            for probe in np.arange(window, window + 120.0, 15.0):
+                assert model.intensity(float(probe)) <= 0.2
+
+    def test_none_when_user_always_active(self):
+        model = UserActivityModel(
+            seed=8, session_rate_per_hour=1000.0, mean_session_minutes=600.0,
+            interaction_duty_cycle=1.0,
+        )
+        window = find_quiet_window(
+            model, 12 * 3600.0, duration_s=300.0, horizon_s=900.0, threshold=0.01
+        )
+        assert window is None
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            find_quiet_window(UserActivityModel(seed=9), 0.0, duration_s=0.0)

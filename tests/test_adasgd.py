@@ -1,0 +1,266 @@
+"""Tests for the staleness-aware server (Equation 3) and its factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adasgd import (
+    GradientUpdate,
+    StalenessAwareServer,
+    make_adasgd,
+    make_dynsgd,
+    make_fedavg,
+    make_ssgd,
+)
+from repro.core.dampening import ConstantDampening, ExponentialDampening, InverseDampening
+from repro.core.similarity import GlobalLabelTracker
+
+
+def _update(grad, pull_step, labels=None, worker=0):
+    return GradientUpdate(
+        gradient=np.asarray(grad, dtype=np.float64),
+        pull_step=pull_step,
+        label_counts=None if labels is None else np.asarray(labels, dtype=np.float64),
+        worker_id=worker,
+    )
+
+
+class TestBasicUpdates:
+    def test_fresh_gradient_applied_fully(self):
+        server = make_ssgd(np.zeros(2), learning_rate=1.0)
+        server.submit(_update([1.0, -1.0], pull_step=0))
+        assert np.allclose(server.current_parameters(), [-1.0, 1.0])
+        assert server.clock == 1
+
+    def test_learning_rate_scales_update(self):
+        server = make_ssgd(np.zeros(1), learning_rate=0.25)
+        server.submit(_update([4.0], 0))
+        assert np.allclose(server.current_parameters(), [-1.0])
+
+    def test_clock_advances_once_per_update(self):
+        server = make_ssgd(np.zeros(1), learning_rate=0.1)
+        for step in range(5):
+            server.submit(_update([1.0], step))
+        assert server.clock == 5
+
+    def test_shape_mismatch_rejected(self):
+        server = make_ssgd(np.zeros(3))
+        with pytest.raises(ValueError):
+            server.submit(_update([1.0], 0))
+
+    def test_pull_returns_copy_and_clock(self):
+        server = make_ssgd(np.array([1.0, 2.0]))
+        params, step = server.pull()
+        params[...] = 0.0
+        assert np.allclose(server.current_parameters(), [1.0, 2.0])
+        assert step == 0
+
+    def test_future_pull_step_rejected(self):
+        server = make_ssgd(np.zeros(1))
+        with pytest.raises(ValueError):
+            server.submit(_update([1.0], pull_step=5))
+
+
+class TestStalenessBookkeeping:
+    def test_staleness_recorded(self):
+        server = make_dynsgd(np.zeros(1), learning_rate=0.1)
+        server.submit(_update([1.0], 0))   # tau 0
+        server.submit(_update([1.0], 0))   # tau 1
+        server.submit(_update([1.0], 0))   # tau 2
+        assert list(server.applied_staleness()) == [0.0, 1.0, 2.0]
+
+    def test_dynsgd_weights_follow_inverse(self):
+        server = make_dynsgd(np.zeros(1), learning_rate=1.0)
+        server.submit(_update([1.0], 0))
+        server.submit(_update([1.0], 0))
+        weights = server.applied_weights()
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)   # tau=1 -> 1/(1+1)
+
+    def test_fedavg_ignores_staleness(self):
+        server = make_fedavg(np.zeros(1), learning_rate=1.0)
+        for _ in range(4):
+            server.submit(_update([1.0], 0))
+        assert np.allclose(server.applied_weights(), 1.0)
+
+    def test_stale_update_moves_params_less_than_fresh(self):
+        stale_server = make_dynsgd(np.zeros(1), learning_rate=1.0)
+        stale_server.submit(_update([1.0], 0))
+        before = stale_server.current_parameters()
+        stale_server.submit(_update([1.0], 0))     # staleness 1
+        stale_move = abs(stale_server.current_parameters() - before)[0]
+
+        fresh_server = make_dynsgd(np.zeros(1), learning_rate=1.0)
+        fresh_server.submit(_update([1.0], 0))
+        before = fresh_server.current_parameters()
+        fresh_server.submit(_update([1.0], 1))     # staleness 0
+        fresh_move = abs(fresh_server.current_parameters() - before)[0]
+        assert stale_move < fresh_move
+
+
+class TestAdaptiveDampening:
+    def test_bootstrap_uses_inverse(self):
+        server = make_adasgd(np.zeros(1), num_labels=2, learning_rate=0.1)
+        assert isinstance(server.dampening_strategy(), InverseDampening)
+
+    def test_initial_tau_thres_short_circuits_bootstrap(self):
+        server = make_adasgd(
+            np.zeros(1), num_labels=2, learning_rate=0.1, initial_tau_thres=12.0
+        )
+        strategy = server.dampening_strategy()
+        assert isinstance(strategy, ExponentialDampening)
+        assert strategy.tau_thres == 12.0
+
+    def test_switches_to_exponential_after_bootstrap(self):
+        server = StalenessAwareServer(
+            np.zeros(1), dampening="adaptive", bootstrap_min_samples=5,
+            learning_rate=0.1,
+        )
+        for _ in range(5):
+            server.submit(_update([1.0], server.clock))
+        assert isinstance(server.dampening_strategy(), ExponentialDampening)
+
+    def test_tau_thres_tracks_percentile(self):
+        server = StalenessAwareServer(
+            np.zeros(1), dampening="adaptive", bootstrap_min_samples=2,
+            staleness_percentile=100.0, learning_rate=0.1,
+        )
+        server.submit(_update([1.0], 0))
+        server.submit(_update([1.0], 0))      # tau 1
+        server.submit(_update([1.0], 0))      # tau 2
+        strategy = server.dampening_strategy()
+        assert isinstance(strategy, ExponentialDampening)
+        assert strategy.tau_thres == pytest.approx(2.0)
+
+
+def _exp_server(tracker, tau_thres=12.0):
+    return StalenessAwareServer(
+        np.zeros(1),
+        dampening=ExponentialDampening(tau_thres),
+        similarity_tracker=tracker,
+        learning_rate=0.1,
+    )
+
+
+def _advance_clock(server, steps):
+    """Apply fresh dummy updates (no labels) to move the logical clock."""
+    for _ in range(steps):
+        server.submit(_update([0.0], server.clock))
+
+
+class TestSimilarityBoosting:
+    def test_full_similarity_recovers_pure_dampening(self):
+        """At sim = 1 the combined rule equals Λ(τ) (Equation 3's core)."""
+        tracker = GlobalLabelTracker(2)
+        server = _exp_server(tracker)
+        tracker.update(np.array([8.0, 2.0]))
+        _advance_clock(server, 6)
+        update = _update([1.0], 0, labels=[8.0, 2.0])    # staleness 6
+        weight, staleness, similarity = server.weight_of(update)
+        assert staleness == 6.0
+        assert similarity == pytest.approx(1.0)
+        assert weight == pytest.approx(ExponentialDampening(12.0)(6.0))
+
+    def test_low_similarity_boosts_weight(self):
+        """Novel labels shrink the effective staleness, raising the weight."""
+        tracker = GlobalLabelTracker(2)
+        server = _exp_server(tracker)
+        tracker.update(np.array([10.0, 1.0]))
+        _advance_clock(server, 6)
+        skewed = _update([1.0], 0, labels=[0.0, 10.0])
+        weight, _, similarity = server.weight_of(skewed)
+        assert similarity < 1.0
+        assert weight > ExponentialDampening(12.0)(6.0)
+        assert weight <= 1.0
+
+    def test_zero_similarity_gives_full_weight(self):
+        """sim = 0 (unseen label) nullifies the staleness penalty entirely."""
+        tracker = GlobalLabelTracker(2)
+        server = _exp_server(tracker)
+        tracker.update(np.array([10.0, 0.0]))
+        _advance_clock(server, 48)
+        novel = _update([1.0], 0, labels=[0.0, 5.0])    # staleness 48
+        weight, staleness, similarity = server.weight_of(novel)
+        assert staleness == 48.0
+        assert similarity == 0.0
+        assert weight == 1.0
+
+    def test_weight_capped_at_one(self):
+        tracker = GlobalLabelTracker(2)
+        server = StalenessAwareServer(
+            np.zeros(1),
+            dampening=ConstantDampening(1.0),
+            similarity_tracker=tracker,
+            learning_rate=0.1,
+        )
+        tracker.update(np.array([5.0, 5.0]))
+        update = _update([1.0], 0, labels=[1.0, 0.0])
+        weight, _, _ = server.weight_of(update)
+        assert weight == 1.0
+
+    def test_tracker_update_scaled_by_weight(self):
+        """Only effectively-used samples enter LD_global."""
+        tracker = GlobalLabelTracker(2)
+        server = StalenessAwareServer(
+            np.zeros(1), dampening=ConstantDampening(1.0),
+            similarity_tracker=tracker, learning_rate=0.1,
+        )
+        server.submit(_update([1.0], 0, labels=[3.0, 1.0]))   # weight 1
+        assert np.allclose(tracker.counts, [3.0, 1.0])
+
+        half_tracker = GlobalLabelTracker(2)
+        half_server = StalenessAwareServer(
+            np.zeros(1), dampening=ConstantDampening(0.5),
+            similarity_tracker=half_tracker, learning_rate=0.1,
+        )
+        half_server.submit(_update([1.0], 0, labels=[4.0, 0.0]))  # weight 0.5
+        assert np.allclose(half_tracker.counts, [2.0, 0.0])
+
+    def test_bootstrap_phase_is_neutral(self):
+        """Before enough effective samples, similarity must not boost."""
+        tracker = GlobalLabelTracker(2, bootstrap_samples=100.0)
+        server = _exp_server(tracker)
+        _advance_clock(server, 48)
+        novel = _update([1.0], 0, labels=[0.0, 5.0])
+        weight, _, similarity = server.weight_of(novel)
+        assert similarity == 1.0
+        assert weight == pytest.approx(ExponentialDampening(12.0)(48.0))
+
+
+class TestAggregationK:
+    def test_buffer_until_k(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=3)
+        assert not server.submit(_update([1.0], 0))
+        assert not server.submit(_update([1.0], 0))
+        assert server.submit(_update([1.0], 0))
+        assert server.clock == 1
+        assert np.allclose(server.current_parameters(), [-3.0])
+
+    def test_flush_applies_partial_buffer(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10)
+        server.submit(_update([2.0], 0))
+        assert server.flush()
+        assert np.allclose(server.current_parameters(), [-2.0])
+
+    def test_flush_empty_noop(self):
+        server = make_ssgd(np.zeros(1))
+        assert not server.flush()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            make_ssgd(np.zeros(1), aggregation_k=0)
+
+
+class TestDropZeroWeight:
+    def test_zero_weight_gradient_rejected(self):
+        from repro.core.dampening import DropStale
+
+        server = StalenessAwareServer(
+            np.zeros(1), dampening=DropStale(0.0), learning_rate=1.0
+        )
+        server.submit(_update([1.0], 0))      # fresh, applied
+        server.submit(_update([1.0], 0))      # stale, dropped
+        assert server.clock == 1
+        assert server.rejected_count == 1
+        assert np.allclose(server.current_parameters(), [-1.0])

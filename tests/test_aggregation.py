@@ -1,0 +1,87 @@
+"""Tests for time-window and hybrid aggregation policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TimeWindowAggregator, HybridAggregator, make_ssgd
+from repro.core.adasgd import GradientUpdate
+
+
+def _update(value=1.0):
+    return GradientUpdate(gradient=np.array([value]), pull_step=0)
+
+
+class TestTimeWindow:
+    def test_no_update_within_window(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10**6)
+        agg = TimeWindowAggregator(server, window_s=60.0)
+        assert not agg.submit(_update(), now_s=0.0)
+        assert not agg.submit(_update(), now_s=30.0)
+        assert server.clock == 0
+
+    def test_flush_at_window_close(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10**6)
+        agg = TimeWindowAggregator(server, window_s=60.0)
+        agg.submit(_update(), now_s=0.0)
+        agg.submit(_update(), now_s=30.0)
+        assert agg.submit(_update(), now_s=61.0)
+        assert server.clock == 1
+        # All three gradients aggregated into one update.
+        assert np.allclose(server.current_parameters(), [-3.0])
+        assert agg.windows_flushed == 1
+
+    def test_tick_flushes_quiet_window(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10**6)
+        agg = TimeWindowAggregator(server, window_s=60.0)
+        agg.submit(_update(), now_s=0.0)
+        assert not agg.tick(now_s=59.0)
+        assert agg.tick(now_s=60.0)
+        assert server.clock == 1
+
+    def test_tick_without_pending_is_noop(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10**6)
+        agg = TimeWindowAggregator(server, window_s=60.0)
+        assert not agg.tick(now_s=0.0)
+        assert not agg.tick(now_s=120.0)
+        assert server.clock == 0
+
+    def test_invalid_window(self):
+        server = make_ssgd(np.zeros(1))
+        with pytest.raises(ValueError):
+            TimeWindowAggregator(server, window_s=0.0)
+
+    def test_consecutive_windows(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=10**6)
+        agg = TimeWindowAggregator(server, window_s=10.0)
+        t = 0.0
+        for _ in range(5):
+            agg.submit(_update(), now_s=t)
+            t += 11.0
+        assert server.clock >= 4
+
+
+class TestHybrid:
+    def test_count_trigger_fires_first(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=2)
+        agg = HybridAggregator(server, window_s=1000.0)
+        assert not agg.submit(_update(), now_s=0.0)
+        assert agg.submit(_update(), now_s=1.0)
+        assert server.clock == 1
+
+    def test_time_trigger_fires_when_quiet(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=100)
+        agg = HybridAggregator(server, window_s=10.0)
+        agg.submit(_update(), now_s=0.0)
+        assert agg.submit(_update(), now_s=15.0)
+        assert server.clock == 1
+
+    def test_count_trigger_restarts_window(self):
+        server = make_ssgd(np.zeros(1), learning_rate=1.0, aggregation_k=2)
+        agg = HybridAggregator(server, window_s=20.0)
+        agg.submit(_update(), now_s=0.0)
+        agg.submit(_update(), now_s=19.0)     # count trigger at t=19
+        # Window restarted at 19; a submit at 30 is inside the new window.
+        assert not agg.submit(_update(), now_s=30.0)
+        assert server.clock == 1

@@ -1,0 +1,147 @@
+"""Tests for resource allocation: FLeet's policy and the CALOREE baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    CaloreeController,
+    build_pht,
+    execute_with_fleet_policy,
+    fleet_allocation,
+)
+from repro.devices import AllocationConfig, SimulatedDevice, get_spec
+
+
+def _device(name="Galaxy S7", seed=0):
+    return SimulatedDevice(get_spec(name), np.random.default_rng(seed))
+
+
+class TestFleetPolicy:
+    def test_big_little_uses_big_only(self):
+        alloc = fleet_allocation(_device("Galaxy S7"))
+        assert alloc.big_cores == 4
+        assert alloc.little_cores == 0
+
+    def test_symmetric_uses_all_cores(self):
+        alloc = fleet_allocation(_device("Xperia E3"))
+        assert alloc.big_cores == 4
+
+    def test_execute_report(self):
+        report = execute_with_fleet_policy(_device(), 500)
+        assert report.computation_time_s > 0
+        assert report.energy_percent > 0
+
+    def test_big_only_energy_efficient(self):
+        """§2.4's claim: big cores finish so much faster that they are the
+        more energy-efficient choice for compute-intensive tasks."""
+        big_energy = np.median([
+            _device(seed=s).execute(1000, AllocationConfig(4, 0)).energy_percent
+            for s in range(9)
+        ])
+        little_energy = np.median([
+            _device(seed=s).execute(1000, AllocationConfig(0, 4)).energy_percent
+            for s in range(9)
+        ])
+        assert big_energy < little_energy
+
+
+class TestPHT:
+    def test_hull_sorted_and_nonempty(self):
+        pht = build_pht(_device(), profile_batch=128)
+        speeds = [e.speed for e in pht.entries]
+        assert speeds == sorted(speeds)
+        assert pht.trained_on == "Galaxy S7"
+
+    def test_hull_is_pareto(self):
+        pht = build_pht(_device(), profile_batch=128)
+        for a in pht.entries:
+            for b in pht.entries:
+                if a is b:
+                    continue
+                # No entry strictly dominates another.
+                assert not (
+                    b.speed >= a.speed * 1.001
+                    and b.energy_per_sample <= a.energy_per_sample * 0.999
+                )
+
+    def test_empty_pht_rejected(self):
+        from repro.allocation.caloree import PerformanceHashTable
+
+        with pytest.raises(ValueError):
+            PerformanceHashTable(entries=[], trained_on="x")
+
+
+class TestCaloreeController:
+    def _controller(self, seed=0):
+        return CaloreeController(build_pht(_device(seed=seed), profile_batch=128))
+
+    def test_plan_validation(self):
+        controller = self._controller()
+        with pytest.raises(ValueError):
+            controller.plan(0, 1.0)
+        with pytest.raises(ValueError):
+            controller.plan(100, 0.0)
+
+    def test_plan_covers_workload(self):
+        controller = self._controller()
+        for deadline in [0.5, 2.0, 10.0, 100.0]:
+            plan = controller.plan(1000, deadline)
+            assert sum(samples for _, samples in plan) == 1000
+            assert 1 <= len(plan) <= 2
+
+    def test_loose_deadline_picks_cheap_config(self):
+        controller = self._controller()
+        tight = controller.plan(2000, 1.0)
+        loose = controller.plan(2000, 10_000.0)
+        # The loose plan uses the slowest hull entry exclusively.
+        assert loose[0][0] == controller.pht.entries[0].allocation
+        assert len(loose) == 1
+
+    def test_same_device_low_error(self):
+        """Table 2 row 1: training and running on the same device model."""
+        device = _device(seed=1)
+        controller = CaloreeController(build_pht(_device(seed=2), profile_batch=256))
+        batch = 500
+        deadline = 500 * get_spec("Galaxy S7").alpha_time * 1.05
+        runs = [
+            controller.execute(_device(seed=10 + s), batch, deadline)
+            for s in range(7)
+        ]
+        median_error = float(np.median([r.deadline_error for r in runs]))
+        assert median_error < 0.25
+
+    def test_cross_device_error_grows(self):
+        """Table 2's transfer failure: error on a different-vendor device is
+        far larger than on the training device."""
+        controller = CaloreeController(build_pht(_device(seed=3), profile_batch=256))
+        batch = 500
+        deadline = 500 * get_spec("Galaxy S7").alpha_time * 1.05
+
+        same = np.median([
+            controller.execute(_device(seed=20 + s), batch, deadline).deadline_error
+            for s in range(7)
+        ])
+        honor = np.median([
+            controller.execute(
+                SimulatedDevice(get_spec("Honor 10"), np.random.default_rng(30 + s)),
+                batch, deadline,
+            ).deadline_error
+            for s in range(7)
+        ])
+        assert honor > 2.0 * same
+
+    def test_switch_overhead_charged(self):
+        controller = self._controller(seed=4)
+        entries = controller.pht.entries
+        if len(entries) < 2:
+            pytest.skip("hull degenerated to one config")
+        # Pick a deadline strictly between two hull speeds to force a mix.
+        workload = 2000
+        mid_speed = (entries[0].speed + entries[-1].speed) / 2.0
+        deadline = workload / mid_speed
+        plan = controller.plan(workload, deadline)
+        if len(plan) == 2:
+            run = controller.execute(_device(seed=5), workload, deadline)
+            assert len(run.configs_used) == 2

@@ -1,0 +1,199 @@
+"""Tests for the analysis toolkit (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Ecdf,
+    accuracy_auc,
+    bar_chart,
+    cdf_table,
+    curve_table,
+    gaussian_tail_split,
+    interpolated_steps_to_target,
+    is_diverged,
+    sparkline,
+    speedup_percent,
+    summarize,
+)
+
+
+class TestEcdf:
+    def test_basic_probabilities(self):
+        ecdf = Ecdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ecdf(0.5) == 0.0
+        assert ecdf(2.0) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf(100.0) == 1.0
+
+    def test_quantile_inverts_cdf(self):
+        values = np.arange(1, 101, dtype=float)
+        ecdf = Ecdf(values)
+        assert ecdf.quantile(0.5) == pytest.approx(50.5)
+        assert ecdf.quantile(0.0) == 1.0
+        assert ecdf.quantile(1.0) == 100.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(0)
+        ecdf = Ecdf(rng.normal(size=200))
+        xs, ys = ecdf.curve(points=50)
+        assert (np.diff(xs) > 0).all()
+        assert (np.diff(ys) >= 0).all()
+        assert ys[-1] == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Ecdf(np.array([]))
+        with pytest.raises(ValueError):
+            Ecdf(np.array([np.inf]))
+        with pytest.raises(ValueError):
+            Ecdf(np.array([1.0])).quantile(1.5)
+        with pytest.raises(ValueError):
+            Ecdf(np.array([1.0])).curve(points=1)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_properties(self, values):
+        ecdf = Ecdf(np.array(values))
+        lo, hi = ecdf.support()
+        assert ecdf(lo - 1.0) == 0.0
+        assert ecdf(hi) == 1.0
+
+
+class TestSummaries:
+    def test_summarize_known_sample(self):
+        summary = summarize(np.arange(1, 101, dtype=float))
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.maximum == 100.0
+        assert summary.n == 100
+        assert summary.p90 <= summary.p99 <= summary.maximum
+
+    def test_row_rendering(self):
+        row = summarize(np.array([1.0, 2.0, 3.0])).row(unit="mWh")
+        assert "mWh" in row and "n=3" in row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_gaussian_tail_split(self):
+        rng = np.random.default_rng(1)
+        body = rng.normal(25.0, 8.0, size=2000)
+        tail = rng.uniform(150.0, 300.0, size=40)
+        split_body, split_tail = gaussian_tail_split(np.concatenate([body, tail]))
+        assert split_tail.size >= 35  # nearly all planted outliers isolated
+        assert split_body.size >= 1990
+        assert split_tail.min() > split_body.max()
+
+    def test_tail_split_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_tail_split(np.array([]))
+        with pytest.raises(ValueError):
+            gaussian_tail_split(np.array([1.0]), tail_z=0.0)
+
+
+class TestConvergenceMetrics:
+    def test_interpolated_crossing(self):
+        steps = np.array([0, 100, 200])
+        accuracy = np.array([0.0, 0.5, 1.0])
+        assert interpolated_steps_to_target(steps, accuracy, 0.75) == pytest.approx(150.0)
+
+    def test_target_never_reached(self):
+        assert interpolated_steps_to_target(
+            np.array([0, 100]), np.array([0.1, 0.2]), 0.9
+        ) is None
+
+    def test_first_point_above_target(self):
+        assert interpolated_steps_to_target(
+            np.array([50, 100]), np.array([0.9, 0.95]), 0.8
+        ) == 50.0
+
+    def test_flat_segment_crossing(self):
+        steps = np.array([0, 10, 20])
+        accuracy = np.array([0.5, 0.8, 0.8])
+        assert interpolated_steps_to_target(steps, accuracy, 0.8) == pytest.approx(10.0)
+
+    def test_invalid_curves(self):
+        with pytest.raises(ValueError):
+            interpolated_steps_to_target(np.array([0, 0]), np.array([0.1, 0.2]), 0.5)
+        with pytest.raises(ValueError):
+            interpolated_steps_to_target(np.array([]), np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            accuracy_auc(np.array([1, 2]), np.array([0.5]))
+
+    def test_auc_bounds_and_values(self):
+        steps = np.array([0, 100])
+        assert accuracy_auc(steps, np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert accuracy_auc(steps, np.array([0.0, 0.0])) == pytest.approx(0.0)
+        assert accuracy_auc(steps, np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_auc_single_point(self):
+        assert accuracy_auc(np.array([10]), np.array([0.7])) == pytest.approx(0.7)
+
+    def test_speedup_matches_paper_phrasing(self):
+        # Baseline 1000 steps, candidate 816: 18.4 % faster (paper's D2 gap).
+        assert speedup_percent(1000.0, 816.0) == pytest.approx(18.4)
+        assert speedup_percent(None, 100.0) is None
+        assert speedup_percent(100.0, None) is None
+        with pytest.raises(ValueError):
+            speedup_percent(0.0, 10.0)
+
+    def test_is_diverged(self):
+        chance = 0.1
+        stuck = np.array([0.3, 0.12, 0.09, 0.11])
+        learning = np.array([0.1, 0.3, 0.6, 0.8])
+        assert is_diverged(stuck, chance)
+        assert not is_diverged(learning, chance)
+        with pytest.raises(ValueError):
+            is_diverged(np.array([]), chance)
+        with pytest.raises(ValueError):
+            is_diverged(stuck, 1.5)
+
+
+class TestCharts:
+    def test_sparkline_extremes(self):
+        line = sparkline(np.array([0.0, 1.0]), low=0.0, high=1.0)
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_series(self):
+        assert len(set(sparkline(np.array([2.0, 2.0, 2.0])))) == 1
+
+    def test_sparkline_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
+        with pytest.raises(ValueError):
+            sparkline(np.array([1.0]), low=2.0, high=1.0)
+
+    def test_bar_chart_alignment_and_scaling(self):
+        chart = bar_chart(["adasgd", "dynsgd"], np.array([10.0, 5.0]), width=10)
+        lines = chart.split("\n")
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([-1.0]))
+        with pytest.raises(ValueError):
+            bar_chart([], np.array([]))
+
+    def test_cdf_table_contents(self):
+        table = cdf_table(np.arange(100, dtype=float), unit="s")
+        assert "n=100" in table and "p90=" in table and "s" in table
+
+    def test_curve_table_downsamples(self):
+        steps = np.arange(0, 1000, 10)
+        accuracy = np.linspace(0.0, 1.0, steps.size)
+        row = curve_table(steps, accuracy, "adasgd", spark_width=20)
+        assert "final=1.000" in row and "adasgd" in row
+
+    def test_curve_table_validation(self):
+        with pytest.raises(ValueError):
+            curve_table(np.array([1, 2]), np.array([0.5]), "x")

@@ -1,0 +1,131 @@
+"""Tests for implicit-momentum estimates (core.async_momentum) and the
+server's non-finite-gradient guard (failure injection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adasgd import GradientUpdate, make_adasgd
+from repro.core.async_momentum import (
+    compensated_momentum,
+    estimate_mean_staleness,
+    implicit_momentum_from_staleness,
+    implicit_momentum_from_workers,
+)
+
+
+class TestImplicitMomentum:
+    def test_single_worker_no_momentum(self):
+        assert implicit_momentum_from_workers(1) == 0.0
+
+    def test_grows_with_fleet_size(self):
+        values = [implicit_momentum_from_workers(n) for n in (2, 10, 100)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(0.99)
+
+    def test_staleness_form_consistent_with_worker_form(self):
+        """N workers ⇒ mean staleness ≈ N−1 ⇒ same μ from either formula."""
+        for n in (2, 5, 20):
+            assert implicit_momentum_from_staleness(n - 1.0) == pytest.approx(
+                implicit_momentum_from_workers(n)
+            )
+
+    def test_zero_staleness_zero_momentum(self):
+        assert implicit_momentum_from_staleness(0.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            implicit_momentum_from_workers(0)
+        with pytest.raises(ValueError):
+            implicit_momentum_from_staleness(-1.0)
+
+    @given(st.floats(0.0, 1e4))
+    @settings(max_examples=60)
+    def test_momentum_in_unit_interval(self, tau):
+        assert 0.0 <= implicit_momentum_from_staleness(tau) < 1.0
+
+
+class TestCompensation:
+    def test_no_implicit_passes_target_through(self):
+        assert compensated_momentum(0.9, 0.0) == pytest.approx(0.9)
+
+    def test_implicit_exceeding_target_yields_zero(self):
+        assert compensated_momentum(0.5, 0.8) == 0.0
+        assert compensated_momentum(0.5, 0.5) == 0.0
+
+    def test_composition_identity(self):
+        """Explicit ∘ implicit must reconstruct the target acceleration."""
+        target, implicit = 0.9, 0.6
+        explicit = compensated_momentum(target, implicit)
+        total = 1.0 - (1.0 - explicit) * (1.0 - implicit)
+        assert total == pytest.approx(target)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compensated_momentum(1.0, 0.5)
+        with pytest.raises(ValueError):
+            compensated_momentum(0.5, 1.0)
+        with pytest.raises(ValueError):
+            compensated_momentum(-0.1, 0.0)
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    @settings(max_examples=80)
+    def test_explicit_never_exceeds_target(self, target, implicit):
+        explicit = compensated_momentum(target, implicit)
+        assert 0.0 <= explicit <= target
+
+
+class TestEstimateMeanStaleness:
+    def test_mean(self):
+        assert estimate_mean_staleness(np.array([0.0, 2.0, 4.0])) == 2.0
+
+    def test_from_server_history(self):
+        server = make_adasgd(np.zeros(3), num_labels=2, initial_tau_thres=12.0)
+        for tau in (0, 1, 2):
+            server.submit(GradientUpdate(
+                gradient=np.ones(3), pull_step=max(0, server.clock - tau),
+            ))
+        assert estimate_mean_staleness(server.applied_staleness()) >= 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            estimate_mean_staleness(np.array([]))
+        with pytest.raises(ValueError):
+            estimate_mean_staleness(np.array([-1.0]))
+
+
+class TestNonFiniteGradientGuard:
+    def test_nan_gradient_rejected_not_applied(self):
+        server = make_adasgd(np.zeros(3), num_labels=2, initial_tau_thres=12.0)
+        bad = np.array([1.0, np.nan, 0.0])
+        assert server.submit(GradientUpdate(gradient=bad, pull_step=0)) is False
+        assert server.clock == 0
+        assert server.rejected_count == 1
+        np.testing.assert_array_equal(server.current_parameters(), np.zeros(3))
+
+    def test_inf_gradient_rejected(self):
+        server = make_adasgd(np.zeros(3), num_labels=2, initial_tau_thres=12.0)
+        bad = np.array([np.inf, 0.0, 0.0])
+        assert server.submit(GradientUpdate(gradient=bad, pull_step=0)) is False
+        assert server.rejected_count == 1
+
+    def test_healthy_traffic_unaffected_by_poison(self):
+        """A stream mixing corrupt and healthy uploads trains on the
+        healthy ones only."""
+        rng = np.random.default_rng(0)
+        server = make_adasgd(np.zeros(4), num_labels=2, learning_rate=0.1,
+                             initial_tau_thres=12.0)
+        healthy = 0
+        for i in range(20):
+            if i % 4 == 0:
+                gradient = np.full(4, np.nan)
+            else:
+                gradient = rng.normal(size=4)
+                healthy += 1
+            server.submit(GradientUpdate(gradient=gradient, pull_step=server.clock))
+        assert server.clock == healthy
+        assert server.rejected_count == 5
+        assert np.isfinite(server.current_parameters()).all()

@@ -1,0 +1,148 @@
+"""Tests for the SSP bounded-staleness arm (core.bounded_staleness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounded_staleness import (
+    SSPGate,
+    SSPThroughputReport,
+    simulate_ssp_throughput,
+)
+
+
+class TestSSPGate:
+    def test_register_starts_at_zero(self):
+        gate = SSPGate(bound=3)
+        gate.register(0)
+        assert gate.clock_of(0) == 0
+        assert gate.min_clock == 0
+
+    def test_register_idempotent(self):
+        gate = SSPGate(bound=3)
+        gate.register(0)
+        gate.advance(0)
+        gate.register(0)  # must not reset the clock
+        assert gate.clock_of(0) == 1
+
+    def test_unregistered_worker_raises(self):
+        gate = SSPGate(bound=1)
+        with pytest.raises(KeyError, match="not registered"):
+            gate.clock_of(7)
+        with pytest.raises(KeyError):
+            gate.may_proceed(7)
+
+    def test_bound_zero_is_bulk_synchronous(self):
+        """bound = 0: nobody may lead; every worker advances in lockstep."""
+        gate = SSPGate(bound=0)
+        gate.register(0)
+        gate.register(1)
+        assert gate.may_proceed(0)
+        gate.advance(0)
+        assert not gate.may_proceed(0)  # now 1 ahead of worker 1
+        assert gate.may_proceed(1)
+        gate.advance(1)
+        assert gate.may_proceed(0)
+
+    def test_lead_within_bound_allowed(self):
+        gate = SSPGate(bound=2)
+        gate.register(0)
+        gate.register(1)
+        gate.advance(0)
+        gate.advance(0)
+        assert gate.may_proceed(0)  # lead == bound is allowed
+        gate.advance(0)
+        assert not gate.may_proceed(0)  # lead == bound + 1 blocks
+
+    def test_deregister_unblocks_the_fleet(self):
+        """A vanished phone must not stall everyone (mobile churn)."""
+        gate = SSPGate(bound=1)
+        gate.register(0)
+        gate.register(1)
+        gate.advance(0)
+        gate.advance(0)
+        assert not gate.may_proceed(0)  # blocked on worker 1
+        gate.deregister(1)
+        assert gate.may_proceed(0)
+
+    def test_deregister_unknown_is_noop(self):
+        SSPGate(bound=1).deregister(99)
+
+    def test_max_observable_staleness(self):
+        gate = SSPGate(bound=5)
+        gate.register(0)
+        gate.register(1)
+        for _ in range(4):
+            gate.advance(0)
+        assert gate.max_observable_staleness() == 4
+        assert gate.max_observable_staleness() <= gate.bound + 1 + 4
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SSPGate(bound=-1)
+
+    @given(
+        st.lists(st.integers(0, 4), min_size=1, max_size=60),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_admitted_lead_never_exceeds_bound(self, schedule, bound):
+        """If every advance is gated by may_proceed, the lead stays ≤ bound+1.
+
+        (After an admitted task completes the lead can reach bound + 1, but
+        never beyond, because the next attempt is blocked.)
+        """
+        gate = SSPGate(bound=bound)
+        for worker in range(5):
+            gate.register(worker)
+        for worker in schedule:
+            if gate.may_proceed(worker):
+                gate.advance(worker)
+            assert gate.max_observable_staleness() <= bound + 1
+
+
+class TestSSPThroughput:
+    def test_unbounded_equivalent_with_huge_bound(self, rng):
+        rates = np.array([1.0, 0.5, 0.1])
+        report = simulate_ssp_throughput(rates, bound=10_000, horizon_s=600.0, rng=rng)
+        assert report.blocked_attempts == 0
+        assert report.throughput_fraction == 1.0
+
+    def test_tight_bound_blocks_fast_workers(self, rng):
+        """A 10× speed spread under a tight bound must lose throughput —
+        the paper's §4 argument for why Online FL cannot bound staleness."""
+        rates = np.array([2.0, 0.2])
+        report = simulate_ssp_throughput(rates, bound=1, horizon_s=600.0, rng=rng)
+        assert report.blocked_attempts > 0
+        assert report.throughput_fraction < 0.8
+
+    def test_throughput_monotone_in_bound(self):
+        rates = np.array([1.5, 0.6, 0.15])
+        fractions = []
+        for bound in (0, 2, 8, 64):
+            rng = np.random.default_rng(11)
+            report = simulate_ssp_throughput(rates, bound, horizon_s=400.0, rng=rng)
+            fractions.append(report.throughput_fraction)
+        assert fractions == sorted(fractions)
+
+    def test_report_accounting(self, rng):
+        rates = np.array([1.0, 1.0])
+        report = simulate_ssp_throughput(rates, bound=0, horizon_s=200.0, rng=rng)
+        assert report.total_updates + report.blocked_attempts == report.unbounded_updates
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            simulate_ssp_throughput(np.array([]), 1, 10.0, rng)
+        with pytest.raises(ValueError):
+            simulate_ssp_throughput(np.array([0.0]), 1, 10.0, rng)
+        with pytest.raises(ValueError):
+            simulate_ssp_throughput(np.array([1.0]), 1, 0.0, rng)
+
+    def test_empty_horizon_report_is_neutral(self):
+        report = SSPThroughputReport(
+            bound=1, total_updates=0, unbounded_updates=0, blocked_attempts=0
+        )
+        assert report.throughput_fraction == 1.0

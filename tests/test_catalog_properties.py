@@ -1,0 +1,66 @@
+"""Catalog-wide consistency checks over every simulated device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import CATALOG, SimulatedDevice, get_spec
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+class TestEveryDevice:
+    def test_spec_sanity(self, name):
+        spec = get_spec(name)
+        assert spec.alpha_time > 0
+        assert spec.alpha_energy > 0
+        assert spec.battery_mwh > 1000
+        assert spec.big.num_cores >= 1
+        assert 0 < spec.big.perf <= 1.5
+        if spec.little is not None:
+            assert spec.little.perf < spec.big.perf
+            assert spec.little.power_w < spec.big.power_w
+
+    def test_executes_and_measures(self, name):
+        device = SimulatedDevice(get_spec(name), np.random.default_rng(0))
+        m = device.execute(200)
+        assert m.computation_time_s > 0
+        assert 0 < m.energy_percent < 5.0
+
+    def test_feature_vector_finite(self, name):
+        device = SimulatedDevice(get_spec(name), np.random.default_rng(1))
+        vec = device.features().as_vector()
+        assert np.isfinite(vec).all()
+        assert vec.shape == (6,)
+
+    def test_slope_roughly_matches_spec(self, name):
+        """Measured cold slope within noise of the catalog ground truth."""
+        spec = get_spec(name)
+        times = []
+        for seed in range(7):
+            device = SimulatedDevice(spec, np.random.default_rng(seed))
+            times.append(device.execute(400).computation_time_s / 400)
+        measured = float(np.median(times))
+        assert measured == pytest.approx(spec.alpha_time, rel=0.25)
+
+    def test_default_allocation_valid(self, name):
+        device = SimulatedDevice(get_spec(name), np.random.default_rng(2))
+        alloc = device.default_allocation()
+        assert alloc.big_cores <= device.spec.big.num_cores
+        assert alloc in device.available_allocations()
+
+
+class TestCatalogGlobal:
+    def test_generational_speed_trend(self):
+        """Newer flagship phones are faster than older ones on average."""
+        old = [s.alpha_time for s in CATALOG.values() if s.year <= 2014]
+        new = [s.alpha_time for s in CATALOG.values() if s.year >= 2017]
+        assert np.mean(new) < np.mean(old)
+
+    def test_slope_spread_covers_paper_range(self):
+        """Fig. 4's heterogeneity: >10x spread between extremes."""
+        slopes = [s.alpha_time for s in CATALOG.values()]
+        assert max(slopes) / min(slopes) > 10.0
+
+    def test_all_26_models_present(self):
+        assert len(CATALOG) == 26

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "staleness" in out
+        assert "online" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Galaxy S7" in out
+        assert "Honor 10" in out
+
+    def test_dampening(self, capsys):
+        assert main(["dampening", "--tau-thres", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "beta" in out
+        assert "AdaSGD" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["staleness"])
+        assert args.algorithm == "adasgd"
+        assert args.mu == 6.0
+
+
+class TestExperiments:
+    def test_staleness_smoke(self, capsys):
+        assert main([
+            "staleness", "--algorithm", "ssgd", "--steps", "40",
+            "--batch-size", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_profile_smoke(self, capsys):
+        assert main(["profile", "--requests", "2", "--slo", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "I-Prof on Galaxy S7" in out
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["staleness", "--algorithm", "bogus"])
+
+
+class TestNewCommands:
+    def test_list_includes_new_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-sim" in out
+        assert "freshness" in out
+
+    def test_fleet_sim_smoke(self, capsys):
+        assert main([
+            "fleet-sim", "--users", "4", "--hours", "0.05",
+            "--think-time", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "model updates" in out
+        assert "staleness" in out
+
+    def test_freshness_smoke(self, capsys):
+        assert main(["freshness", "--users", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "eligibility by hour" in out
+        assert "data-to-model delay" in out
+
+    def test_parser_defaults_for_new_commands(self):
+        parser = build_parser()
+        fleet = parser.parse_args(["fleet-sim"])
+        assert fleet.users == 20 and fleet.hours == 0.5
+        fresh = parser.parse_args(["freshness"])
+        assert fresh.users == 16

@@ -1,0 +1,207 @@
+"""Tests for staleness-dampening strategies (Fig. 5 semantics)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dampening import (
+    ConstantDampening,
+    DropStale,
+    ExponentialDampening,
+    InverseDampening,
+    LinearDampening,
+    PolynomialDampening,
+    StalenessTracker,
+    beta_for_threshold,
+)
+
+
+class TestBeta:
+    def test_intersection_property(self):
+        """exp(-β·τ/2) must equal 1/(τ/2+1) at τ = τ_thres (paper §2.3)."""
+        for tau_thres in [1.0, 5.0, 12.0, 24.0, 100.0]:
+            beta = beta_for_threshold(tau_thres)
+            half = tau_thres / 2.0
+            assert math.exp(-beta * half) == pytest.approx(1.0 / (half + 1.0))
+
+    def test_zero_threshold_limit(self):
+        assert beta_for_threshold(0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            beta_for_threshold(-1.0)
+
+
+class TestExponentialDampening:
+    def test_fresh_gradient_full_weight(self):
+        assert ExponentialDampening(12.0)(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        d = ExponentialDampening(12.0)
+        values = [d(t) for t in range(0, 50, 2)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    @given(st.floats(0.1, 100.0), st.floats(0.0, 200.0))
+    @settings(max_examples=100)
+    def test_bounds_property(self, tau_thres, staleness):
+        factor = ExponentialDampening(tau_thres)(staleness)
+        assert 0.0 < factor <= 1.0
+
+    def test_crossover_with_inverse(self):
+        """Exponential > inverse before τ_thres/2, < after (Fig. 5 shape)."""
+        tau_thres = 12.0
+        exp_d = ExponentialDampening(tau_thres)
+        inv_d = InverseDampening()
+        half = tau_thres / 2.0
+        assert exp_d(half) == pytest.approx(inv_d(half))
+        assert exp_d(half / 2) > inv_d(half / 2)
+        assert exp_d(2 * half) < inv_d(2 * half)
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDampening(12.0)(-1.0)
+
+
+class TestInverseDampening:
+    @given(st.floats(0.0, 1000.0))
+    @settings(max_examples=60)
+    def test_matches_formula(self, tau):
+        assert InverseDampening()(tau) == pytest.approx(1.0 / (tau + 1.0))
+
+
+class TestConstantAndDrop:
+    def test_constant(self):
+        d = ConstantDampening(1.0)
+        assert d(0) == d(100) == 1.0
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantDampening(0.0)
+
+    def test_drop_stale(self):
+        d = DropStale(max_staleness=0.0)
+        assert d(0.0) == 1.0
+        assert d(0.5) == 0.0
+
+    def test_drop_with_tolerance(self):
+        d = DropStale(max_staleness=2.0)
+        assert d(2.0) == 1.0
+        assert d(2.1) == 0.0
+
+
+class TestStalenessTracker:
+    def test_percentile_estimate(self):
+        tracker = StalenessTracker(percentile=90.0, min_samples=5)
+        for v in range(100):
+            tracker.observe(float(v))
+        assert tracker.tau_thres() == pytest.approx(
+            np.percentile(np.arange(100.0), 90.0)
+        )
+
+    def test_bootstrap_phase(self):
+        tracker = StalenessTracker(min_samples=10)
+        assert not tracker.bootstrapped
+        for _ in range(10):
+            tracker.observe(3.0)
+        assert tracker.bootstrapped
+
+    def test_initial_tau_thres_bypasses_bootstrap(self):
+        tracker = StalenessTracker(min_samples=10, initial_tau_thres=12.0)
+        assert tracker.bootstrapped
+        assert tracker.tau_thres() == 12.0
+
+    def test_initial_estimate_replaced_by_data(self):
+        tracker = StalenessTracker(
+            percentile=100.0, min_samples=3, initial_tau_thres=12.0
+        )
+        for _ in range(3):
+            tracker.observe(5.0)
+        assert tracker.tau_thres() == 5.0
+
+    def test_window_slides(self):
+        tracker = StalenessTracker(percentile=100.0, window=10, min_samples=1)
+        for v in [100.0] * 10 + [1.0] * 10:
+            tracker.observe(v)
+        assert tracker.tau_thres() == 1.0
+
+    def test_negative_observation_rejected(self):
+        tracker = StalenessTracker()
+        with pytest.raises(ValueError):
+            tracker.observe(-1.0)
+
+    def test_empty_tracker_zero(self):
+        assert StalenessTracker().tau_thres() == 0.0
+
+    @given(st.lists(st.floats(0.0, 1e4), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_percentile_within_range_property(self, values):
+        tracker = StalenessTracker(percentile=99.7, min_samples=1)
+        for v in values:
+            tracker.observe(v)
+        estimate = tracker.tau_thres()
+        assert min(values) <= estimate <= max(values)
+
+
+class TestLinearDampening:
+    def test_full_weight_at_zero(self):
+        assert LinearDampening(tau_max=10.0)(0.0) == 1.0
+
+    def test_zero_at_and_beyond_tau_max(self):
+        strategy = LinearDampening(tau_max=10.0)
+        assert strategy(10.0) == 0.0
+        assert strategy(25.0) == 0.0
+
+    def test_midpoint_is_half(self):
+        assert LinearDampening(tau_max=8.0)(4.0) == pytest.approx(0.5)
+
+    def test_invalid_tau_max(self):
+        with pytest.raises(ValueError):
+            LinearDampening(tau_max=0.0)
+
+    @given(st.floats(0.1, 100.0), st.floats(0.0, 200.0))
+    @settings(max_examples=60)
+    def test_bounded_and_monotone(self, tau_max, tau):
+        strategy = LinearDampening(tau_max=tau_max)
+        value = strategy(tau)
+        assert 0.0 <= value <= 1.0
+        assert strategy(tau + 1.0) <= value
+
+
+class TestPolynomialDampening:
+    def test_power_one_recovers_dynsgd(self):
+        poly = PolynomialDampening(power=1.0)
+        inverse = InverseDampening()
+        for tau in (0.0, 1.0, 5.0, 48.0):
+            assert poly(tau) == pytest.approx(inverse(tau))
+
+    def test_higher_power_decays_faster(self):
+        slow = PolynomialDampening(power=1.0)
+        fast = PolynomialDampening(power=3.0)
+        assert fast(10.0) < slow(10.0)
+        assert fast(0.0) == slow(0.0) == 1.0
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            PolynomialDampening(power=0.0)
+
+    @given(st.floats(0.1, 6.0), st.floats(0.0, 300.0))
+    @settings(max_examples=60)
+    def test_bounded_and_monotone(self, power, tau):
+        strategy = PolynomialDampening(power=power)
+        value = strategy(tau)
+        assert 0.0 < value <= 1.0
+        assert strategy(tau + 1.0) <= value
+
+    def test_sits_between_inverse_and_exponential_for_moderate_power(self):
+        """For p slightly above 1 the curve hugs inverse at small τ but
+        decays strictly faster, the family the Fig. 5 ablation sweeps."""
+        poly = PolynomialDampening(power=1.5)
+        inverse = InverseDampening()
+        exponential = ExponentialDampening(tau_thres=12.0)
+        assert poly(2.0) < inverse(2.0)
+        assert poly(48.0) > exponential(48.0)

@@ -1,0 +1,231 @@
+"""Tests for the simulated device fleet: catalog, thermal, energy, runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    AMBIENT_C,
+    CATALOG,
+    AllocationConfig,
+    SimulatedDevice,
+    ThermalState,
+    battery_percent,
+    fleet_specs,
+    get_spec,
+    mwh_from_watts,
+    power_draw_w,
+)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        spec = get_spec("Galaxy S7")
+        assert spec.name == "Galaxy S7"
+        assert spec.is_big_little
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_spec("iPhone 42")
+
+    def test_catalog_covers_paper_fleet(self):
+        """Every device named in Figs. 12-14 and Table 2 must exist."""
+        required = [
+            "Galaxy S7", "Galaxy S8", "Honor 9", "Honor 10", "Xperia E3",
+            "Galaxy S4 mini", "Galaxy S6", "Nexus 6", "MotoG3", "Pixel",
+            "HTC U11", "LG-H910",
+        ]
+        for name in required:
+            assert name in CATALOG
+
+    def test_slope_ordering_matches_figure4(self):
+        """Fig. 4: Honor 10 fastest, Galaxy S7 mid, Xperia E3 slowest."""
+        honor = get_spec("Honor 10").alpha_time
+        s7 = get_spec("Galaxy S7").alpha_time
+        xperia = get_spec("Xperia E3").alpha_time
+        assert honor < s7 < xperia
+
+    def test_feature_helpers(self):
+        spec = get_spec("Galaxy S7")
+        assert spec.sum_max_freq_ghz > 0
+        assert spec.energy_per_cpu_second > 0
+
+    def test_fleet_sampling(self):
+        specs = fleet_specs(10, np.random.default_rng(0))
+        assert len(specs) == 10
+        names = fleet_specs(4, np.random.default_rng(0), names=["Pixel"])
+        assert all(s.name == "Pixel" for s in names)
+
+
+class TestThermal:
+    def _state(self):
+        return ThermalState(
+            heat_rate=0.1, cool_rate=0.05, throttle_temp_c=40.0, throttle_slope=0.05
+        )
+
+    def test_heating(self):
+        state = self._state()
+        state.heat(watts=5.0, busy_seconds=10.0)
+        assert state.temperature_c > AMBIENT_C
+
+    def test_cooling_approaches_ambient(self):
+        state = self._state()
+        state.heat(5.0, 20.0)
+        hot = state.temperature_c
+        state.cool(1000.0)
+        assert AMBIENT_C <= state.temperature_c < hot
+        assert state.temperature_c == pytest.approx(AMBIENT_C, abs=0.5)
+
+    def test_throttle_only_above_knee(self):
+        state = self._state()
+        assert state.throttle_factor() == 1.0
+        state.temperature_c = 50.0
+        assert state.throttle_factor() == pytest.approx(1.5)
+
+    def test_ceiling(self):
+        state = self._state()
+        state.heat(100.0, 1000.0)
+        assert state.temperature_c <= 55.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            self._state().cool(-1.0)
+        with pytest.raises(ValueError):
+            self._state().heat(1.0, -1.0)
+
+    @given(st.floats(0.1, 20.0), st.floats(0.1, 100.0))
+    @settings(max_examples=50)
+    def test_cooling_monotone_property(self, watts, seconds):
+        state = self._state()
+        state.heat(watts, seconds)
+        before = state.temperature_c
+        state.cool(10.0)
+        assert state.temperature_c <= before
+
+
+class TestEnergyModel:
+    def test_power_includes_idle(self):
+        spec = get_spec("Galaxy S7")
+        alloc = AllocationConfig(big_cores=4)
+        power = power_draw_w(spec.idle_power_w, spec.big, spec.little, alloc)
+        assert power == pytest.approx(spec.idle_power_w + 4 * spec.big.power_w)
+
+    def test_too_many_cores_rejected(self):
+        spec = get_spec("Galaxy S7")
+        with pytest.raises(ValueError):
+            power_draw_w(
+                spec.idle_power_w, spec.big, spec.little, AllocationConfig(big_cores=9)
+            )
+
+    def test_little_cores_on_symmetric_device_rejected(self):
+        spec = get_spec("Xperia E3")   # symmetric, no little cluster
+        with pytest.raises(ValueError):
+            power_draw_w(
+                spec.idle_power_w, spec.big, spec.little,
+                AllocationConfig(big_cores=1, little_cores=1),
+            )
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationConfig(big_cores=0, little_cores=0)
+
+    def test_unit_conversions(self):
+        assert mwh_from_watts(3.6, 1000.0) == pytest.approx(1000.0)
+        assert battery_percent(57.0, 11400.0) == pytest.approx(0.5)
+
+
+class TestSimulatedDevice:
+    def _device(self, name="Galaxy S7", seed=0):
+        return SimulatedDevice(get_spec(name), np.random.default_rng(seed))
+
+    def test_time_linear_in_batch_size(self):
+        """Fig. 4's core observation: cost scales linearly with workload."""
+        device = self._device()
+        device.spec = device.spec  # keep instance
+        small = np.median([
+            self._device(seed=s).execute(100).computation_time_s for s in range(9)
+        ])
+        large = np.median([
+            self._device(seed=s).execute(1000).computation_time_s for s in range(9)
+        ])
+        assert large / small == pytest.approx(10.0, rel=0.15)
+
+    def test_heterogeneity(self):
+        """Different devices must show very different slopes (Fig. 4)."""
+        fast = self._device("Honor 10").execute(500).computation_time_s
+        slow = self._device("Xperia E3").execute(500).computation_time_s
+        assert slow > 3.0 * fast
+
+    def test_thermal_throttling_slows_down(self):
+        device = self._device("Honor 10")
+        cold = device.true_time_slope()
+        for _ in range(20):
+            device.execute(2000)
+        hot = device.true_time_slope()
+        assert hot > cold
+
+    def test_battery_drains(self):
+        device = self._device()
+        start = device.battery_percent_remaining
+        device.execute(2000)
+        assert device.battery_percent_remaining < start
+
+    def test_energy_percent_consistency(self):
+        device = self._device()
+        m = device.execute(500)
+        assert m.energy_percent == pytest.approx(
+            100.0 * m.energy_mwh / device.spec.battery_mwh
+        )
+
+    def test_features_within_physical_bounds(self):
+        device = self._device()
+        for _ in range(10):
+            f = device.features()
+            assert 0 < f.available_memory_mb < f.total_memory_mb
+            assert f.temperature_c >= AMBIENT_C - 1.0
+            assert f.sum_max_freq_ghz == device.spec.sum_max_freq_ghz
+
+    def test_feature_vector_shape(self):
+        vec = self._device().features().as_vector()
+        assert vec.shape == (6,)
+        assert vec[-1] == 1.0   # bias term
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            self._device().execute(0)
+
+    def test_reset(self):
+        device = self._device()
+        device.execute(3000)
+        device.reset()
+        assert device.battery_percent_remaining == 100.0
+        assert device.thermal.temperature_c == AMBIENT_C
+        assert device.tasks_executed == 0
+
+    def test_default_allocation_big_only(self):
+        device = self._device("Galaxy S7")
+        alloc = device.default_allocation()
+        assert alloc.big_cores == 4
+        assert alloc.little_cores == 0
+
+    def test_available_allocations(self):
+        device = self._device("Galaxy S7")
+        allocs = device.available_allocations()
+        assert AllocationConfig(4, 4) in allocs
+        assert AllocationConfig(1, 0) in allocs
+        assert all(a.total_cores >= 1 for a in allocs)
+
+    def test_fewer_cores_is_slower(self):
+        device = self._device()
+        full = device.true_time_slope(AllocationConfig(4, 0))
+        half = device.true_time_slope(AllocationConfig(2, 0))
+        assert half > full
+
+    def test_little_cores_slower_than_big(self):
+        device = self._device()
+        big = device.true_time_slope(AllocationConfig(4, 0))
+        little = device.true_time_slope(AllocationConfig(0, 4))
+        assert little > big

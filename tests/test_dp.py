@@ -1,0 +1,115 @@
+"""Tests for the differential-privacy mechanism and moments accountant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dp import (
+    clip_gradient,
+    gaussian_mechanism,
+    log_moment,
+    moments_epsilon,
+    noise_for_epsilon,
+)
+
+
+class TestClipping:
+    def test_short_gradient_unchanged(self):
+        g = np.array([0.3, 0.4])
+        assert np.allclose(clip_gradient(g, 1.0), g)
+
+    def test_long_gradient_scaled_to_norm(self):
+        g = np.array([3.0, 4.0])
+        clipped = clip_gradient(g, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # Direction preserved.
+        assert np.allclose(clipped / np.linalg.norm(clipped), g / 5.0)
+
+    def test_zero_gradient(self):
+        assert np.allclose(clip_gradient(np.zeros(3), 1.0), 0.0)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradient(np.ones(2), 0.0)
+
+
+class TestGaussianMechanism:
+    def test_no_noise_is_pure_clipping(self):
+        g = np.array([3.0, 4.0])
+        out = gaussian_mechanism(g, 1.0, 0.0, np.random.default_rng(0))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_noise_scale(self):
+        rng = np.random.default_rng(1)
+        samples = np.stack([
+            gaussian_mechanism(np.zeros(1), clip_norm=2.0, noise_multiplier=1.5, rng=rng)
+            for _ in range(4000)
+        ])
+        assert samples.std() == pytest.approx(3.0, rel=0.1)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_mechanism(np.ones(2), 1.0, -0.5, np.random.default_rng(0))
+
+
+class TestMomentsAccountant:
+    def test_log_moment_positive(self):
+        assert log_moment(q=0.01, sigma=1.0, lam=4) > 0.0
+
+    def test_log_moment_small_q_approximation(self):
+        """For small q the exact leading term is λ(λ−1)/2 · q²/σ²
+        (second-order expansion of E[(1 + q(e^{(2z−1)/2σ²} − 1))^λ]);
+        Abadi et al.'s Lemma 3 bound q²λ(λ+1)/σ² must hold from above."""
+        q, sigma, lam = 1e-3, 2.0, 8
+        value = log_moment(q, sigma, lam)
+        leading = q**2 * lam * (lam - 1) / (2.0 * sigma**2)
+        upper = q**2 * lam * (lam + 1) / sigma**2
+        assert value == pytest.approx(leading, rel=0.2)
+        assert value <= upper
+
+    def test_epsilon_decreases_with_sigma(self):
+        eps_small = moments_epsilon(q=0.01, sigma=1.0, steps=1000, delta=1e-5)
+        eps_large = moments_epsilon(q=0.01, sigma=4.0, steps=1000, delta=1e-5)
+        assert eps_large < eps_small
+
+    def test_epsilon_increases_with_steps(self):
+        eps_short = moments_epsilon(q=0.01, sigma=2.0, steps=100, delta=1e-5)
+        eps_long = moments_epsilon(q=0.01, sigma=2.0, steps=10_000, delta=1e-5)
+        assert eps_long > eps_short
+
+    def test_paper_regime_produces_single_digit_epsilon(self):
+        """Paper (Fig. 11): q=100/60000, δ=1/60000², T=4000; large noise
+        gives ε in the low single digits."""
+        q = 100.0 / 60_000.0
+        delta = 1.0 / 60_000.0**2
+        eps = moments_epsilon(q=q, sigma=4.0, steps=4000, delta=delta)
+        assert 0.1 < eps < 5.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            moments_epsilon(q=0.0, sigma=1.0, steps=10, delta=1e-5)
+        with pytest.raises(ValueError):
+            moments_epsilon(q=0.01, sigma=1.0, steps=0, delta=1e-5)
+        with pytest.raises(ValueError):
+            moments_epsilon(q=0.01, sigma=1.0, steps=10, delta=2.0)
+        with pytest.raises(ValueError):
+            log_moment(q=0.01, sigma=-1.0, lam=2)
+        with pytest.raises(ValueError):
+            log_moment(q=0.01, sigma=1.0, lam=0)
+
+
+class TestNoiseSearch:
+    def test_bisection_hits_target(self):
+        q = 100.0 / 60_000.0
+        delta = 1.0 / 60_000.0**2
+        target = 2.0
+        sigma = noise_for_epsilon(target, q, steps=2000, delta=delta)
+        achieved = moments_epsilon(q, sigma, steps=2000, delta=delta)
+        assert achieved <= target
+        # Not over-noised: slightly less noise must violate the target.
+        assert moments_epsilon(q, sigma * 0.9, steps=2000, delta=delta) > target * 0.9
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            noise_for_epsilon(1e-6, q=0.5, steps=10_000, delta=1e-10, sigma_high=2.0)

@@ -1,0 +1,115 @@
+"""Tests for federated partitioning schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.federated_split import (
+    dirichlet_split,
+    iid_split,
+    shard_non_iid_split,
+)
+
+
+def _labels(n=120, classes=6, seed=0):
+    return np.random.default_rng(seed).integers(0, classes, size=n)
+
+
+class TestIIDSplit:
+    def test_covers_everything_once(self):
+        labels = _labels()
+        part = iid_split(labels, 8, np.random.default_rng(1))
+        part.validate(labels.size)
+        assert sum(idx.size for idx in part.user_indices) == labels.size
+
+    def test_sizes_balanced(self):
+        part = iid_split(_labels(100), 10, np.random.default_rng(2))
+        sizes = [idx.size for idx in part.user_indices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_users(self):
+        with pytest.raises(ValueError):
+            iid_split(_labels(), 0, np.random.default_rng(0))
+
+
+class TestShardNonIID:
+    def test_covers_everything_once(self):
+        labels = _labels(200, 10)
+        part = shard_non_iid_split(labels, 10, np.random.default_rng(3))
+        part.validate(labels.size)
+        assert sum(idx.size for idx in part.user_indices) == labels.size
+
+    def test_users_have_few_labels(self):
+        """The paper's pathological split: ~2 shards → at most ~3 labels/user."""
+        rng = np.random.default_rng(4)
+        labels = np.sort(np.repeat(np.arange(10), 100))
+        part = shard_non_iid_split(labels, 20, rng, shards_per_user=2)
+        label_counts = [
+            np.unique(labels[idx]).size for idx in part.user_indices
+        ]
+        assert max(label_counts) <= 4
+        assert np.mean(label_counts) < 3.0
+
+    def test_label_distribution_helper(self):
+        labels = np.array([0, 0, 1, 1, 1, 2])
+        part = shard_non_iid_split(labels, 2, np.random.default_rng(5))
+        dist = part.label_distribution(labels, 3, user=0)
+        assert dist.shape == (3,)
+        assert dist.sum() == pytest.approx(1.0)
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, num_users):
+        labels = _labels(144, 8, seed=num_users)
+        part = shard_non_iid_split(labels, num_users, np.random.default_rng(6))
+        part.validate(labels.size)
+        seen = np.concatenate(part.user_indices)
+        assert np.array_equal(np.sort(seen), np.arange(labels.size))
+
+
+class TestDirichlet:
+    def test_covers_everything_once(self):
+        labels = _labels(300, 5)
+        part = dirichlet_split(labels, 12, np.random.default_rng(7), alpha=0.5)
+        part.validate(labels.size)
+        assert sum(idx.size for idx in part.user_indices) == labels.size
+
+    def test_small_alpha_is_skewed(self):
+        labels = np.repeat(np.arange(4), 250)
+        rng = np.random.default_rng(8)
+        skewed = dirichlet_split(labels, 8, rng, alpha=0.05)
+        uniform = dirichlet_split(labels, 8, np.random.default_rng(9), alpha=100.0)
+
+        def mean_entropy(part):
+            entropies = []
+            for user in range(part.num_users):
+                dist = part.label_distribution(labels, 4, user)
+                nonzero = dist[dist > 0]
+                if nonzero.size:
+                    entropies.append(float(-(nonzero * np.log(nonzero)).sum()))
+            return np.mean(entropies)
+
+        assert mean_entropy(skewed) < mean_entropy(uniform)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            dirichlet_split(_labels(), 4, np.random.default_rng(0), alpha=0.0)
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        from repro.data.federated_split import UserPartition
+
+        bad = UserPartition([np.array([0, 1]), np.array([1, 2])])
+        with pytest.raises(ValueError):
+            bad.validate(3)
+
+    def test_out_of_range_detected(self):
+        from repro.data.federated_split import UserPartition
+
+        bad = UserPartition([np.array([0, 99])])
+        with pytest.raises(ValueError):
+            bad.validate(3)

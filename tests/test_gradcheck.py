@@ -1,0 +1,46 @@
+"""Tests for the finite-difference gradient-checking utilities themselves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0, 3.0])
+        grad = numerical_gradient(lambda v: float((v**2).sum()), x.copy())
+        assert np.allclose(grad, 2 * x, atol=1e-6)
+
+    def test_linear(self):
+        coeffs = np.array([[2.0, -1.0], [0.5, 4.0]])
+        x = np.zeros((2, 2))
+        grad = numerical_gradient(lambda v: float((coeffs * v).sum()), x)
+        assert np.allclose(grad, coeffs, atol=1e-8)
+
+    def test_does_not_mutate_input(self):
+        x = np.array([1.0, 2.0])
+        original = x.copy()
+        numerical_gradient(lambda v: float(v.sum()), x)
+        assert np.array_equal(x, original)
+
+
+class TestMaxRelativeError:
+    def test_zero_for_identical(self):
+        a = np.array([1.0, 2.0])
+        assert max_relative_error(a, a.copy()) == 0.0
+
+    def test_scale_invariance(self):
+        a = np.array([1.0])
+        b = np.array([1.1])
+        big_a, big_b = a * 1e6, b * 1e6
+        assert max_relative_error(a, b) == pytest.approx(
+            max_relative_error(big_a, big_b)
+        )
+
+    def test_detects_sign_flip(self):
+        a = np.array([1.0])
+        b = np.array([-1.0])
+        assert max_relative_error(a, b) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Tests for weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import _fans, glorot_uniform, he_normal, uniform, zeros
+
+
+class TestFans:
+    def test_dense_shape(self):
+        assert _fans((10, 20)) == (10, 20)
+
+    def test_conv_shape(self):
+        # (out_channels, in_channels, kh, kw)
+        fan_in, fan_out = _fans((8, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 8 * 25
+
+    def test_other_shape(self):
+        fan_in, fan_out = _fans((7,))
+        assert fan_in == fan_out == 7
+
+
+class TestDistributions:
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit
+        assert w.shape == (100, 100)
+
+    def test_he_scale(self):
+        rng = np.random.default_rng(1)
+        w = he_normal((400, 100), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_zeros(self):
+        assert not zeros((3, 3)).any()
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(2)
+        w = uniform((50, 50), rng, low=-0.1, high=0.1)
+        assert w.min() >= -0.1
+        assert w.max() <= 0.1
+
+    def test_determinism(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(3))
+        b = glorot_uniform((5, 5), np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_dtype(self):
+        rng = np.random.default_rng(4)
+        for init in (glorot_uniform, he_normal):
+            assert init((4, 4), rng).dtype == np.float64

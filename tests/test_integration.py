@@ -1,0 +1,117 @@
+"""End-to-end integration: the full middleware on a virtual-time event loop.
+
+Unlike the controlled-staleness runner (which injects τ), this test lets
+staleness *emerge*: heterogeneous workers race each other through the
+request → compute → push protocol on the event loop, so a slow device's
+gradients arrive genuinely stale.  This exercises every component together:
+I-Prof, the controller, AdaSGD, the device simulator and the worker runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_adasgd
+from repro.data import make_mnist_like, shard_non_iid_split
+from repro.devices import SimulatedDevice, get_spec
+from repro.nn import build_logistic
+from repro.profiler import IProf, SLO, collect_offline_dataset
+from repro.server import FleetServer, TaskAssignment, Worker
+from repro.simulation import EventLoop
+
+
+@pytest.fixture(scope="module")
+def async_deployment():
+    """A server plus racing workers wired onto an event loop."""
+    rng = np.random.default_rng(0)
+    dataset = make_mnist_like(seed=1, train_per_class=30, test_per_class=10)
+    partition = shard_non_iid_split(dataset.train_y, 6, rng)
+
+    train_devices = [
+        SimulatedDevice(get_spec(n), np.random.default_rng(10 + i))
+        for i, n in enumerate(["Galaxy S6", "Nexus 5", "Pixel"])
+    ]
+    xs, ys = collect_offline_dataset(train_devices, slo_seconds=1.0, kind="time")
+    iprof = IProf()
+    iprof.pretrain_time(xs, ys)
+
+    model = build_logistic(np.random.default_rng(2), 28 * 28, 10)
+    optimizer = make_adasgd(
+        model.get_parameters(), num_labels=10, learning_rate=0.1,
+        initial_tau_thres=12.0,
+    )
+    server = FleetServer(optimizer, iprof, SLO(time_seconds=1.0))
+
+    # Device mix: Honor 10 is ~15x faster than Xperia E3 per sample, so the
+    # slow workers' results arrive several model versions late.
+    names = ["Honor 10", "Honor 10", "Galaxy S7", "Galaxy S7", "Xperia E3", "Xperia E3"]
+    workers = []
+    for uid in range(partition.num_users):
+        data_x, data_y = dataset.subset(partition.user_indices[uid])
+        workers.append(Worker(
+            uid, build_logistic(np.random.default_rng(3), 28 * 28, 10),
+            data_x, data_y, 10,
+            SimulatedDevice(get_spec(names[uid]), np.random.default_rng(20 + uid)),
+            np.random.default_rng(30 + uid),
+        ))
+
+    loop = EventLoop()
+    staleness_by_worker: dict[int, list[float]] = {w.worker_id: [] for w in workers}
+
+    def start_round(worker: Worker) -> None:
+        assignment = server.handle_request(worker.build_request())
+        if not isinstance(assignment, TaskAssignment):
+            loop.schedule(5.0, lambda w=worker: start_round(w))
+            return
+        result = worker.execute_assignment(assignment)
+
+        def push(result=result, worker=worker):
+            staleness_by_worker[worker.worker_id].append(
+                float(server.clock - result.pull_step)
+            )
+            server.handle_result(result)
+            worker.device.idle(2.0)
+            start_round(worker)
+
+        loop.schedule(result.computation_time_s, push)
+
+    for worker in workers:
+        loop.schedule(0.0, lambda w=worker: start_round(w))
+    loop.run_until(600.0)
+    return server, workers, dataset, staleness_by_worker
+
+
+class TestAsyncDeployment:
+    def test_model_learns(self, async_deployment):
+        server, _, dataset, _ = async_deployment
+        model = build_logistic(np.random.default_rng(4), 28 * 28, 10)
+        model.set_parameters(server.current_parameters())
+        assert model.evaluate_accuracy(dataset.test_x, dataset.test_y) > 0.3
+
+    def test_staleness_emerges_from_heterogeneity(self, async_deployment):
+        """Slow devices must observe more staleness than fast ones."""
+        _, workers, _, staleness = async_deployment
+        fast = np.mean(staleness[0] + staleness[1])      # Honor 10 workers
+        slow = np.mean(staleness[4] + staleness[5])      # Xperia E3 workers
+        assert slow > fast
+
+    def test_slow_workers_not_starved(self, async_deployment):
+        """Asynchrony must let every worker contribute (the Online FL point:
+        no result is discarded)."""
+        server, _, _, staleness = async_deployment
+        assert all(len(v) > 0 for v in staleness.values())
+        worker_ids = {rec.worker_id for rec in server.optimizer.applied}
+        assert len(worker_ids) == 6
+
+    def test_clock_counts_updates(self, async_deployment):
+        server, _, _, staleness = async_deployment
+        total_pushes = sum(len(v) for v in staleness.values())
+        # K = 1: every accepted push advances the clock (minus drop-weight 0).
+        assert server.clock + server.optimizer.rejected_count == total_pushes
+
+    def test_profiler_learned_all_device_models(self, async_deployment):
+        server, workers, _, _ = async_deployment
+        models = {w.device.spec.name for w in workers}
+        for name in models:
+            assert server.profiler.time_predictor.has_personal_model(name)

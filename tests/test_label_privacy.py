@@ -1,0 +1,109 @@
+"""Tests for differentially private label-distribution reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.label_privacy import (
+    debias_randomized_response,
+    laplace_private_counts,
+    randomized_response_counts,
+    similarity_error,
+)
+from repro.core.similarity import bhattacharyya
+
+
+class TestLaplace:
+    def test_nonnegative_output(self):
+        rng = np.random.default_rng(0)
+        out = laplace_private_counts(np.array([0.0, 1.0, 5.0]), 0.5, rng)
+        assert (out >= 0).all()
+
+    def test_noise_scale_shrinks_with_epsilon(self):
+        rng = np.random.default_rng(1)
+        counts = np.full(8, 100.0)
+        loose = np.mean([
+            np.abs(laplace_private_counts(counts, 0.1, rng) - counts).mean()
+            for _ in range(200)
+        ])
+        tight = np.mean([
+            np.abs(laplace_private_counts(counts, 10.0, rng) - counts).mean()
+            for _ in range(200)
+        ])
+        assert tight < loose
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            laplace_private_counts(np.ones(3), 0.0, rng)
+        with pytest.raises(ValueError):
+            laplace_private_counts(np.array([-1.0]), 1.0, rng)
+
+
+class TestRandomizedResponse:
+    def test_total_count_preserved(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 5, size=400)
+        out = randomized_response_counts(labels, 5, 1.0, rng)
+        assert out.sum() == 400
+
+    def test_high_epsilon_keeps_labels(self):
+        rng = np.random.default_rng(3)
+        labels = np.zeros(300, dtype=np.int64)
+        out = randomized_response_counts(labels, 4, 20.0, rng)
+        assert out[0] >= 295
+
+    def test_low_epsilon_approaches_uniform(self):
+        rng = np.random.default_rng(4)
+        labels = np.zeros(6000, dtype=np.int64)
+        out = randomized_response_counts(labels, 4, 0.01, rng)
+        assert out.max() / out.sum() < 0.35   # near uniform 0.25
+
+    def test_debias_recovers_histogram(self):
+        rng = np.random.default_rng(5)
+        labels = np.repeat(np.arange(4), [500, 300, 150, 50])
+        reported = randomized_response_counts(labels, 4, 1.0, rng)
+        estimate = debias_randomized_response(reported, 1.0)
+        truth = np.array([500.0, 300.0, 150.0, 50.0])
+        assert np.abs(estimate - truth).max() < 120   # within sampling noise
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            randomized_response_counts(np.array([0]), 1, 1.0, rng)
+        with pytest.raises(ValueError):
+            randomized_response_counts(np.array([5]), 4, 1.0, rng)
+        with pytest.raises(ValueError):
+            randomized_response_counts(np.array([0]), 4, 0.0, rng)
+
+
+class TestSimilarityError:
+    def test_zero_for_identical(self):
+        counts = np.array([3.0, 1.0, 0.0])
+        reference = np.array([1.0, 1.0, 1.0])
+        assert similarity_error(counts, counts, reference) == 0.0
+
+    def test_noise_bounds_similarity_drift(self):
+        """The §5 trade-off: more privacy (smaller ε) → larger boost error."""
+        rng = np.random.default_rng(6)
+        counts = np.array([50.0, 30.0, 0.0, 0.0])
+        reference = np.array([10.0, 10.0, 10.0, 10.0])
+        errors = {}
+        for eps in (0.1, 10.0):
+            errs = [
+                similarity_error(
+                    counts, laplace_private_counts(counts, eps, rng), reference
+                )
+                for _ in range(200)
+            ]
+            errors[eps] = float(np.mean(errs))
+        assert errors[10.0] < errors[0.1]
+
+    def test_error_bounded_by_one(self):
+        rng = np.random.default_rng(7)
+        counts = np.array([5.0, 0.0])
+        reference = np.array([0.0, 5.0])
+        for _ in range(20):
+            noisy = laplace_private_counts(counts, 0.5, rng)
+            assert 0.0 <= similarity_error(counts, noisy, reference) <= 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for loss functions, including gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    mse,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class TestSoftmax:
+    def test_stability_with_large_logits(self):
+        out = softmax(np.array([[1000.0, 1000.0, 1000.0]]))
+        assert np.allclose(out, 1.0 / 3.0)
+
+    def test_rows_normalized(self):
+        logits = np.random.default_rng(0).normal(size=(6, 9))
+        assert np.allclose(softmax(logits).sum(axis=1), 1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[20.0, 0.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 5))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert abs(loss - np.log(5)) < 1e-9
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        _, grad = softmax_cross_entropy(logits, labels)
+
+        def f(z):
+            return softmax_cross_entropy(z, labels)[0]
+
+        numeric = numerical_gradient(f, logits.copy())
+        assert max_relative_error(grad, numeric) < 1e-6
+
+    def test_soft_targets(self):
+        logits = np.random.default_rng(2).normal(size=(2, 3))
+        hard = np.array([1, 2])
+        onehot = np.eye(3)[hard]
+        loss_hard, grad_hard = softmax_cross_entropy(logits, hard)
+        loss_soft, grad_soft = softmax_cross_entropy(logits, onehot)
+        assert abs(loss_hard - loss_soft) < 1e-9
+        assert np.allclose(grad_hard, grad_soft)
+
+    def test_gradient_rows_sum_to_zero(self):
+        logits = np.random.default_rng(3).normal(size=(5, 7))
+        _, grad = softmax_cross_entropy(logits, np.zeros(5, dtype=int))
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestSigmoidBCE:
+    def test_sigmoid_bounds(self):
+        x = np.linspace(-100, 100, 41)
+        s = sigmoid(x)
+        assert (s >= 0).all() and (s <= 1).all()
+        assert abs(sigmoid(np.array([0.0]))[0] - 0.5) < 1e-12
+
+    def test_bce_gradient(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(3, 5))
+        targets = (rng.random((3, 5)) < 0.4).astype(float)
+        _, grad = binary_cross_entropy_with_logits(logits, targets)
+
+        def f(z):
+            return binary_cross_entropy_with_logits(z, targets)[0]
+
+        numeric = numerical_gradient(f, logits.copy())
+        assert max_relative_error(grad, numeric) < 1e-6
+
+    def test_bce_extreme_logits_no_overflow(self):
+        logits = np.array([[800.0, -800.0]])
+        targets = np.array([[1.0, 0.0]])
+        loss, grad = binary_cross_entropy_with_logits(logits, targets)
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+        assert loss < 1e-6
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = np.random.default_rng(5).normal(size=(4, 4))
+        loss, grad = mse(x, x.copy())
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(6)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, grad = mse(pred, target)
+        numeric = numerical_gradient(lambda p: mse(p, target)[0], pred.copy())
+        assert max_relative_error(grad, numeric) < 1e-6

@@ -1,0 +1,98 @@
+"""Tests for evaluation metrics, especially the F1 @ top-5 of §3.1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    accuracy,
+    f1_at_top_k,
+    per_class_accuracy,
+    steps_to_accuracy,
+    top_k_sets,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 0, 3]), np.array([1, 2, 3])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        out = per_class_accuracy(preds, labels, 3)
+        assert out[0] == 1.0
+        assert out[1] == pytest.approx(2 / 3)
+        assert np.isnan(out[2])
+
+
+class TestTopK:
+    def test_top_k_selects_largest(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        assert top_k_sets(scores, 2) == [{1, 2}]
+
+    def test_k_clipped_to_width(self):
+        scores = np.array([[1.0, 2.0]])
+        assert top_k_sets(scores, 5) == [{0, 1}]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_sets(np.zeros((1, 3)), 0)
+
+
+class TestF1AtTopK:
+    def test_perfect_single_label(self):
+        # One true hashtag, ranked first among top-5 of 10.
+        scores = np.zeros((1, 10))
+        scores[0, 3] = 10.0
+        f1 = f1_at_top_k(scores, [{3}], k=5)
+        # precision 1/5, recall 1 -> F1 = 2*(0.2*1)/(1.2)
+        assert f1 == pytest.approx(2 * 0.2 / 1.2)
+
+    def test_no_overlap_zero(self):
+        scores = np.zeros((1, 10))
+        scores[0, :5] = 1.0
+        assert f1_at_top_k(scores, [{9}], k=5) == 0.0
+
+    def test_empty_truth_skipped(self):
+        scores = np.random.default_rng(0).normal(size=(2, 6))
+        f1_with_empty = f1_at_top_k(scores, [set(), {0}], k=2)
+        f1_single = f1_at_top_k(scores[1:], [{0}], k=2)
+        assert f1_with_empty == pytest.approx(f1_single)
+
+    def test_all_empty_returns_zero(self):
+        assert f1_at_top_k(np.zeros((2, 4)), [set(), set()], k=2) == 0.0
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_at_top_k(np.zeros((2, 4)), [{1}], k=2)
+
+    def test_full_recall_and_precision(self):
+        scores = np.zeros((1, 6))
+        scores[0, [1, 2]] = 5.0
+        assert f1_at_top_k(scores, [{1, 2}], k=2) == pytest.approx(1.0)
+
+
+class TestStepsToAccuracy:
+    def test_first_crossing(self):
+        curve = np.array([0.1, 0.5, 0.7, 0.85, 0.9])
+        assert steps_to_accuracy(curve, 0.8) == 3
+
+    def test_never_reached(self):
+        assert steps_to_accuracy(np.array([0.1, 0.2]), 0.8) is None
+
+    def test_immediate(self):
+        assert steps_to_accuracy(np.array([0.9, 0.95]), 0.8) == 0

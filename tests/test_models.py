@@ -1,0 +1,170 @@
+"""Tests for the model zoo: Table-1 architectures and the flat-vector API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_model_gradients
+from repro.nn.models import (
+    Sequential,
+    build_cifar100_cnn,
+    build_emnist_cnn,
+    build_hashtag_gru,
+    build_hashtag_rnn,
+    build_logistic,
+    build_mnist_cnn,
+)
+
+
+class TestTable1Architectures:
+    """Input/output contracts of the three paper CNNs (Table 1)."""
+
+    def test_mnist_cnn_shapes(self):
+        model = build_mnist_cnn(np.random.default_rng(0))
+        out = model.forward(np.zeros((2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_emnist_cnn_shapes(self):
+        model = build_emnist_cnn(np.random.default_rng(0))
+        out = model.forward(np.zeros((2, 1, 28, 28)))
+        assert out.shape == (2, 62)
+
+    def test_cifar100_cnn_shapes(self):
+        model = build_cifar100_cnn(np.random.default_rng(0))
+        out = model.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 100)
+
+    def test_scale_shrinks_parameters(self):
+        full = build_mnist_cnn(np.random.default_rng(0))
+        half = build_mnist_cnn(np.random.default_rng(0), scale=0.5)
+        assert half.num_parameters < full.num_parameters
+        assert half.forward(np.zeros((1, 1, 28, 28))).shape == (1, 10)
+
+    def test_hashtag_rnn_parameter_count_matches_paper(self):
+        model = build_hashtag_rnn(np.random.default_rng(0))
+        # Paper: 123,330 parameters; our default config gives 123,648.
+        assert abs(model.num_parameters - 123_330) < 1000
+
+    def test_hashtag_rnn_forward(self):
+        model = build_hashtag_rnn(
+            np.random.default_rng(0), vocab_size=50, embed_dim=8,
+            hidden_dim=12, num_hashtags=20,
+        )
+        out = model.forward(np.random.default_rng(1).integers(0, 50, size=(3, 6)))
+        assert out.shape == (3, 20)
+
+
+class TestFlatVectorInterface:
+    def test_roundtrip(self):
+        model = build_logistic(np.random.default_rng(0), 10, 4)
+        vec = model.get_parameters()
+        model.set_parameters(np.zeros_like(vec))
+        assert np.allclose(model.get_parameters(), 0.0)
+        model.set_parameters(vec)
+        assert np.allclose(model.get_parameters(), vec)
+
+    def test_wrong_size_rejected(self):
+        model = build_logistic(np.random.default_rng(0), 10, 4)
+        with pytest.raises(ValueError):
+            model.set_parameters(np.zeros(3))
+
+    def test_set_parameters_changes_predictions(self):
+        rng = np.random.default_rng(1)
+        model = build_logistic(rng, 6, 3)
+        x = rng.normal(size=(4, 6))
+        before = model.forward(x)
+        model.set_parameters(rng.normal(size=model.num_parameters))
+        after = model.forward(x)
+        assert not np.allclose(before, after)
+
+    def test_gradient_vector_matches_parameter_layout(self):
+        rng = np.random.default_rng(2)
+        model = build_logistic(rng, 5, 3)
+        x, y = rng.normal(size=(4, 5)), rng.integers(0, 3, size=4)
+        _, grad = model.compute_gradient(x, y)
+        assert grad.shape == model.get_parameters().shape
+
+    def test_parameter_vector_is_copy(self):
+        model = build_logistic(np.random.default_rng(0), 4, 2)
+        vec = model.get_parameters()
+        vec[...] = 99.0
+        assert not np.allclose(model.get_parameters(), 99.0)
+
+
+class TestTraining:
+    def test_gradient_descent_reduces_loss(self):
+        rng = np.random.default_rng(3)
+        model = build_logistic(rng, 8, 3)
+        x, y = rng.normal(size=(32, 8)), rng.integers(0, 3, size=32)
+        loss0, grad = model.compute_gradient(x, y)
+        params = model.get_parameters() - 1.0 * grad
+        model.set_parameters(params)
+        loss1, _ = model.compute_gradient(x, y)
+        assert loss1 < loss0
+
+    def test_cnn_gradients_correct(self):
+        rng = np.random.default_rng(4)
+        model = build_mnist_cnn(rng, scale=0.4)
+        x = rng.normal(size=(2, 1, 28, 28))
+        y = rng.integers(0, 10, size=2)
+        err = check_model_gradients(model, x, y, sample=25, rng=rng)
+        assert err < 1e-5
+
+    def test_rnn_model_gradients_correct(self):
+        rng = np.random.default_rng(5)
+        model = build_hashtag_rnn(
+            rng, vocab_size=20, embed_dim=4, hidden_dim=5, num_hashtags=6
+        )
+        x = rng.integers(0, 20, size=(3, 4))
+        y = (rng.random((3, 6)) < 0.3).astype(float)
+        err = check_model_gradients(model, x, y, sample=25, rng=rng)
+        assert err < 1e-5
+
+    def test_evaluate_accuracy_bounds(self):
+        rng = np.random.default_rng(6)
+        model = build_logistic(rng, 4, 2)
+        x, y = rng.normal(size=(20, 4)), rng.integers(0, 2, size=20)
+        acc = model.evaluate_accuracy(x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_proba_normalized(self):
+        rng = np.random.default_rng(7)
+        model = build_logistic(rng, 4, 3)
+        probs = model.predict_proba(rng.normal(size=(5, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestHashtagGRU:
+    def test_parameter_count_near_vanilla(self):
+        rng = np.random.default_rng(0)
+        vanilla = build_hashtag_rnn(np.random.default_rng(0))
+        gated = build_hashtag_gru(rng)
+        # Same order of magnitude as the paper's 123,330-parameter model.
+        assert 0.7 * vanilla.num_parameters < gated.num_parameters < 1.5 * vanilla.num_parameters
+
+    def test_forward_shape(self):
+        rng = np.random.default_rng(1)
+        model = build_hashtag_gru(rng, vocab_size=50, embed_dim=8,
+                                  hidden_dim=12, num_hashtags=20)
+        tokens = np.random.default_rng(2).integers(0, 50, size=(4, 9))
+        assert model.forward(tokens).shape == (4, 20)
+
+    def test_trains_on_toy_multilabel_task(self):
+        rng = np.random.default_rng(3)
+        model = build_hashtag_gru(rng, vocab_size=12, embed_dim=6,
+                                  hidden_dim=8, num_hashtags=4)
+        data_rng = np.random.default_rng(4)
+        # Hashtag h co-occurs with token h deterministically.
+        tokens = data_rng.integers(0, 4, size=(64, 5))
+        labels = np.zeros((64, 4))
+        labels[np.arange(64), tokens[:, 0]] = 1.0
+        params = model.get_parameters()
+        first_loss = None
+        for _ in range(60):
+            model.set_parameters(params)
+            loss, grad = model.compute_gradient(tokens, labels)
+            if first_loss is None:
+                first_loss = loss
+            params = params - 0.5 * grad
+        assert loss < first_loss * 0.8

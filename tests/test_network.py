@@ -1,0 +1,333 @@
+"""Tests for the mobile network substrate (repro.network)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    HSPA_3G,
+    LTE_4G,
+    WIFI,
+    EwmaThroughputPredictor,
+    HandoverChain,
+    HarmonicMeanPredictor,
+    LinkProfile,
+    NetworkConditions,
+    NetworkInterface,
+    SignalProcess,
+    ThroughputSample,
+    get_profile,
+    prediction_error,
+)
+
+
+class TestLinkProfile:
+    def test_lookup_by_name(self):
+        assert get_profile("wifi") is WIFI
+        assert get_profile("4g") is LTE_4G
+        assert get_profile("3g") is HSPA_3G
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown link profile"):
+            get_profile("5g")
+
+    def test_one_way_time_increases_with_payload(self):
+        small = LTE_4G.one_way_seconds(1_000, uplink=False)
+        large = LTE_4G.one_way_seconds(1_000_000, uplink=False)
+        assert large > small > LTE_4G.rtt_s
+
+    def test_uplink_slower_than_downlink(self):
+        payload = 500_000
+        assert LTE_4G.one_way_seconds(payload, uplink=True) > LTE_4G.one_way_seconds(
+            payload, uplink=False
+        )
+
+    def test_zero_payload_costs_only_rtt(self):
+        assert LTE_4G.one_way_seconds(0, uplink=False) == pytest.approx(LTE_4G.rtt_s)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            LTE_4G.one_way_seconds(-1, uplink=False)
+
+    def test_paper_calibration_4g_vs_3g_round_trip(self):
+        """§3.1: ~123 k-param model round trip ≈ 1.1 s on 4G, ≈ 3.8 s on 3G.
+
+        The wire size of the float32 model is ≈ 0.49 MB; deflate shaves it
+        to roughly 0.3-0.45 MB depending on entropy.  At nominal signal the
+        profile times must bracket the paper's figures within ~2×.
+        """
+        wire_bytes = 123_330 * 4  # float32, uncompressed upper bound
+        rt_4g = LTE_4G.one_way_seconds(wire_bytes, False) + LTE_4G.one_way_seconds(
+            wire_bytes, True
+        )
+        rt_3g = HSPA_3G.one_way_seconds(wire_bytes, False) + HSPA_3G.one_way_seconds(
+            wire_bytes, True
+        )
+        assert 0.5 <= rt_4g <= 2.2
+        assert 2.0 <= rt_3g <= 7.0
+        assert rt_3g > rt_4g
+
+    def test_cellular_is_metered_wifi_is_not(self):
+        assert LTE_4G.metered and HSPA_3G.metered
+        assert not WIFI.metered
+
+    def test_tail_energy_dominates_small_transfers(self):
+        """Altamimi et al.: the cellular radio tail dwarfs tiny payloads."""
+        tiny_active = 0.01
+        tail = LTE_4G.tail_power_w * LTE_4G.tail_seconds
+        active = LTE_4G.transfer_power_w * tiny_active
+        assert LTE_4G.transfer_energy_mwh(tiny_active) == pytest.approx(
+            (tail + active) * 1000.0 / 3600.0
+        )
+        assert tail > active
+
+    def test_wifi_has_no_tail(self):
+        assert WIFI.transfer_energy_mwh(0.0) == 0.0
+
+    def test_invalid_profile_construction(self):
+        with pytest.raises(ValueError):
+            LinkProfile("bad", -1.0, 1.0, 0.1, 1.0, 0.0, 0.0, True)
+        with pytest.raises(ValueError):
+            LinkProfile("bad", 1.0, 1.0, -0.1, 1.0, 0.0, 0.0, True)
+        with pytest.raises(ValueError):
+            LinkProfile("bad", 1.0, 1.0, 0.1, -1.0, 0.0, 0.0, True)
+
+
+class TestSignalProcess:
+    def test_quality_bounded(self, rng):
+        process = SignalProcess(rng)
+        samples = [process.quality(t) for t in np.linspace(0, 7200, 200)]
+        assert all(process.floor <= q <= 1.0 for q in samples)
+
+    def test_deterministic_per_seed(self):
+        a = SignalProcess(np.random.default_rng(3))
+        b = SignalProcess(np.random.default_rng(3))
+        times = [0.0, 100.0, 5000.0, 123.4]
+        assert [a.quality(t) for t in times] == [b.quality(t) for t in times]
+
+    def test_out_of_order_queries_consistent(self, rng):
+        process = SignalProcess(rng)
+        late = process.quality(3600.0)
+        early = process.quality(60.0)
+        assert process.quality(3600.0) == late
+        assert process.quality(60.0) == early
+
+    def test_interpolation_continuous(self, rng):
+        process = SignalProcess(rng, grid_s=30.0)
+        # Adjacent queries 1 ms apart differ by at most the grid step's slope.
+        delta = abs(process.quality(45.0) - process.quality(45.001))
+        assert delta < 0.01
+
+    def test_negative_time_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SignalProcess(rng).quality(-1.0)
+
+    def test_mean_reversion_pulls_towards_mean(self, rng):
+        process = SignalProcess(rng, mean=0.8, volatility=0.05)
+        samples = np.array([process.quality(t) for t in np.arange(0, 86400, 60)])
+        assert abs(samples.mean() - 0.8) < 0.15
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            SignalProcess(rng, mean=0.0)
+        with pytest.raises(ValueError):
+            SignalProcess(rng, reversion=0.0)
+        with pytest.raises(ValueError):
+            SignalProcess(rng, volatility=-0.1)
+        with pytest.raises(ValueError):
+            SignalProcess(rng, floor=1.0)
+        with pytest.raises(ValueError):
+            SignalProcess(rng, grid_s=0.0)
+
+
+class TestHandoverChain:
+    def test_initial_link(self, rng):
+        chain = HandoverChain(rng, initial=WIFI)
+        assert chain.link_at(0.0) is WIFI
+
+    def test_links_are_valid_profiles(self, rng):
+        chain = HandoverChain(rng, mean_dwell_s=120.0)
+        names = {chain.link_at(t).name for t in np.linspace(0, 86400, 300)}
+        assert names <= {"wifi", "4g", "3g"}
+        assert len(names) >= 2  # with 12 min dwell a day sees several links
+
+    def test_deterministic_per_seed(self):
+        a = HandoverChain(np.random.default_rng(9), mean_dwell_s=300.0)
+        b = HandoverChain(np.random.default_rng(9), mean_dwell_s=300.0)
+        times = [0.0, 500.0, 10_000.0, 250.0]
+        assert [a.link_at(t).name for t in times] == [b.link_at(t).name for t in times]
+
+    def test_piecewise_constant(self, rng):
+        chain = HandoverChain(rng, mean_dwell_s=600.0)
+        # Two queries inside the same short interval usually hit one segment;
+        # verify consistency by re-querying the exact same instant.
+        assert chain.link_at(100.0).name == chain.link_at(100.0).name
+
+    def test_negative_time_rejected(self, rng):
+        with pytest.raises(ValueError):
+            HandoverChain(rng).link_at(-0.1)
+
+    def test_invalid_dwell(self, rng):
+        with pytest.raises(ValueError):
+            HandoverChain(rng, mean_dwell_s=0.0)
+
+
+class TestThroughputPredictors:
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputSample(payload_bytes=0, seconds=1.0)
+        with pytest.raises(ValueError):
+            ThroughputSample(payload_bytes=100, seconds=0.0)
+
+    def test_sample_mbps(self):
+        sample = ThroughputSample(payload_bytes=1_250_000, seconds=1.0)
+        assert sample.mbps == pytest.approx(10.0)
+
+    def test_ewma_converges_to_stationary_rate(self):
+        predictor = EwmaThroughputPredictor(alpha=0.3, prior_mbps=1.0)
+        for _ in range(60):
+            predictor.observe(ThroughputSample(1_250_000, 1.0))  # 10 Mbps
+        assert predictor.predicted_mbps() == pytest.approx(10.0, rel=1e-3)
+
+    def test_ewma_prior_used_before_observations(self):
+        predictor = EwmaThroughputPredictor(prior_mbps=5.0)
+        assert predictor.predicted_mbps() == 5.0
+        assert predictor.predict_seconds(625_000) == pytest.approx(1.0)
+
+    def test_harmonic_mean_below_arithmetic_on_spiky_rates(self):
+        predictor = HarmonicMeanPredictor(window=10)
+        rates_mbps = [1.0, 1.0, 1.0, 100.0]
+        for rate in rates_mbps:
+            predictor.observe(ThroughputSample(int(rate * 125_000), 1.0))
+        arithmetic = float(np.mean(rates_mbps))
+        assert predictor.predicted_mbps() < arithmetic
+        assert predictor.predicted_mbps() == pytest.approx(
+            len(rates_mbps) / sum(1.0 / r for r in rates_mbps)
+        )
+
+    def test_harmonic_window_evicts_old_samples(self):
+        predictor = HarmonicMeanPredictor(window=2)
+        predictor.observe(ThroughputSample(125_000, 1.0))  # 1 Mbps
+        predictor.observe(ThroughputSample(1_250_000, 1.0))  # 10 Mbps
+        predictor.observe(ThroughputSample(1_250_000, 1.0))  # 10 Mbps
+        assert predictor.predicted_mbps() == pytest.approx(10.0)
+
+    def test_predict_seconds_scales_linearly(self):
+        predictor = EwmaThroughputPredictor(prior_mbps=8.0)
+        assert predictor.predict_seconds(2_000_000) == pytest.approx(
+            2 * predictor.predict_seconds(1_000_000)
+        )
+
+    def test_prediction_error(self):
+        assert prediction_error(1.5, 1.0) == pytest.approx(0.5)
+        assert prediction_error(1.0, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            prediction_error(1.0, 0.0)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            EwmaThroughputPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaThroughputPredictor(prior_mbps=0.0)
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor(window=0)
+
+    @given(st.lists(st.floats(0.5, 80.0), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_harmonic_mean_bounded_by_observed_rates(self, rates):
+        predictor = HarmonicMeanPredictor(window=64)
+        for rate in rates:
+            predictor.observe(ThroughputSample(int(rate * 125_000) + 1, 1.0))
+        estimate = predictor.predicted_mbps()
+        assert min(rates) * 0.99 <= estimate <= max(rates) * 1.01
+
+    @given(st.lists(st.floats(0.5, 80.0), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_ewma_bounded_by_prior_and_observed(self, rates):
+        prior = 5.0
+        predictor = EwmaThroughputPredictor(alpha=0.4, prior_mbps=prior)
+        for rate in rates:
+            predictor.observe(ThroughputSample(int(rate * 125_000) + 1, 1.0))
+        low = min(min(rates), prior)
+        high = max(max(rates), prior)
+        assert low * 0.98 <= predictor.predicted_mbps() <= high * 1.02
+
+
+class TestNetworkInterface:
+    def _interface(self, seed=0, link=LTE_4G, noise=0.0):
+        rng = np.random.default_rng(seed)
+        conditions = NetworkConditions(rng, fixed_link=link)
+        return NetworkInterface(conditions, rng, noise_std=noise)
+
+    def test_transfer_records_outcome(self):
+        interface = self._interface()
+        outcome = interface.transfer(500_000, time_s=0.0, uplink=False)
+        assert outcome.link_name == "4g"
+        assert outcome.seconds > 0
+        assert outcome.energy_mwh > 0
+        assert interface.transfers == [outcome]
+
+    def test_round_trip_orders_pull_before_push(self):
+        interface = self._interface()
+        round_trip = interface.round_trip(500_000, 500_000, time_s=10.0)
+        assert round_trip.seconds == pytest.approx(
+            round_trip.down.seconds + round_trip.up.seconds
+        )
+        assert round_trip.energy_mwh == pytest.approx(
+            round_trip.down.energy_mwh + round_trip.up.energy_mwh
+        )
+
+    def test_weak_signal_slows_transfer(self):
+        strong = self._interface()
+        weak = self._interface()
+        strong.conditions.signal._samples = [1.0, 1.0]
+        weak.conditions.signal._samples = [0.25, 0.25]
+        fast = strong.transfer(1_000_000, 0.0, uplink=False).seconds
+        slow = weak.transfer(1_000_000, 0.0, uplink=False).seconds
+        assert slow > fast * 2
+
+    def test_unmetered_check_follows_link(self):
+        assert self._interface(link=WIFI).is_unmetered(0.0)
+        assert not self._interface(link=HSPA_3G).is_unmetered(0.0)
+
+    def test_total_energy_accumulates(self):
+        interface = self._interface()
+        interface.transfer(100_000, 0.0, uplink=False)
+        interface.transfer(100_000, 5.0, uplink=True)
+        assert interface.total_energy_mwh() == pytest.approx(
+            sum(o.energy_mwh for o in interface.transfers)
+        )
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            self._interface().transfer(-1, 0.0, uplink=False)
+
+    def test_noise_is_multiplicative_lognormal(self):
+        noisy = self._interface(seed=1, noise=0.3)
+        times = [
+            noisy.transfer(1_000_000, float(t), uplink=False).seconds
+            for t in range(30)
+        ]
+        assert np.std(times) > 0.0
+
+    def test_deterministic_per_seed(self):
+        a = self._interface(seed=42, noise=0.2)
+        b = self._interface(seed=42, noise=0.2)
+        assert a.transfer(300_000, 0.0, False).seconds == pytest.approx(
+            b.transfer(300_000, 0.0, False).seconds
+        )
+
+    def test_predictor_learns_interface_throughput(self):
+        """End to end: harmonic predictor tracks the simulated link."""
+        interface = self._interface(seed=7, noise=0.1)
+        predictor = HarmonicMeanPredictor(window=30)
+        payload = 1_000_000
+        for i in range(30):
+            outcome = interface.transfer(payload, float(i * 10), uplink=False)
+            predictor.observe(ThroughputSample(payload, outcome.seconds))
+        predicted = predictor.predict_seconds(payload)
+        actual = interface.transfer(payload, 400.0, uplink=False).seconds
+        assert prediction_error(predicted, actual) < 1.0

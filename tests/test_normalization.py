@@ -1,0 +1,129 @@
+"""Tests for BatchNorm2D / LayerNorm (nn.normalization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_model_gradients, max_relative_error, numerical_gradient
+from repro.nn.layers import Dense, Flatten
+from repro.nn.models import Sequential
+from repro.nn.normalization import BatchNorm2D, LayerNorm
+
+
+class TestBatchNorm2D:
+    def test_training_output_is_normalized(self, rng):
+        layer = BatchNorm2D(3)
+        x = rng.normal(5.0, 3.0, size=(16, 3, 4, 4))
+        out = layer.forward(x, train=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_converge_to_population(self, rng):
+        layer = BatchNorm2D(2, momentum=0.5)
+        for _ in range(60):
+            layer.forward(rng.normal(3.0, 2.0, size=(32, 2, 3, 3)), train=True)
+        assert np.allclose(layer.running_mean, 3.0, atol=0.3)
+        assert np.allclose(layer.running_var, 4.0, atol=0.8)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm2D(2, momentum=0.0)  # running stats = last batch
+        x = rng.normal(1.0, 1.0, size=(64, 2, 3, 3))
+        layer.forward(x, train=True)
+        # A wildly shifted eval batch must be normalized by *training* stats.
+        shifted = rng.normal(50.0, 1.0, size=(8, 2, 3, 3))
+        out = layer.forward(shifted, train=False)
+        assert out.mean() > 10.0  # not re-centred to zero
+
+    def test_gamma_beta_in_wire_vector_but_not_running_stats(self, rng):
+        layer = BatchNorm2D(4)
+        model = Sequential([layer, Flatten(), Dense(4 * 2 * 2, 3, rng=rng)])
+        vector = model.get_parameters()
+        assert vector.size == layer.num_parameters + 4 * 2 * 2 * 3 + 3
+        layer.running_mean[:] = 9.0
+        assert model.get_parameters().size == vector.size  # state not shipped
+
+    def test_gradcheck_through_batchnorm(self, rng):
+        model = Sequential(
+            [BatchNorm2D(2), Flatten(), Dense(2 * 3 * 3, 4, rng=rng)]
+        )
+        x = rng.normal(size=(8, 2, 3, 3))
+        y = rng.integers(0, 4, size=8)
+        error = check_model_gradients(model, x, y, sample=30, rng=rng)
+        assert error < 1e-5
+
+    def test_input_shape_validation(self, rng):
+        layer = BatchNorm2D(3)
+        with pytest.raises(ValueError, match="expected"):
+            layer.forward(rng.normal(size=(4, 2, 3, 3)), train=True)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 3)), train=True)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(2, momentum=1.0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(2, eps=0.0)
+
+    def test_backward_requires_train_forward(self, rng):
+        layer = BatchNorm2D(2)
+        layer.forward(rng.normal(size=(4, 2, 3, 3)), train=False)
+        with pytest.raises(AssertionError):
+            layer.backward(np.ones((4, 2, 3, 3)))
+
+
+class TestLayerNorm:
+    def test_output_normalized_per_row(self, rng):
+        layer = LayerNorm(16)
+        x = rng.normal(2.0, 5.0, size=(10, 16))
+        out = layer.forward(x, train=True)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_works_on_3d_sequences(self, rng):
+        layer = LayerNorm(8)
+        x = rng.normal(size=(4, 5, 8))
+        out = layer.forward(x, train=True)
+        assert out.shape == x.shape
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_gradcheck(self, rng):
+        model = Sequential([LayerNorm(12), Dense(12, 5, rng=rng)])
+        x = rng.normal(size=(7, 12))
+        y = rng.integers(0, 5, size=7)
+        error = check_model_gradients(model, x, y, sample=30, rng=rng)
+        assert error < 1e-5
+
+    def test_input_gradient_matches_finite_differences(self, rng):
+        layer = LayerNorm(6)
+        x = rng.normal(size=(3, 6))
+        weights = rng.normal(size=(3, 6))
+
+        def loss(v):
+            return float((layer.forward(v, train=True) * weights).sum())
+
+        numeric = numerical_gradient(loss, x.copy())
+        layer.forward(x, train=True)
+        analytic = layer.backward(weights)
+        assert max_relative_error(analytic, numeric) < 1e-6
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="last axis"):
+            LayerNorm(8).forward(rng.normal(size=(4, 7)), train=True)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        with pytest.raises(ValueError):
+            LayerNorm(4, eps=-1.0)
+
+    def test_identity_at_init_up_to_normalization(self, rng):
+        """gamma=1, beta=0 at init: output is exactly the normalized input."""
+        layer = LayerNorm(5)
+        x = rng.normal(size=(6, 5))
+        out = layer.forward(x, train=True)
+        mean = x.mean(axis=-1, keepdims=True)
+        std = np.sqrt(x.var(axis=-1, keepdims=True) + layer.eps)
+        assert np.allclose(out, (x - mean) / std)

@@ -1,0 +1,88 @@
+"""Tests for the Online-vs-Standard FL comparison driver (Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tweets import TweetStream, TweetStreamConfig
+from repro.nn import build_hashtag_rnn
+from repro.simulation.online import run_online_comparison
+
+
+@pytest.fixture(scope="module")
+def small_stream():
+    return TweetStream(TweetStreamConfig(
+        num_days=4, tweets_per_hour=12, num_users=10,
+        vocab_size=60, num_hashtags=16, tokens_per_tweet=6,
+        mean_lifetime_hours=10.0, seed=2,
+    ))
+
+
+def _builder(stream):
+    cfg = stream.config
+
+    def build():
+        return build_hashtag_rnn(
+            np.random.default_rng(0),
+            vocab_size=cfg.vocab_size,
+            embed_dim=8,
+            hidden_dim=12,
+            num_hashtags=cfg.num_hashtags,
+        )
+
+    return build
+
+
+class TestOnlineComparison:
+    def test_series_aligned(self, small_stream):
+        result = run_online_comparison(
+            small_stream, _builder(small_stream), learning_rate=0.3,
+            warmup_hours=12,
+        )
+        n = len(result.chunk_index)
+        assert n > 10
+        assert len(result.online_f1) == len(result.standard_f1) == n
+        assert len(result.baseline_f1) == n
+
+    def test_f1_in_unit_interval(self, small_stream):
+        result = run_online_comparison(
+            small_stream, _builder(small_stream), learning_rate=0.3,
+            warmup_hours=12,
+        )
+        for series in (result.online_f1, result.standard_f1, result.baseline_f1):
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_online_beats_standard_on_drifting_stream(self, small_stream):
+        """The paper's headline claim, in miniature: hour-fresh updates beat
+        day-stale updates when hashtag popularity drifts by the hour."""
+        result = run_online_comparison(
+            small_stream, _builder(small_stream), learning_rate=0.3,
+            warmup_hours=12,
+        )
+        online_mean, standard_mean, _ = result.mean_f1()
+        assert online_mean > standard_mean
+
+    def test_boost_metric(self, small_stream):
+        result = run_online_comparison(
+            small_stream, _builder(small_stream), learning_rate=0.3,
+            warmup_hours=12,
+        )
+        assert result.mean_boost() > 1.0
+
+    def test_identical_cadence_identical_results(self, small_stream):
+        """With the same update interval the two arms differ only in update
+        semantics; at interval=1h both must produce finite sane scores."""
+        result = run_online_comparison(
+            small_stream, _builder(small_stream), learning_rate=0.3,
+            update_hours_online=1, update_hours_standard=1, warmup_hours=12,
+        )
+        online_mean, standard_mean, _ = result.mean_f1()
+        # Sequential vs synchronous application differ, but not wildly.
+        assert abs(online_mean - standard_mean) < 0.25
+
+    def test_invalid_intervals(self, small_stream):
+        with pytest.raises(ValueError):
+            run_online_comparison(
+                small_stream, _builder(small_stream), update_hours_online=0
+            )

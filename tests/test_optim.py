@@ -1,0 +1,130 @@
+"""Tests for VectorSGD and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import VectorSGD, constant_lr, inverse_time_decay, step_decay
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant_lr(0.1)
+        assert s(0) == s(100) == 0.1
+
+    def test_inverse_time_decay_monotone(self):
+        s = inverse_time_decay(1.0, 0.1)
+        values = [s(t) for t in range(20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert abs(s(0) - 1.0) < 1e-12
+
+    def test_step_decay(self):
+        s = step_decay(1.0, drop=0.5, every=10)
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+
+class TestVectorSGD:
+    def test_plain_step(self):
+        opt = VectorSGD(learning_rate=0.5)
+        params = np.array([1.0, 2.0])
+        grad = np.array([1.0, -1.0])
+        new = opt.step(params, grad)
+        assert np.allclose(new, [0.5, 2.5])
+        assert opt.step_count == 1
+
+    def test_returns_new_array(self):
+        opt = VectorSGD(learning_rate=0.1)
+        params = np.ones(3)
+        new = opt.step(params, np.ones(3))
+        assert new is not params
+        assert np.allclose(params, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        opt = VectorSGD()
+        with pytest.raises(ValueError):
+            opt.step(np.ones(3), np.ones(4))
+
+    def test_momentum_accumulates(self):
+        opt = VectorSGD(learning_rate=1.0, momentum=0.9)
+        params = np.zeros(1)
+        params = opt.step(params, np.ones(1))    # v = 1
+        params = opt.step(params, np.ones(1))    # v = 1.9
+        assert np.allclose(params, [-(1.0 + 1.9)])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            VectorSGD(momentum=1.0)
+
+    def test_weight_decay_shrinks_params(self):
+        opt = VectorSGD(learning_rate=0.1, weight_decay=0.5)
+        params = np.array([2.0])
+        new = opt.step(params, np.zeros(1))
+        assert new[0] < 2.0
+
+    def test_schedule_applied_per_step(self):
+        opt = VectorSGD(learning_rate=inverse_time_decay(1.0, 1.0))
+        p = np.zeros(1)
+        p1 = opt.step(p, np.ones(1))          # rate 1.0
+        p2 = opt.step(p1, np.ones(1))         # rate 0.5
+        assert np.allclose(p1, [-1.0])
+        assert np.allclose(p2, [-1.5])
+
+    def test_reset(self):
+        opt = VectorSGD(learning_rate=1.0, momentum=0.9)
+        opt.step(np.zeros(1), np.ones(1))
+        opt.reset()
+        assert opt.step_count == 0
+        out = opt.step(np.zeros(1), np.ones(1))
+        assert np.allclose(out, [-1.0])
+
+    def test_quadratic_convergence(self):
+        """SGD on f(x) = ||x - c||² converges to c."""
+        target = np.array([3.0, -2.0, 0.5])
+        opt = VectorSGD(learning_rate=0.2)
+        x = np.zeros(3)
+        for _ in range(200):
+            x = opt.step(x, 2.0 * (x - target))
+        assert np.allclose(x, target, atol=1e-6)
+
+
+class TestVectorAdam:
+    def test_quadratic_convergence(self):
+        from repro.nn.optim import VectorAdam
+
+        target = np.array([3.0, -2.0, 0.5])
+        opt = VectorAdam(learning_rate=0.1)
+        x = np.zeros(3)
+        for _ in range(500):
+            x = opt.step(x, 2.0 * (x - target))
+        assert np.allclose(x, target, atol=1e-2)
+
+    def test_first_step_magnitude_is_learning_rate(self):
+        """With bias correction, the first Adam step is ~lr in magnitude."""
+        from repro.nn.optim import VectorAdam
+
+        opt = VectorAdam(learning_rate=0.1)
+        out = opt.step(np.zeros(1), np.array([42.0]))
+        assert abs(out[0] + 0.1) < 1e-6
+
+    def test_validation(self):
+        from repro.nn.optim import VectorAdam
+
+        with pytest.raises(ValueError):
+            VectorAdam(beta1=1.0)
+        with pytest.raises(ValueError):
+            VectorAdam(epsilon=0.0)
+        with pytest.raises(ValueError):
+            VectorAdam().step(np.ones(2), np.ones(3))
+
+    def test_reset(self):
+        from repro.nn.optim import VectorAdam
+
+        opt = VectorAdam(learning_rate=0.1)
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt.step_count == 0
+        out = opt.step(np.zeros(1), np.array([5.0]))
+        assert abs(out[0] + 0.1) < 1e-6

@@ -1,0 +1,251 @@
+"""Tests for I-Prof, the cold-start model, PA regression and MAUI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.devices import SimulatedDevice, get_spec
+from repro.profiler import (
+    SLO,
+    ColdStartModel,
+    IProf,
+    MauiProfiler,
+    PassiveAggressiveRegressor,
+    collect_offline_dataset,
+    epsilon_insensitive_loss,
+)
+
+
+class TestPassiveAggressive:
+    def test_no_update_within_epsilon(self):
+        pa = PassiveAggressiveRegressor(np.array([1.0, 0.0]), epsilon=0.5)
+        theta_before = pa.theta.copy()
+        loss = pa.update(np.array([1.0, 1.0]), alpha=1.3)   # residual 0.3 < eps
+        assert loss == 0.0
+        assert np.array_equal(pa.theta, theta_before)
+
+    def test_update_lands_within_epsilon(self):
+        """One PA step corrects the prediction to exactly the ε boundary."""
+        pa = PassiveAggressiveRegressor(np.zeros(3), epsilon=0.1)
+        x = np.array([1.0, 2.0, -1.0])
+        pa.update(x, alpha=3.0)
+        assert abs(pa.predict(x) - 3.0) <= 0.1 + 1e-9
+
+    def test_loss_definition(self):
+        theta = np.array([2.0])
+        assert epsilon_insensitive_loss(theta, np.array([1.0]), 2.05, 0.1) == 0.0
+        assert epsilon_insensitive_loss(theta, np.array([1.0]), 3.0, 0.1) == pytest.approx(0.9)
+
+    def test_shape_mismatch(self):
+        pa = PassiveAggressiveRegressor(np.zeros(2))
+        with pytest.raises(ValueError):
+            pa.predict(np.zeros(3))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PassiveAggressiveRegressor(np.zeros(2), epsilon=-1.0)
+
+    def test_zero_feature_vector_no_crash(self):
+        pa = PassiveAggressiveRegressor(np.zeros(2), epsilon=0.0)
+        loss = pa.update(np.zeros(2), alpha=1.0)
+        assert loss == 1.0   # cannot correct, but must not divide by zero
+
+    @given(
+        arrays(np.float64, 4, elements=st.floats(-5, 5)),
+        st.floats(-10, 10),
+    )
+    @settings(max_examples=80)
+    def test_post_update_residual_property(self, x, alpha):
+        pa = PassiveAggressiveRegressor(np.zeros(4), epsilon=0.05)
+        pa.update(x, alpha)
+        if np.linalg.norm(x) > 1e-6:
+            assert abs(pa.predict(x) - alpha) <= 0.05 + 1e-6
+
+    def test_converges_on_stationary_target(self):
+        rng = np.random.default_rng(0)
+        true_theta = np.array([0.5, -1.0, 2.0])
+        pa = PassiveAggressiveRegressor(np.zeros(3), epsilon=0.01)
+        for _ in range(200):
+            x = rng.normal(size=3)
+            pa.update(x, float(x @ true_theta))
+        x_test = rng.normal(size=3)
+        assert abs(pa.predict(x_test) - float(x_test @ true_theta)) < 0.2
+
+
+class TestColdStart:
+    def test_fit_recovers_linear_model(self):
+        rng = np.random.default_rng(1)
+        theta = np.array([1.0, -2.0, 0.5])
+        xs = rng.normal(size=(50, 3))
+        ys = xs @ theta
+        model = ColdStartModel(3)
+        model.fit(xs, ys)
+        # Ridge regularization biases theta slightly; predictions must still
+        # track the generating model closely.
+        assert np.allclose(model.theta, theta, atol=0.05)
+        assert model.predict(np.array([1.0, 1.0, 1.0])) == pytest.approx(-0.5, abs=0.05)
+
+    def test_min_slope_seen_tracked(self):
+        model = ColdStartModel(2)
+        model.fit(np.array([[1.0, 1.0], [2.0, 1.0]]), np.array([3.0, 5.0]))
+        assert model.min_slope_seen == 3.0
+        model.append(np.array([1.0, 0.0]), 0.5)
+        assert model.min_slope_seen == 0.5
+
+    def test_periodic_refit(self):
+        rng = np.random.default_rng(2)
+        model = ColdStartModel(2, refit_every=10)
+        xs = rng.normal(size=(20, 2))
+        model.fit(xs, xs @ np.array([1.0, 1.0]))
+        # Append data from a different generating model.
+        for i in range(10):
+            x = rng.normal(size=2)
+            model.append(x, float(x @ np.array([3.0, 3.0])))
+        # After refit the model has moved toward the new slope.
+        assert model.theta.sum() > 2.0
+
+    def test_validation(self):
+        model = ColdStartModel(3)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(2))
+        with pytest.raises(ValueError):
+            model.append(np.zeros(2), 1.0)
+
+    def test_collect_offline_dataset(self):
+        devices = [
+            SimulatedDevice(get_spec("Galaxy S6"), np.random.default_rng(3)),
+            SimulatedDevice(get_spec("Nexus 5"), np.random.default_rng(4)),
+        ]
+        xs, ys = collect_offline_dataset(devices, slo_seconds=2.0, kind="time")
+        assert xs.shape[1] == 6
+        assert xs.shape[0] == ys.shape[0] > 4
+        assert (ys > 0).all()
+
+    def test_collect_energy_dataset(self):
+        devices = [SimulatedDevice(get_spec("Pixel"), np.random.default_rng(5))]
+        xs, ys = collect_offline_dataset(devices, slo_seconds=2.0, kind="energy")
+        assert (ys > 0).all()
+        with pytest.raises(ValueError):
+            collect_offline_dataset(devices, 2.0, kind="watts")
+
+
+def _pretrained_iprof(seed=0, **kwargs):
+    train = [
+        SimulatedDevice(get_spec(name), np.random.default_rng(seed + i))
+        for i, name in enumerate(
+            ["Galaxy S6", "Nexus 5", "MotoG3", "Pixel", "HTC U11"]
+        )
+    ]
+    xs, ys = collect_offline_dataset(train, slo_seconds=3.0, kind="time")
+    iprof = IProf(**kwargs)
+    iprof.pretrain_time(xs, ys)
+    for d in train:
+        d.reset()
+    xs_e, ys_e = collect_offline_dataset(train, slo_seconds=3.0, kind="energy")
+    iprof.pretrain_energy(xs_e, ys_e)
+    return iprof
+
+
+class TestIProf:
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO(time_seconds=-1.0)
+        with pytest.raises(ValueError):
+            SLO(time_seconds=None, energy_percent=None)
+
+    def test_recommend_positive_batch(self):
+        iprof = _pretrained_iprof()
+        device = SimulatedDevice(get_spec("Galaxy S7"), np.random.default_rng(9))
+        decision = iprof.recommend(
+            "Galaxy S7", device.features().as_vector(), SLO(time_seconds=3.0)
+        )
+        assert decision.batch_size >= 1
+        assert not decision.used_personalized
+
+    def test_personalization_improves_with_feedback(self):
+        """After a few request/report rounds the SLO error must shrink —
+        the Fig. 12(c) adaptation effect."""
+        iprof = _pretrained_iprof()
+        device = SimulatedDevice(get_spec("Xperia E3"), np.random.default_rng(10))
+        slo = SLO(time_seconds=3.0)
+        errors = []
+        for _ in range(8):
+            features = device.features().as_vector()
+            decision = iprof.recommend("Xperia E3", features, slo)
+            m = device.execute(decision.batch_size)
+            iprof.report(
+                "Xperia E3", features, decision.batch_size,
+                computation_time_s=m.computation_time_s,
+            )
+            errors.append(abs(m.computation_time_s - 3.0))
+            device.idle(60.0)
+        assert np.mean(errors[4:]) < max(errors[0], 0.5)
+        assert iprof.recommend("Xperia E3", features, slo).used_personalized
+
+    def test_dual_slo_takes_minimum(self):
+        iprof = _pretrained_iprof()
+        device = SimulatedDevice(get_spec("Galaxy S7"), np.random.default_rng(11))
+        features = device.features().as_vector()
+        both = iprof.recommend(
+            "Galaxy S7", features, SLO(time_seconds=3.0, energy_percent=0.075)
+        )
+        time_only = iprof.recommend("Galaxy S7", features, SLO(time_seconds=3.0))
+        energy_only = iprof.recommend(
+            "Galaxy S7", features, SLO(time_seconds=None, energy_percent=0.075)
+        )
+        assert both.batch_size == min(time_only.batch_size, energy_only.batch_size)
+
+    def test_personalize_false_uses_cold_start_only(self):
+        iprof = _pretrained_iprof(personalize=False)
+        device = SimulatedDevice(get_spec("Galaxy S7"), np.random.default_rng(12))
+        features = device.features().as_vector()
+        iprof.report("Galaxy S7", features, 100, computation_time_s=1.0)
+        decision = iprof.recommend("Galaxy S7", features, SLO(time_seconds=3.0))
+        assert not decision.used_personalized
+
+    def test_report_validation(self):
+        iprof = _pretrained_iprof()
+        with pytest.raises(ValueError):
+            iprof.report("X", np.zeros(6), 0, computation_time_s=1.0)
+
+
+class TestMaui:
+    def test_global_slope_fit(self):
+        maui = MauiProfiler()
+        maui.pretrain_time(np.array([10, 20, 30]), np.array([1.0, 2.0, 3.0]))
+        decision = maui.recommend("any", np.zeros(6), SLO(time_seconds=3.0))
+        assert decision.batch_size == pytest.approx(30, abs=1)
+
+    def test_ignores_device_features(self):
+        maui = MauiProfiler()
+        maui.pretrain_time(np.array([10]), np.array([1.0]))
+        a = maui.recommend("fast", np.ones(6) * 100.0, SLO(time_seconds=3.0))
+        b = maui.recommend("slow", np.zeros(6), SLO(time_seconds=3.0))
+        assert a.batch_size == b.batch_size
+
+    def test_online_updates_shift_slope(self):
+        maui = MauiProfiler()
+        maui.pretrain_time(np.array([10]), np.array([1.0]))
+        before = maui.recommend("d", np.zeros(6), SLO(time_seconds=3.0)).batch_size
+        for _ in range(50):
+            maui.report("d", np.zeros(6), 10, computation_time_s=4.0)
+        after = maui.recommend("d", np.zeros(6), SLO(time_seconds=3.0)).batch_size
+        assert after < before
+
+    def test_energy_path(self):
+        maui = MauiProfiler()
+        maui.pretrain_energy(np.array([100]), np.array([0.05]))
+        decision = maui.recommend(
+            "d", np.zeros(6), SLO(time_seconds=None, energy_percent=0.075)
+        )
+        assert decision.batch_size == pytest.approx(150, abs=2)
+
+    def test_report_validation(self):
+        with pytest.raises(ValueError):
+            MauiProfiler().report("d", np.zeros(6), 0, computation_time_s=1.0)

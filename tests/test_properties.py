@@ -1,0 +1,137 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    ExponentialDampening,
+    GradientUpdate,
+    InverseDampening,
+    StalenessAwareServer,
+    make_adasgd,
+)
+from repro.core.similarity import GlobalLabelTracker
+from repro.devices import AllocationConfig, SimulatedDevice, get_spec
+from repro.nn.metrics import f1_at_top_k
+
+
+class TestServerInvariants:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=40),
+        st.floats(0.001, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weights_always_in_unit_interval(self, staleness_seq, lr):
+        """Every applied scaling factor must be in (0, 1]."""
+        server = make_adasgd(
+            np.zeros(3), num_labels=4, learning_rate=lr, initial_tau_thres=12.0
+        )
+        rng = np.random.default_rng(0)
+        for tau in staleness_seq:
+            pull = max(0, server.clock - tau)
+            counts = rng.integers(0, 5, size=4).astype(float)
+            server.submit(GradientUpdate(
+                gradient=rng.normal(size=3), pull_step=pull, label_counts=counts,
+            ))
+        weights = server.applied_weights()
+        assert ((weights > 0.0) & (weights <= 1.0)).all()
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_clock_is_monotone_and_counts_updates(self, staleness_seq):
+        server = make_adasgd(np.zeros(2), num_labels=2, learning_rate=0.1,
+                             initial_tau_thres=12.0)
+        clocks = [server.clock]
+        for tau in staleness_seq:
+            pull = max(0, server.clock - tau)
+            server.submit(GradientUpdate(
+                gradient=np.ones(2), pull_step=pull,
+                label_counts=np.array([1.0, 1.0]),
+            ))
+            clocks.append(server.clock)
+        diffs = np.diff(clocks)
+        assert ((diffs == 0) | (diffs == 1)).all()
+        assert clocks[-1] == len(server.applied) + server.rejected_count \
+            - server.rejected_count  # clock == applied updates with K = 1
+
+    @given(st.floats(0.5, 100.0))
+    @settings(max_examples=40)
+    def test_exponential_below_inverse_beyond_crossover(self, tau_thres):
+        """Fig. 5 shape holds for every τ_thres: the curves cross exactly
+        once, at τ_thres/2."""
+        exp_d = ExponentialDampening(tau_thres)
+        inv_d = InverseDampening()
+        half = tau_thres / 2.0
+        for factor in (0.1, 0.5, 0.9):
+            tau = half * factor
+            assert exp_d(tau) >= inv_d(tau) - 1e-12
+        for factor in (1.1, 2.0, 10.0):
+            tau = half * factor
+            assert exp_d(tau) <= inv_d(tau) + 1e-12
+
+
+class TestSimilarityInvariants:
+    @given(
+        arrays(np.float64, 6, elements=st.floats(0.0, 50.0)),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50)
+    def test_weighted_update_never_decreases_counts(self, counts, weight):
+        tracker = GlobalLabelTracker(6)
+        before = tracker.counts.copy()
+        tracker.update(counts, weight=weight)
+        assert (tracker.counts >= before).all()
+
+    @given(arrays(np.float64, 4, elements=st.floats(0.01, 50.0)))
+    @settings(max_examples=50)
+    def test_self_similarity_is_one_after_bootstrap(self, counts):
+        tracker = GlobalLabelTracker(4, bootstrap_samples=0.0)
+        tracker.update(counts)
+        assert tracker.similarity(counts) == pytest.approx(1.0)
+
+
+class TestDeviceInvariants:
+    @given(st.integers(1, 2000), st.sampled_from(
+        ["Galaxy S7", "Honor 10", "Xperia E3", "Pixel"]
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_costs_positive_and_battery_monotone(self, batch, name):
+        device = SimulatedDevice(get_spec(name), np.random.default_rng(0))
+        before = device.battery_percent_remaining
+        m = device.execute(batch)
+        assert m.computation_time_s > 0
+        assert m.energy_percent > 0
+        assert device.battery_percent_remaining <= before
+
+    @given(st.integers(1, 4), st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_more_cores_never_slower(self, big, little):
+        device = SimulatedDevice(get_spec("Galaxy S7"), np.random.default_rng(1))
+        fewer = device.true_time_slope(AllocationConfig(big, 0))
+        if little > 0:
+            more = device.true_time_slope(AllocationConfig(big, little))
+            # Adding little cores may add mixing overhead but must not be
+            # worse than ~the mixing penalty alone allows.
+            assert more <= fewer / 0.85
+        if big < 4:
+            more_big = device.true_time_slope(AllocationConfig(big + 1, 0))
+            assert more_big < fewer
+
+
+class TestMetricInvariants:
+    @given(
+        arrays(np.float64, (5, 8), elements=st.floats(-10, 10)),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50)
+    def test_f1_bounds(self, scores, k):
+        rng = np.random.default_rng(0)
+        truths = [set(int(x) for x in rng.choice(8, size=2, replace=False))
+                  for _ in range(5)]
+        value = f1_at_top_k(scores, truths, k=k)
+        assert 0.0 <= value <= 1.0

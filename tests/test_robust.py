@@ -1,0 +1,116 @@
+"""Tests for Byzantine-robust aggregation rules and their server hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adasgd import GradientUpdate, StalenessAwareServer
+from repro.core.dampening import ConstantDampening
+from repro.core.robust import (
+    average,
+    coordinate_median,
+    krum,
+    multi_krum,
+    trimmed_mean,
+)
+
+
+def _honest_plus_byzantine(rng, k=8, dim=6, attack=100.0, byzantine=1):
+    honest = rng.normal(1.0, 0.1, size=(k - byzantine, dim))
+    evil = np.full((byzantine, dim), attack)
+    return np.vstack([honest, evil])
+
+
+class TestRules:
+    def test_average_is_mean(self):
+        grads = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(average(grads), [2.0, 3.0])
+
+    def test_median_ignores_outlier(self):
+        rng = np.random.default_rng(0)
+        grads = _honest_plus_byzantine(rng)
+        out = coordinate_median(grads)
+        assert np.abs(out - 1.0).max() < 0.5
+
+    def test_trimmed_mean_ignores_outlier(self):
+        rng = np.random.default_rng(1)
+        grads = _honest_plus_byzantine(rng)
+        out = trimmed_mean(grads, trim=1)
+        assert np.abs(out - 1.0).max() < 0.5
+
+    def test_trimmed_mean_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.ones((4, 2)), trim=2)
+        with pytest.raises(ValueError):
+            trimmed_mean(np.ones((4, 2)), trim=-1)
+
+    def test_krum_selects_honest_gradient(self):
+        rng = np.random.default_rng(2)
+        grads = _honest_plus_byzantine(rng, k=8, byzantine=2)
+        out = krum(grads, num_byzantine=2)
+        assert np.abs(out - 1.0).max() < 0.5
+
+    def test_krum_needs_enough_workers(self):
+        with pytest.raises(ValueError):
+            krum(np.ones((3, 2)), num_byzantine=1)
+
+    def test_multi_krum_averages_selected(self):
+        rng = np.random.default_rng(3)
+        grads = _honest_plus_byzantine(rng, k=10, byzantine=2)
+        out = multi_krum(grads, num_byzantine=2)
+        assert np.abs(out - 1.0).max() < 0.3
+
+    def test_multi_krum_selection_bounds(self):
+        with pytest.raises(ValueError):
+            multi_krum(np.ones((6, 2)), num_byzantine=1, num_selected=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average(np.zeros((0, 3)))
+
+    @given(st.integers(5, 12), st.floats(10.0, 1e4))
+    @settings(max_examples=30)
+    def test_median_bounded_by_honest_range_property(self, k, attack):
+        rng = np.random.default_rng(k)
+        grads = _honest_plus_byzantine(rng, k=k, attack=attack, byzantine=1)
+        out = coordinate_median(grads)
+        honest = grads[:-1]
+        assert (out >= honest.min(axis=0) - 1e-9).all()
+        assert (out <= honest.max(axis=0) + 1e-9).all()
+
+
+class TestServerIntegration:
+    def _server(self, rule):
+        return StalenessAwareServer(
+            np.zeros(3),
+            dampening=ConstantDampening(1.0),
+            aggregation_k=5,
+            learning_rate=1.0,
+            robust_rule=rule,
+        )
+
+    def test_average_rule_matches_default(self):
+        rng = np.random.default_rng(4)
+        grads = [rng.normal(size=3) for _ in range(5)]
+        plain = self._server(None)
+        robust = self._server(average)
+        for g in grads:
+            plain.submit(GradientUpdate(gradient=g, pull_step=0))
+            robust.submit(GradientUpdate(gradient=g, pull_step=0))
+        assert np.allclose(plain.current_parameters(), robust.current_parameters())
+
+    def test_median_rule_defeats_poisoned_buffer(self):
+        rng = np.random.default_rng(5)
+        honest = [rng.normal(0.1, 0.01, size=3) for _ in range(4)]
+        poison = np.full(3, 1e6)
+        plain = self._server(None)
+        robust = self._server(coordinate_median)
+        for server in (plain, robust):
+            for g in honest:
+                server.submit(GradientUpdate(gradient=g.copy(), pull_step=0))
+            server.submit(GradientUpdate(gradient=poison.copy(), pull_step=0))
+        assert np.abs(plain.current_parameters()).max() > 1e5
+        assert np.abs(robust.current_parameters()).max() < 10.0

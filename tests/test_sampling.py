@@ -1,0 +1,57 @@
+"""Tests for mini-batch sampling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import minibatch_iterator, sample_minibatch
+
+
+class TestSampleMinibatch:
+    def test_sample_size(self):
+        rng = np.random.default_rng(0)
+        out = sample_minibatch(np.arange(100), 10, rng)
+        assert out.size == 10
+        assert np.unique(out).size == 10
+
+    def test_small_dataset_returned_whole(self):
+        rng = np.random.default_rng(0)
+        indices = np.array([3, 7, 9])
+        out = sample_minibatch(indices, 10, rng)
+        assert np.array_equal(out, indices)
+        # Must be a copy, not a view.
+        out[0] = -1
+        assert indices[0] == 3
+
+    def test_subset_of_indices(self):
+        rng = np.random.default_rng(1)
+        indices = np.arange(50, 80)
+        out = sample_minibatch(indices, 5, rng)
+        assert np.isin(out, indices).all()
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            sample_minibatch(np.arange(10), 0, np.random.default_rng(0))
+
+
+class TestMinibatchIterator:
+    def test_epoch_covers_all(self):
+        it = minibatch_iterator(10, 3, np.random.default_rng(2))
+        seen = np.concatenate([next(it) for _ in range(4)])
+        assert np.array_equal(np.sort(seen), np.arange(10))
+
+    def test_batch_sizes(self):
+        it = minibatch_iterator(10, 4, np.random.default_rng(3))
+        sizes = [next(it).size for _ in range(3)]
+        assert sizes == [4, 4, 2]
+
+    def test_infinite(self):
+        it = minibatch_iterator(4, 2, np.random.default_rng(4))
+        for _ in range(20):
+            batch = next(it)
+            assert 1 <= batch.size <= 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            next(minibatch_iterator(10, 0, np.random.default_rng(0)))

@@ -1,0 +1,101 @@
+"""Tests for pairwise-masking secure aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.secure_aggregation import PairwiseMasker, SecureAggregationRound
+
+DIM = 16
+
+
+def _gradients(rng, workers):
+    return {w: rng.normal(size=DIM) for w in workers}
+
+
+class TestMasking:
+    def test_masks_cancel_pairwise(self):
+        workers = [0, 1]
+        a = PairwiseMasker(0, workers, base_seed=7, dimension=DIM)
+        b = PairwiseMasker(1, workers, base_seed=7, dimension=DIM)
+        assert np.allclose(a.total_mask() + b.total_mask(), 0.0)
+
+    def test_mask_hides_gradient(self):
+        workers = [0, 1, 2]
+        masker = PairwiseMasker(0, workers, base_seed=7, dimension=DIM)
+        grad = np.ones(DIM)
+        masked = masker.mask(grad)
+        # The upload differs substantially from the plaintext gradient.
+        assert np.abs(masked - grad).max() > 0.1
+
+    def test_worker_must_participate(self):
+        with pytest.raises(ValueError):
+            PairwiseMasker(9, [0, 1], base_seed=7, dimension=DIM)
+
+    def test_dimension_checked(self):
+        masker = PairwiseMasker(0, [0, 1], base_seed=7, dimension=DIM)
+        with pytest.raises(ValueError):
+            masker.mask(np.ones(DIM + 1))
+
+
+class TestRound:
+    def test_exact_sum_recovery(self):
+        rng = np.random.default_rng(0)
+        workers = [0, 1, 2, 3, 4]
+        rnd = SecureAggregationRound(workers, base_seed=11, dimension=DIM)
+        grads = _gradients(rng, workers)
+        for w in workers:
+            rnd.submit(w, rnd.masker_for(w).mask(grads[w]))
+        total = rnd.aggregate()
+        assert np.allclose(total, sum(grads.values()), atol=1e-9)
+
+    def test_dropout_recovery(self):
+        """Workers 3 and 4 drop after masking; the sum of the survivors is
+        still recovered exactly."""
+        rng = np.random.default_rng(1)
+        workers = [0, 1, 2, 3, 4]
+        rnd = SecureAggregationRound(workers, base_seed=11, dimension=DIM)
+        grads = _gradients(rng, workers)
+        for w in [0, 1, 2]:
+            rnd.submit(w, rnd.masker_for(w).mask(grads[w]))
+        total = rnd.aggregate()
+        expected = grads[0] + grads[1] + grads[2]
+        assert np.allclose(total, expected, atol=1e-9)
+
+    def test_double_submit_rejected(self):
+        rnd = SecureAggregationRound([0, 1], base_seed=3, dimension=DIM)
+        rnd.submit(0, np.zeros(DIM))
+        with pytest.raises(ValueError):
+            rnd.submit(0, np.zeros(DIM))
+
+    def test_unknown_worker_rejected(self):
+        rnd = SecureAggregationRound([0, 1], base_seed=3, dimension=DIM)
+        with pytest.raises(ValueError):
+            rnd.submit(5, np.zeros(DIM))
+
+    def test_needs_two_participants(self):
+        with pytest.raises(ValueError):
+            SecureAggregationRound([0], base_seed=3, dimension=DIM)
+
+    def test_empty_aggregate_rejected(self):
+        rnd = SecureAggregationRound([0, 1], base_seed=3, dimension=DIM)
+        with pytest.raises(ValueError):
+            rnd.aggregate()
+
+    @given(st.integers(2, 8), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_recovery_property(self, num_workers, num_dropped):
+        num_dropped = min(num_dropped, num_workers - 1)
+        workers = list(range(num_workers))
+        rng = np.random.default_rng(num_workers * 10 + num_dropped)
+        rnd = SecureAggregationRound(workers, base_seed=5, dimension=DIM)
+        grads = _gradients(rng, workers)
+        active = workers[: num_workers - num_dropped]
+        for w in active:
+            rnd.submit(w, rnd.masker_for(w).mask(grads[w]))
+        total = rnd.aggregate()
+        expected = sum(grads[w] for w in active)
+        assert np.allclose(total, expected, atol=1e-8)

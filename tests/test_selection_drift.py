@@ -1,0 +1,109 @@
+"""Tests for client selection and drift detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server.selection import CandidateClient, select_cohort
+from repro.simulation.drift import QualityDriftDetector
+
+
+def _client(wid, compute, upload=0.0):
+    return CandidateClient(wid, predicted_time_s=compute, predicted_upload_s=upload)
+
+
+class TestSelectCohort:
+    def test_all_fit(self):
+        result = select_cohort([_client(0, 1.0), _client(1, 2.0)], 5.0)
+        assert set(result.selected) == {0, 1}
+        assert result.deferred == ()
+        assert result.predicted_round_s == 2.0
+
+    def test_slow_client_deferred(self):
+        result = select_cohort(
+            [_client(0, 1.0), _client(1, 10.0), _client(2, 2.0)], 5.0
+        )
+        assert set(result.selected) == {0, 2}
+        assert result.deferred == (1,)
+
+    def test_upload_time_counts(self):
+        result = select_cohort([_client(0, 3.0, upload=4.0)], 5.0)
+        assert result.selected == ()
+        assert result.deferred == (0,)
+
+    def test_max_cohort_cap(self):
+        clients = [_client(i, float(i + 1)) for i in range(5)]
+        result = select_cohort(clients, 100.0, max_cohort=2)
+        # The two fastest are kept.
+        assert set(result.selected) == {0, 1}
+        assert len(result.deferred) == 3
+
+    def test_maximum_cardinality(self):
+        """Greedy shortest-first selects the provably largest cohort."""
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0.5, 10.0, size=30)
+        clients = [_client(i, float(t)) for i, t in enumerate(times)]
+        deadline = 5.0
+        result = select_cohort(clients, deadline)
+        assert len(result.selected) == int((times <= deadline).sum())
+
+    def test_empty_candidates(self):
+        result = select_cohort([], 5.0)
+        assert result.selected == ()
+        assert result.predicted_round_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_cohort([], 0.0)
+        with pytest.raises(ValueError):
+            select_cohort([], 5.0, max_cohort=0)
+
+
+class TestDriftDetector:
+    def test_stable_stream_no_drift(self):
+        detector = QualityDriftDetector(reference_window=10, recent_window=3,
+                                        threshold=0.1)
+        rng = np.random.default_rng(0)
+        flags = [detector.observe(0.5 + 0.01 * rng.random()) for _ in range(100)]
+        assert not any(flags)
+
+    def test_quality_drop_detected(self):
+        detector = QualityDriftDetector(reference_window=10, recent_window=3,
+                                        threshold=0.1)
+        for _ in range(20):
+            detector.observe(0.6)
+        flags = [detector.observe(0.2) for _ in range(6)]
+        assert any(flags)
+        assert detector.drifts_detected >= 1
+
+    def test_no_retrigger_in_same_regime(self):
+        detector = QualityDriftDetector(reference_window=10, recent_window=3,
+                                        threshold=0.1)
+        for _ in range(20):
+            detector.observe(0.6)
+        flags = [detector.observe(0.2) for _ in range(30)]
+        assert sum(flags) == 1
+
+    def test_improvement_is_not_drift(self):
+        detector = QualityDriftDetector(reference_window=10, recent_window=3,
+                                        threshold=0.1)
+        for _ in range(20):
+            detector.observe(0.3)
+        flags = [detector.observe(0.9) for _ in range(10)]
+        assert not any(flags)
+
+    def test_means_exposed(self):
+        detector = QualityDriftDetector(reference_window=5, recent_window=2,
+                                        threshold=0.1)
+        assert detector.reference_mean is None
+        detector.observe(0.5)
+        assert detector.reference_mean == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityDriftDetector(reference_window=0)
+        with pytest.raises(ValueError):
+            QualityDriftDetector(reference_window=5, recent_window=5)
+        with pytest.raises(ValueError):
+            QualityDriftDetector(threshold=0.0)

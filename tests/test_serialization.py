@@ -1,0 +1,111 @@
+"""Tests for model checkpointing (nn.serialization) and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.models import Sequential, build_logistic
+from repro.nn.optim import clip_by_global_norm, global_norm
+from repro.nn.serialization import (
+    architecture_fingerprint,
+    load_into_model,
+    load_parameters,
+    save_model,
+)
+
+
+def _mlp(rng, hidden=8):
+    return Sequential([
+        Flatten(),
+        Dense(12, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, 4, rng=rng),
+    ])
+
+
+class TestFingerprint:
+    def test_same_architecture_same_fingerprint(self, rng):
+        a = _mlp(np.random.default_rng(1))
+        b = _mlp(np.random.default_rng(2))  # different weights, same shapes
+        assert architecture_fingerprint(a) == architecture_fingerprint(b)
+
+    def test_different_architecture_differs(self, rng):
+        assert architecture_fingerprint(_mlp(rng, hidden=8)) != architecture_fingerprint(
+            _mlp(rng, hidden=9)
+        )
+
+    def test_fingerprint_is_short_hex(self, rng):
+        fingerprint = architecture_fingerprint(_mlp(rng))
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # parses as hex
+
+
+class TestSaveLoad:
+    def test_round_trip_exact(self, rng, tmp_path):
+        model = _mlp(rng)
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path, step=42)
+        parameters, fingerprint, step = load_parameters(path)
+        assert step == 42
+        assert fingerprint == architecture_fingerprint(model)
+        np.testing.assert_array_equal(parameters, model.get_parameters())
+
+    def test_load_into_model_restores_behaviour(self, rng, tmp_path):
+        model = _mlp(rng)
+        x = rng.normal(size=(5, 12))
+        expected = model.forward(x)
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path, step=7)
+
+        fresh = _mlp(np.random.default_rng(99))
+        assert not np.allclose(fresh.forward(x), expected)
+        step = load_into_model(fresh, path)
+        assert step == 7
+        np.testing.assert_allclose(fresh.forward(x), expected)
+
+    def test_fingerprint_mismatch_refused(self, rng, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_model(_mlp(rng, hidden=8), path)
+        # Same total parameter count is NOT enough: shapes must match.
+        other = _mlp(np.random.default_rng(0), hidden=9)
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_into_model(other, path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_parameters(tmp_path / "nothing.npz")
+
+    def test_suffixless_path_accepted(self, rng, tmp_path):
+        """np.savez appends .npz; loading by the original name must work."""
+        model = build_logistic(rng, in_features=12, num_classes=3)
+        base = tmp_path / "checkpoint"
+        save_model(model, base.with_suffix(".npz"))
+        parameters, _, _ = load_parameters(base)
+        assert parameters.size == model.num_parameters
+
+    def test_negative_step_rejected(self, rng, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(_mlp(rng), tmp_path / "x.npz", step=-1)
+
+
+class TestClipping:
+    def test_within_bound_returned_unchanged(self):
+        vector = np.array([0.3, 0.4])  # norm 0.5
+        assert clip_by_global_norm(vector, 1.0) is vector
+
+    def test_clipped_to_exact_norm(self):
+        vector = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_by_global_norm(vector, 1.0)
+        assert global_norm(clipped) == pytest.approx(1.0)
+        # Direction preserved.
+        np.testing.assert_allclose(clipped / global_norm(clipped), vector / 5.0)
+
+    def test_zero_vector_untouched(self):
+        vector = np.zeros(4)
+        assert clip_by_global_norm(vector, 0.5) is vector
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_by_global_norm(np.ones(2), 0.0)

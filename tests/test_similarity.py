@@ -1,0 +1,127 @@
+"""Tests for Bhattacharyya similarity and the global label tracker (Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.similarity import GlobalLabelTracker, bhattacharyya, label_distribution
+
+nonneg_vec = arrays(
+    np.float64,
+    st.integers(2, 12),
+    elements=st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestBhattacharyya:
+    def test_identical_distributions_give_one(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert bhattacharyya(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_supports_give_zero(self):
+        assert bhattacharyya(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_paper_example(self):
+        """§2.3: 1 example of label 0 and 2 of label 1 → LD = [1/3, 2/3, 0, 0]."""
+        local = label_distribution(np.array([1.0, 2.0, 0.0, 0.0]))
+        assert np.allclose(local, [1 / 3, 2 / 3, 0, 0])
+
+    def test_normalization_invariance(self):
+        p = np.array([1.0, 2.0, 3.0])
+        q = np.array([2.0, 1.0, 1.0])
+        assert bhattacharyya(p, q) == pytest.approx(bhattacharyya(10 * p, 5 * q))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bhattacharyya(np.ones(3), np.ones(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bhattacharyya(np.array([-1.0, 2.0]), np.ones(2))
+
+    def test_zero_vector_is_maximally_novel(self):
+        assert bhattacharyya(np.zeros(3), np.ones(3)) == 0.0
+
+    @given(nonneg_vec)
+    @settings(max_examples=80)
+    def test_bounds_property(self, p):
+        q = np.roll(p, 1)
+        value = bhattacharyya(p, q)
+        assert 0.0 <= value <= 1.0
+
+    @given(nonneg_vec)
+    @settings(max_examples=80)
+    def test_symmetry_property(self, p):
+        q = np.roll(p, 1) + 0.5
+        assert bhattacharyya(p, q) == pytest.approx(bhattacharyya(q, p))
+
+
+class TestLabelDistribution:
+    def test_normalizes(self):
+        out = label_distribution(np.array([2.0, 2.0]))
+        assert np.allclose(out, 0.5)
+
+    def test_zero_counts(self):
+        assert np.allclose(label_distribution(np.zeros(4)), 0.0)
+
+
+class TestGlobalLabelTracker:
+    def test_empty_tracker_returns_zero_similarity(self):
+        tracker = GlobalLabelTracker(4)
+        assert tracker.similarity(np.array([1.0, 0, 0, 0])) == 0.0
+
+    def test_similarity_after_update(self):
+        tracker = GlobalLabelTracker(2)
+        tracker.update(np.array([10.0, 0.0]))
+        assert tracker.similarity(np.array([5.0, 0.0])) == pytest.approx(1.0)
+        assert tracker.similarity(np.array([0.0, 5.0])) == 0.0
+
+    def test_unseen_label_lowers_similarity(self):
+        """The 'very rare animal' example of §2.3."""
+        tracker = GlobalLabelTracker(3)
+        tracker.update(np.array([50.0, 50.0, 0.0]))
+        seen = tracker.similarity(np.array([1.0, 1.0, 0.0]))
+        novel = tracker.similarity(np.array([0.0, 0.0, 2.0]))
+        mixed = tracker.similarity(np.array([1.0, 1.0, 2.0]))
+        assert seen == pytest.approx(1.0)
+        assert novel == 0.0
+        assert novel < mixed < seen
+
+    def test_update_accumulates(self):
+        tracker = GlobalLabelTracker(2)
+        tracker.update(np.array([1.0, 0.0]))
+        tracker.update(np.array([0.0, 3.0]))
+        assert np.allclose(tracker.counts, [1.0, 3.0])
+        assert np.allclose(tracker.global_distribution(), [0.25, 0.75])
+
+    def test_reset(self):
+        tracker = GlobalLabelTracker(2)
+        tracker.update(np.ones(2))
+        tracker.reset()
+        assert np.allclose(tracker.counts, 0.0)
+
+    def test_wrong_shape_rejected(self):
+        tracker = GlobalLabelTracker(3)
+        with pytest.raises(ValueError):
+            tracker.similarity(np.ones(2))
+        with pytest.raises(ValueError):
+            tracker.update(np.ones(4))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            GlobalLabelTracker(0)
+
+    @given(
+        arrays(np.float64, 5, elements=st.floats(0.0, 100.0)),
+        arrays(np.float64, 5, elements=st.floats(0.0, 100.0)),
+    )
+    @settings(max_examples=60)
+    def test_similarity_bounds_property(self, first, second):
+        tracker = GlobalLabelTracker(5)
+        tracker.update(first)
+        value = tracker.similarity(second)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,233 @@
+"""Tests for the simulation package: events, latency, staleness, runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_adasgd, make_dynsgd, make_ssgd
+from repro.data import make_mnist_like, shard_non_iid_split
+from repro.nn import build_logistic
+from repro.simulation import (
+    D1,
+    D2,
+    ConstantStaleness,
+    EventLoop,
+    GaussianStaleness,
+    LongTail,
+    ShiftedExponentialLatency,
+    paper_latency_model,
+    run_staleness_experiment,
+    staleness_from_timestamps,
+)
+from repro.simulation.runner import TaskContext
+
+
+class TestEventLoop:
+    def test_ordering(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, lambda: seen.append("b"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(3.0, lambda: seen.append("c"))
+        loop.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        loop = EventLoop()
+        seen = []
+        for name in "abc":
+            loop.schedule(1.0, lambda n=name: seen.append(n))
+        loop.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_run_until_horizon(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.run_until(2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_chained_scheduling(self):
+        loop = EventLoop()
+        seen = []
+
+        def tick():
+            seen.append(loop.now)
+            if loop.now < 3.0:
+                loop.schedule(1.0, tick)
+
+        loop.schedule(1.0, tick)
+        loop.run_all()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            loop.run_all()
+
+    def test_event_budget(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(1.0, forever)
+
+        loop.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)
+
+
+class TestLatency:
+    def test_minimum_respected(self):
+        model = ShiftedExponentialLatency(7.1, 8.45, np.random.default_rng(0))
+        samples = model.sample(size=1000)
+        assert samples.min() >= 7.1
+
+    def test_mean(self):
+        model = ShiftedExponentialLatency(7.1, 8.45, np.random.default_rng(1))
+        samples = model.sample(size=50_000)
+        assert samples.mean() == pytest.approx(8.45, rel=0.02)
+
+    def test_paper_model_constants(self):
+        model = paper_latency_model(np.random.default_rng(2))
+        assert model.minimum_s == pytest.approx(7.1)
+        assert model.mean_s == pytest.approx(8.45)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialLatency(-1.0, 5.0, rng)
+        with pytest.raises(ValueError):
+            ShiftedExponentialLatency(5.0, 5.0, rng)
+
+
+class TestStalenessProcesses:
+    def test_gaussian_clipped_non_negative(self):
+        process = GaussianStaleness(1.0, 5.0, np.random.default_rng(3))
+        samples = [process.sample() for _ in range(500)]
+        assert min(samples) >= 0
+        assert all(isinstance(s, int) for s in samples)
+
+    def test_d1_d2_parameters(self):
+        rng = np.random.default_rng(4)
+        assert D1(rng).mu == 6.0 and D1(rng).sigma == 2.0
+        assert D2(rng).mu == 12.0 and D2(rng).sigma == 4.0
+
+    def test_tau_thres_three_sigma(self):
+        process = D1(np.random.default_rng(5))
+        assert process.tau_thres(99.7) == pytest.approx(12.0)
+        process2 = D2(np.random.default_rng(6))
+        assert process2.tau_thres(99.7) == pytest.approx(24.0)
+
+    def test_constant(self):
+        assert ConstantStaleness(4).sample() == 4
+        with pytest.raises(ValueError):
+            ConstantStaleness(-1)
+
+    def test_long_tail_predicate(self):
+        base = ConstantStaleness(2)
+        process = LongTail(
+            base,
+            predicate=lambda ctx: 0 in set(ctx.labels),
+            straggler_tau=48,
+        )
+        with_zero = TaskContext(worker_id=0, labels=np.array([0, 1]))
+        without = TaskContext(worker_id=0, labels=np.array([1, 2]))
+        assert process.sample(with_zero) == 48
+        assert process.sample(without) == 2
+
+    def test_staleness_from_timestamps_gaussian_body(self):
+        """Fig. 7: uniform arrivals through the exponential latency model
+        give a unimodal staleness distribution with positive mass."""
+        rng = np.random.default_rng(7)
+        timestamps = np.sort(rng.uniform(0, 3600.0, size=3000))
+        latency = paper_latency_model(np.random.default_rng(8))
+        staleness = staleness_from_timestamps(timestamps, latency)
+        assert staleness.min() >= 0
+        assert staleness.mean() > 1.0
+        # Mode away from the extremes (Gaussian-ish body).
+        hist = np.bincount(staleness)
+        assert hist.argmax() > 0
+
+    def test_burst_creates_long_tail(self):
+        """Peak-hour bursts must inflate the tail (the Fig. 7 long tail)."""
+        rng = np.random.default_rng(9)
+        quiet = np.sort(rng.uniform(0, 3600, size=500))
+        burst = np.sort(rng.uniform(1800, 1860, size=1500))   # peak minute
+        timestamps = np.sort(np.concatenate([quiet, burst]))
+        latency = paper_latency_model(np.random.default_rng(10))
+        staleness = staleness_from_timestamps(timestamps, latency)
+        quiet_only = staleness_from_timestamps(quiet, paper_latency_model(
+            np.random.default_rng(10)))
+        assert staleness.max() > 4 * max(quiet_only.max(), 1)
+
+
+class TestRunner:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        dataset = make_mnist_like(seed=seed, train_per_class=20, test_per_class=5)
+        partition = shard_non_iid_split(dataset.train_y, 10, rng)
+        model = build_logistic(np.random.default_rng(seed + 1), 28 * 28, 10)
+        return dataset, partition, model
+
+    def test_ssgd_converges(self):
+        dataset, partition, model = self._setup()
+        server = make_ssgd(model.get_parameters(), learning_rate=0.5)
+        curve = run_staleness_experiment(
+            server, model, dataset, partition, None, num_steps=150,
+            rng=np.random.default_rng(2), batch_size=32, eval_every=50,
+        )
+        assert curve.accuracy[-1] > 0.5
+        assert curve.steps[-1] == 150
+
+    def test_staleness_matches_injected_distribution(self):
+        dataset, partition, model = self._setup()
+        server = make_dynsgd(model.get_parameters(), learning_rate=0.1)
+        process = GaussianStaleness(5.0, 1.0, np.random.default_rng(3))
+        run_staleness_experiment(
+            server, model, dataset, partition, process, num_steps=120,
+            rng=np.random.default_rng(4), batch_size=16, eval_every=1000,
+        )
+        observed = server.applied_staleness()
+        # Early steps are capped by the short history; check the steady state.
+        steady = observed[40:]
+        assert abs(steady.mean() - 5.0) < 1.0
+
+    def test_dp_noise_applied(self):
+        dataset, partition, model = self._setup()
+        server = make_ssgd(model.get_parameters(), learning_rate=0.1)
+        curve = run_staleness_experiment(
+            server, model, dataset, partition, None, num_steps=30,
+            rng=np.random.default_rng(5), batch_size=16, eval_every=30,
+            noise_multiplier=10.0, clip_norm=0.5,
+        )
+        # With huge noise, accuracy stays near chance — proves noise is live.
+        assert curve.accuracy[-1] < 0.6
+
+    def test_track_class_records_per_class_curve(self):
+        dataset, partition, model = self._setup()
+        server = make_adasgd(
+            model.get_parameters(), num_labels=10, learning_rate=0.3,
+            initial_tau_thres=12.0,
+        )
+        curve = run_staleness_experiment(
+            server, model, dataset, partition, None, num_steps=60,
+            rng=np.random.default_rng(6), batch_size=16, eval_every=20,
+            track_class=0,
+        )
+        assert len(curve.per_class) == len(curve.steps)
+
+    def test_batch_size_sampler(self):
+        dataset, partition, model = self._setup()
+        server = make_ssgd(model.get_parameters(), learning_rate=0.1)
+        run_staleness_experiment(
+            server, model, dataset, partition, None, num_steps=20,
+            rng=np.random.default_rng(7),
+            batch_size_sampler=lambda rng: int(rng.integers(1, 5)),
+            eval_every=100,
+        )
+        assert server.clock == 20

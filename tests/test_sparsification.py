@@ -1,0 +1,103 @@
+"""Tests for top-k sparsification with error feedback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server.sparsification import (
+    ErrorFeedbackCompressor,
+    SparseGradient,
+    top_k_sparsify,
+)
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        grad = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        sparse = top_k_sparsify(grad, 2)
+        assert set(sparse.indices) == {1, 3}
+        assert np.allclose(sparse.densify()[[1, 3]], [-5.0, 3.0])
+
+    def test_densify_zeros_elsewhere(self):
+        grad = np.arange(10, dtype=float)
+        sparse = top_k_sparsify(grad, 3)
+        dense = sparse.densify()
+        assert (dense[:7] == 0).all()
+        assert np.allclose(dense[7:], [7.0, 8.0, 9.0])
+
+    def test_k_clipped_to_dimension(self):
+        grad = np.ones(4)
+        sparse = top_k_sparsify(grad, 100)
+        assert sparse.values.size == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_sparsify(np.ones(4), 0)
+
+    def test_wire_size(self):
+        sparse = top_k_sparsify(np.ones(100), 5)
+        assert sparse.wire_floats == 10
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            SparseGradient(
+                indices=np.array([10]), values=np.array([1.0]), dimension=5
+            )
+
+
+class TestErrorFeedback:
+    def test_residual_accumulates_dropped_mass(self):
+        compressor = ErrorFeedbackCompressor(dimension=4, k=1)
+        grad = np.array([10.0, 1.0, 2.0, 3.0])
+        sparse = compressor.compress(grad)
+        assert set(sparse.indices) == {0}
+        assert np.allclose(compressor.residual, [0.0, 1.0, 2.0, 3.0])
+
+    def test_nothing_lost_over_time(self):
+        """Sum of transmissions + final residual equals sum of gradients."""
+        rng = np.random.default_rng(0)
+        compressor = ErrorFeedbackCompressor(dimension=20, k=3)
+        total_in = np.zeros(20)
+        total_out = np.zeros(20)
+        for _ in range(50):
+            grad = rng.normal(size=20)
+            total_in += grad
+            total_out += compressor.compress(grad).densify()
+        assert np.allclose(total_in, total_out + compressor.residual, atol=1e-9)
+
+    def test_residual_eventually_transmitted(self):
+        """A coordinate starved once must be sent when its residual grows."""
+        compressor = ErrorFeedbackCompressor(dimension=3, k=1)
+        # Coordinate 2 is small each round but accumulates.
+        for _ in range(10):
+            sparse = compressor.compress(np.array([1.0, 0.0, 0.4]))
+            if 2 in set(sparse.indices):
+                return
+        pytest.fail("starved coordinate never transmitted despite feedback")
+
+    def test_compression_ratio(self):
+        compressor = ErrorFeedbackCompressor(dimension=1000, k=10)
+        assert compressor.compression_ratio() == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFeedbackCompressor(dimension=0, k=1)
+        with pytest.raises(ValueError):
+            ErrorFeedbackCompressor(dimension=10, k=0)
+        compressor = ErrorFeedbackCompressor(dimension=10, k=2)
+        with pytest.raises(ValueError):
+            compressor.compress(np.ones(5))
+
+
+class TestSGDWithSparsification:
+    def test_training_still_converges(self):
+        """Error-feedback top-k SGD solves a quadratic like dense SGD."""
+        rng = np.random.default_rng(1)
+        target = rng.normal(size=10)
+        compressor = ErrorFeedbackCompressor(dimension=10, k=2)
+        x = np.zeros(10)
+        for _ in range(400):
+            grad = 2.0 * (x - target)
+            x = x - 0.2 * compressor.compress(grad).densify()
+        assert np.abs(x - target).max() < 0.05

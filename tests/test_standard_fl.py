@@ -1,0 +1,171 @@
+"""Tests for Standard-FL eligibility, charging model and freshness gap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.activity import UserActivityModel
+from repro.devices.charging import ChargingModel
+from repro.network import WIFI, HSPA_3G, NetworkConditions, NetworkInterface
+from repro.simulation.standard_fl import (
+    EligibilityPolicy,
+    ParticipantProfile,
+    eligibility_fraction,
+    simulate_freshness,
+)
+
+_DAY_S = 24 * 3600.0
+
+
+def _network(seed: int, link=WIFI) -> NetworkInterface:
+    rng = np.random.default_rng(seed)
+    return NetworkInterface(NetworkConditions(rng, fixed_link=link), rng)
+
+
+def _profile(seed: int, link=WIFI) -> ParticipantProfile:
+    return ParticipantProfile(
+        activity=UserActivityModel(seed=seed),
+        charging=ChargingModel(seed=seed),
+        network=_network(seed, link),
+    )
+
+
+class TestChargingModel:
+    def test_overnight_block_charges(self):
+        model = ChargingModel(seed=1, bedtime_hour=23.0, wakeup_hour=7.0,
+                              jitter_hours=0.0, topup_rate_per_day=0.0)
+        assert model.is_charging(23.5 * 3600.0)       # 23:30 night 0
+        assert model.is_charging(_DAY_S + 3 * 3600.0)  # 03:00 next day
+        assert model.is_charging(_DAY_S + 6.5 * 3600.0)
+
+    def test_daytime_unplugged_without_topups(self):
+        model = ChargingModel(seed=1, jitter_hours=0.0, topup_rate_per_day=0.0)
+        for hour in (9.0, 12.0, 15.0, 18.0, 21.0):
+            assert not model.is_charging(_DAY_S + hour * 3600.0)
+
+    def test_deterministic_per_seed(self):
+        a = ChargingModel(seed=5)
+        b = ChargingModel(seed=5)
+        times = np.linspace(0, 3 * _DAY_S, 200)
+        assert [a.is_charging(t) for t in times] == [b.is_charging(t) for t in times]
+
+    def test_daily_jitter_varies_across_days(self):
+        model = ChargingModel(seed=3, jitter_hours=1.5, topup_rate_per_day=0.0)
+        # Probe a boundary instant across many days; with jitter the
+        # plug-in time crosses 22:40 on some days but not others.
+        probe_hour = 22.7
+        states = {model.is_charging(day * _DAY_S + probe_hour * 3600.0)
+                  for day in range(15)}
+        assert states == {True, False}
+
+    def test_next_charging_start(self):
+        model = ChargingModel(seed=1, jitter_hours=0.0, topup_rate_per_day=0.0)
+        noon = _DAY_S + 12 * 3600.0
+        start = model.next_charging_start(noon)
+        assert start is not None
+        assert start > noon
+        assert model.is_charging(start)
+        # Charging instants return themselves.
+        assert model.next_charging_start(start) == start
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ChargingModel(bedtime_hour=24.0)
+        with pytest.raises(ValueError):
+            ChargingModel(jitter_hours=-1.0)
+        with pytest.raises(ValueError):
+            ChargingModel(topup_minutes=0.0)
+        with pytest.raises(ValueError):
+            ChargingModel().is_charging(-1.0)
+
+
+class TestEligibilityPolicy:
+    def test_factories(self):
+        standard = EligibilityPolicy.standard_fl()
+        online = EligibilityPolicy.online_fl()
+        assert standard.require_idle and standard.require_charging
+        assert standard.require_unmetered
+        assert not (online.require_idle or online.require_charging
+                    or online.require_unmetered)
+
+    def test_online_policy_always_eligible(self):
+        profile = _profile(seed=2, link=HSPA_3G)  # metered, irrelevant online
+        online = EligibilityPolicy.online_fl()
+        for t in np.linspace(0, 2 * _DAY_S, 50):
+            assert profile.eligible(float(t), online)
+
+    def test_metered_network_blocks_standard_fl(self):
+        profile = _profile(seed=2, link=HSPA_3G)
+        standard = EligibilityPolicy.standard_fl()
+        for t in np.linspace(0, 2 * _DAY_S, 100):
+            assert not profile.eligible(float(t), standard)
+
+    def test_charging_requirement_gates_daytime(self):
+        profile = ParticipantProfile(
+            activity=UserActivityModel(seed=9, session_rate_per_hour=0.0),
+            charging=ChargingModel(seed=9, jitter_hours=0.0, topup_rate_per_day=0.0),
+            network=_network(9, WIFI),
+        )
+        standard = EligibilityPolicy.standard_fl()
+        noon = _DAY_S + 12 * 3600.0
+        night = _DAY_S + 2 * 3600.0
+        assert not profile.eligible(noon, standard)
+        assert profile.eligible(night, standard)
+
+    def test_next_eligible_is_eligible(self):
+        profile = _profile(seed=4)
+        standard = EligibilityPolicy.standard_fl()
+        start = _DAY_S + 10 * 3600.0
+        pickup = profile.next_eligible(start, standard)
+        assert pickup is not None and pickup >= start
+        assert profile.eligible(pickup, standard)
+
+
+class TestFleetCurves:
+    def test_standard_fl_availability_peaks_at_night(self):
+        profiles = [_profile(seed=i) for i in range(12)]
+        curve = eligibility_fraction(profiles, EligibilityPolicy.standard_fl(),
+                                     day_start_s=_DAY_S)
+        night = np.concatenate([curve[0:5], curve[23:]]).mean()
+        day = curve[10:20].mean()
+        assert night > day + 0.3, "the paper's §1 skew: night ≫ day"
+
+    def test_online_fl_availability_flat_at_one(self):
+        profiles = [_profile(seed=i) for i in range(6)]
+        curve = eligibility_fraction(profiles, EligibilityPolicy.online_fl())
+        assert (curve == 1.0).all()
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            eligibility_fraction([], EligibilityPolicy.online_fl())
+
+
+class TestFreshness:
+    def test_online_beats_standard_by_hours(self, rng):
+        profiles = [_profile(seed=i) for i in range(8)]
+        online = simulate_freshness(
+            profiles, EligibilityPolicy.online_fl(), np.random.default_rng(0),
+            policy_name="online", events_per_user=10,
+        )
+        standard = simulate_freshness(
+            profiles, EligibilityPolicy.standard_fl(), np.random.default_rng(0),
+            policy_name="standard", events_per_user=10,
+        )
+        # Online: one pickup round trip (minutes).  Standard: hours.
+        assert online.median_delay_s < 10 * 60.0
+        assert standard.median_delay_s > 2 * 3600.0
+        assert standard.median_delay_s > 10 * online.median_delay_s
+
+    def test_delays_nonnegative(self):
+        profiles = [_profile(seed=3)]
+        report = simulate_freshness(
+            profiles, EligibilityPolicy.standard_fl(), np.random.default_rng(1),
+            events_per_user=5,
+        )
+        assert (report.delays_s >= 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_freshness([], EligibilityPolicy.online_fl(),
+                               np.random.default_rng(0), events_per_user=0)

@@ -1,0 +1,60 @@
+"""Tests for dynamic straggler detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import DynamicStragglerDetector
+
+
+class TestDetector:
+    def test_warmup_flags_nothing(self):
+        detector = DynamicStragglerDetector(min_samples=10)
+        for _ in range(9):
+            assert not detector.observe(1.0)
+        assert detector.threshold() is None
+
+    def test_detects_outlier(self):
+        detector = DynamicStragglerDetector(k=3.0, min_samples=10)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            detector.observe(float(rng.normal(10.0, 1.0)))
+        assert detector.observe(30.0)
+        assert not detector.observe(10.5)
+
+    def test_threshold_tracks_distribution_shift(self):
+        detector = DynamicStragglerDetector(k=3.0, window=50, min_samples=10)
+        for _ in range(50):
+            detector.observe(1.0 + 0.01 * np.random.default_rng(1).random())
+        low = detector.threshold()
+        for _ in range(50):
+            detector.observe(100.0 + np.random.default_rng(2).random())
+        high = detector.threshold()
+        assert high > low * 10
+
+    def test_non_straggler_percent(self):
+        detector = DynamicStragglerDetector(k=3.0, min_samples=5)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            detector.observe(float(rng.normal(10.0, 0.5)))
+        for _ in range(20):
+            detector.observe(100.0)
+        s = detector.non_straggler_percent()
+        assert 80.0 < s < 99.0
+
+    def test_gaussian_false_positive_rate(self):
+        """With k=3 and Gaussian latencies, ~99.7 % must be non-stragglers."""
+        detector = DynamicStragglerDetector(k=3.0, window=1000, min_samples=30)
+        rng = np.random.default_rng(4)
+        for _ in range(3000):
+            detector.observe(float(rng.normal(8.0, 1.5)))
+        assert detector.non_straggler_percent() > 98.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicStragglerDetector(k=0.0)
+        with pytest.raises(ValueError):
+            DynamicStragglerDetector(min_samples=1)
+        with pytest.raises(ValueError):
+            DynamicStragglerDetector().observe(-1.0)

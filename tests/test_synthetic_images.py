@@ -1,0 +1,110 @@
+"""Tests for the synthetic image-dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_images import (
+    make_cifar100_like,
+    make_emnist_like,
+    make_image_dataset,
+    make_mnist_like,
+)
+from repro.nn.models import build_logistic
+
+
+class TestGeometry:
+    def test_mnist_like_shapes(self):
+        ds = make_mnist_like(train_per_class=5, test_per_class=2)
+        assert ds.train_x.shape == (50, 1, 28, 28)
+        assert ds.test_x.shape == (20, 1, 28, 28)
+        assert ds.num_classes == 10
+
+    def test_emnist_like_shapes(self):
+        ds = make_emnist_like(train_per_class=2, test_per_class=1)
+        assert ds.train_x.shape == (124, 1, 28, 28)
+        assert ds.num_classes == 62
+
+    def test_cifar100_like_shapes(self):
+        ds = make_cifar100_like(train_per_class=2, test_per_class=1)
+        assert ds.train_x.shape == (200, 3, 32, 32)
+        assert ds.num_classes == 100
+
+    def test_pixel_range(self):
+        ds = make_mnist_like(train_per_class=3, test_per_class=1)
+        assert ds.train_x.min() >= 0.0
+        assert ds.train_x.max() <= 1.0
+
+    def test_all_classes_present(self):
+        ds = make_mnist_like(train_per_class=4, test_per_class=2)
+        assert set(np.unique(ds.train_y)) == set(range(10))
+        assert set(np.unique(ds.test_y)) == set(range(10))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_mnist_like(seed=3, train_per_class=3, test_per_class=1)
+        b = make_mnist_like(seed=3, train_per_class=3, test_per_class=1)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.train_y, b.train_y)
+
+    def test_different_seed_different_data(self):
+        a = make_mnist_like(seed=3, train_per_class=3, test_per_class=1)
+        b = make_mnist_like(seed=4, train_per_class=3, test_per_class=1)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_train_test_disjoint_noise(self):
+        ds = make_mnist_like(seed=0, train_per_class=3, test_per_class=3)
+        assert not np.array_equal(ds.train_x[:10], ds.test_x[:10])
+
+
+class TestLearnability:
+    def test_linear_model_beats_chance(self):
+        """The dataset must be learnable — otherwise convergence benches
+        would measure nothing."""
+        ds = make_image_dataset(
+            num_classes=5, channels=1, side=12,
+            train_per_class=40, test_per_class=15, seed=1,
+        )
+        rng = np.random.default_rng(0)
+        model = build_logistic(rng, 12 * 12, 5)
+        params = model.get_parameters()
+        for _ in range(300):
+            pick = rng.choice(ds.train_x.shape[0], size=32, replace=False)
+            model.set_parameters(params)
+            _, grad = model.compute_gradient(ds.train_x[pick], ds.train_y[pick])
+            params = params - 0.5 * grad
+        model.set_parameters(params)
+        acc = model.evaluate_accuracy(ds.test_x, ds.test_y)
+        assert acc > 0.5   # chance is 0.2
+
+    def test_noise_makes_task_nontrivial(self):
+        """Samples of the same class must differ (no trivially constant data)."""
+        ds = make_mnist_like(train_per_class=5, test_per_class=1)
+        cls0 = ds.train_x[ds.train_y == 0]
+        assert not np.allclose(cls0[0], cls0[1])
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self):
+        from repro.data.synthetic_images import ImageDataset
+
+        with pytest.raises(ValueError):
+            ImageDataset(
+                train_x=np.zeros((3, 1, 4, 4)),
+                train_y=np.zeros(2, dtype=np.int64),
+                test_x=np.zeros((1, 1, 4, 4)),
+                test_y=np.zeros(1, dtype=np.int64),
+                num_classes=2,
+            )
+
+    def test_subset(self):
+        ds = make_mnist_like(train_per_class=3, test_per_class=1)
+        x, y = ds.subset(np.array([0, 5]))
+        assert x.shape[0] == 2
+        assert np.array_equal(y, ds.train_y[[0, 5]])
+
+    def test_input_shape_property(self):
+        ds = make_mnist_like(train_per_class=2, test_per_class=1)
+        assert ds.input_shape == (1, 28, 28)

@@ -1,0 +1,115 @@
+"""Tests for the server metrics registry (server.telemetry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.telemetry import Counter, Gauge, MetricsRegistry, Summary
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("requests")
+        assert counter.value == 0
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="forward"):
+            Counter("requests").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("in_flight")
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+
+    def test_non_finite_rejected(self):
+        gauge = Gauge("x")
+        with pytest.raises(ValueError):
+            gauge.set(float("nan"))
+        with pytest.raises(ValueError):
+            gauge.set(float("inf"))
+
+
+class TestSummary:
+    def test_percentiles_and_mean(self):
+        summary = Summary("latency")
+        for value in range(1, 101):
+            summary.observe(float(value))
+        assert summary.count == 100
+        assert summary.mean() == pytest.approx(50.5)
+        assert summary.percentile(50) == pytest.approx(50.5)
+        assert summary.max() == 100.0
+
+    def test_empty_summary_is_nan(self):
+        summary = Summary("latency")
+        assert np.isnan(summary.percentile(90))
+        assert np.isnan(summary.mean())
+        assert np.isnan(summary.max())
+
+    def test_window_evicts(self):
+        summary = Summary("latency", window=3)
+        for value in (100.0, 1.0, 2.0, 3.0):
+            summary.observe(value)
+        assert summary.max() == 3.0
+
+    def test_invalid_inputs(self):
+        summary = Summary("latency")
+        with pytest.raises(ValueError):
+            summary.observe(float("inf"))
+        with pytest.raises(ValueError):
+            summary.percentile(101)
+        with pytest.raises(ValueError):
+            Summary("latency", window=0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_order_property(self, values):
+        summary = Summary("x")
+        for value in values:
+            summary.observe(value)
+        assert summary.percentile(10) <= summary.percentile(50) <= summary.percentile(90)
+        assert summary.percentile(100) == pytest.approx(summary.max())
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.summary("c") is registry.summary("c")
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="another kind"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="another kind"):
+            registry.summary("x")
+
+    def test_report_contains_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks_total").increment(7)
+        registry.gauge("in_flight").set(2.0)
+        summary = registry.summary("latency_s")
+        summary.observe(1.0)
+        summary.observe(3.0)
+        report = registry.report()
+        assert "tasks_total" in report and "7" in report
+        assert "in_flight" in report
+        assert "latency_s" in report and "n=2" in report
+
+    def test_report_renders_empty_summary(self):
+        registry = MetricsRegistry()
+        registry.summary("never_observed")
+        assert "(empty)" in registry.report()
+
+    def test_empty_registry_report(self):
+        assert MetricsRegistry().report() == ""

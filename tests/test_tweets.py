@@ -1,0 +1,126 @@
+"""Tests for the synthetic temporal tweet stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tweets import TweetStream, TweetStreamConfig
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TweetStream(TweetStreamConfig(
+        num_days=4, tweets_per_hour=20, num_users=15,
+        vocab_size=80, num_hashtags=20, seed=1,
+    ))
+
+
+class TestGeneration:
+    def test_stream_is_sorted(self, stream):
+        times = [t.timestamp for t in stream.tweets]
+        assert times == sorted(times)
+
+    def test_tweets_have_valid_fields(self, stream):
+        cfg = stream.config
+        for tweet in stream.tweets[:200]:
+            assert 0 <= tweet.user_id < cfg.num_users
+            assert tweet.tokens.shape == (cfg.tokens_per_tweet,)
+            assert tweet.tokens.min() >= 0
+            assert tweet.tokens.max() < cfg.vocab_size
+            assert len(tweet.hashtags) >= 1
+            assert all(0 <= h < cfg.num_hashtags for h in tweet.hashtags)
+
+    def test_determinism(self):
+        cfg = TweetStreamConfig(num_days=2, seed=7)
+        a, b = TweetStream(cfg), TweetStream(cfg)
+        assert len(a.tweets) == len(b.tweets)
+        assert all(
+            ta.timestamp == tb.timestamp and ta.hashtags == tb.hashtags
+            for ta, tb in zip(a.tweets[:100], b.tweets[:100])
+        )
+
+    def test_volume_roughly_matches_config(self, stream):
+        hours = stream.config.num_days * 24
+        per_hour = len(stream.tweets) / hours
+        assert 0.4 * stream.config.tweets_per_hour < per_hour < 3.0 * stream.config.tweets_per_hour
+
+
+class TestTemporalDrift:
+    def test_popularity_drifts_between_days(self, stream):
+        """The top hashtags of day 0 and day 2 must differ — the drift that
+        makes Online FL beat Standard FL."""
+        chunks = stream.chunks(chunk_hours=24.0)
+        day0 = stream.hashtag_counts(chunks[0])
+        day2 = stream.hashtag_counts(chunks[2])
+        top0 = set(np.argsort(-day0)[:5])
+        top2 = set(np.argsort(-day2)[:5])
+        assert top0 != top2
+
+    def test_intensity_nonnegative(self, stream):
+        for hour in [0.0, 10.0, 50.0]:
+            assert (stream.hashtag_intensity(hour) >= 0).all()
+
+    def test_unborn_hashtags_silent(self, stream):
+        intensity = stream.hashtag_intensity(-1000.0)
+        assert np.allclose(intensity, 0.0)
+
+
+class TestChunking:
+    def test_chunks_partition_stream(self, stream):
+        chunks = stream.chunks(chunk_hours=1.0)
+        assert sum(len(c) for c in chunks) == len(stream.tweets)
+        assert len(chunks) == stream.config.num_days * 24
+
+    def test_chunk_time_bounds(self, stream):
+        for idx, chunk in enumerate(stream.chunks(chunk_hours=1.0)):
+            for tweet in chunk:
+                assert idx * 3600 <= tweet.timestamp < (idx + 1) * 3600 + 1e-9
+
+    def test_shards_group_chunks(self, stream):
+        shards = stream.shards(shard_days=2)
+        assert len(shards) == 2
+        assert all(len(s) == 48 for s in shards)
+
+    def test_invalid_chunk_hours(self, stream):
+        with pytest.raises(ValueError):
+            stream.chunks(chunk_hours=0.0)
+
+
+class TestModelIO:
+    def test_to_arrays(self, stream):
+        tweets = stream.tweets[:10]
+        xs, ys, sets = stream.to_arrays(tweets)
+        assert xs.shape == (10, stream.config.tokens_per_tweet)
+        assert ys.shape == (10, stream.config.num_hashtags)
+        for i, tweet in enumerate(tweets):
+            assert set(np.nonzero(ys[i])[0]) == set(tweet.hashtags) == sets[i]
+
+    def test_group_by_user(self, stream):
+        groups = stream.group_by_user(stream.tweets[:100])
+        total = sum(len(v) for v in groups.values())
+        assert total == 100
+        for user, tweets in groups.items():
+            assert all(t.user_id == user for t in tweets)
+
+    def test_hashtag_counts(self, stream):
+        counts = stream.hashtag_counts(stream.tweets)
+        assert counts.sum() == sum(len(t.hashtags) for t in stream.tweets)
+
+
+class TestSignal:
+    def test_tokens_predict_hashtags(self, stream):
+        """Signature tokens must co-occur with their hashtag far more often
+        than chance, otherwise the recommender task is unlearnable."""
+        cfg = stream.config
+        # For each hashtag, count how often its signature tokens appear in
+        # its own tweets vs all tweets.
+        sig = stream._signatures
+        hits, total = 0, 0
+        for tweet in stream.tweets[:400]:
+            tag = next(iter(tweet.hashtags))
+            hits += np.isin(tweet.tokens, sig[tag]).sum()
+            total += tweet.tokens.size
+        signal_rate = hits / total
+        chance = cfg.signature_tokens / cfg.vocab_size
+        assert signal_rate > 5 * chance
