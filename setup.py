@@ -1,9 +1,22 @@
-"""Setup shim for environments whose pip lacks the ``wheel`` package.
+"""Packaging for the FLeet reproduction (src layout).
 
-All real metadata lives in ``pyproject.toml``; this file only enables the
-legacy ``pip install -e .`` code path (``setup.py develop``).
+``pip install -e .`` works without manually exporting ``PYTHONPATH=src``:
+the ``repro`` package and its subpackages are discovered under ``src/``.
+On environments whose pip lacks the ``wheel`` package (no
+``bdist_wheel``), use the legacy path: ``python setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-fleet",
+    version="1.0.0",
+    description=(
+        "Reproduction of FLeet: Online Federated Learning via Staleness "
+        "Awareness and Performance Prediction (MIDDLEWARE 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -10,6 +10,9 @@ Subpackages
     I-Prof workload profiler and the MAUI baseline.
 ``repro.server``
     The middleware: FLeet server, admission controller, worker runtime.
+``repro.gateway``
+    The serving tier: consistent-hash routing, micro-batching,
+    backpressure and model sync across many ``FleetServer`` shards.
 ``repro.devices``
     Simulated Android device fleet (latency/energy/thermal models).
 ``repro.nn``
@@ -35,6 +38,7 @@ __all__ = [
     "core",
     "profiler",
     "server",
+    "gateway",
     "devices",
     "nn",
     "data",

@@ -8,6 +8,7 @@ Usage::
     python -m repro profile --device "Galaxy S7" --requests 8
     python -m repro dampening --tau-thres 12
     python -m repro fleet-sim --users 20 --hours 1
+    python -m repro gateway-sim --shards 4 --batch-size 4
     python -m repro freshness --users 16
 
 Every command prints a compact textual report; the benchmark suite in
@@ -33,10 +34,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("dampening", "print the Fig. 5 dampening curves"),
         ("devices", "list the simulated device catalog"),
         ("fleet-sim", "end-to-end middleware simulation on a virtual clock"),
+        ("gateway-sim", "fleet simulation through the sharded serving gateway"),
         ("freshness", "Standard vs Online FL data-freshness gap (Fig. 1)"),
     ]
     for name, desc in rows:
-        print(f"  {name:<10} {desc}")
+        print(f"  {name:<12} {desc}")
     return 0
 
 
@@ -158,32 +160,51 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet_sim(args: argparse.Namespace) -> int:
-    from repro.analysis import cdf_table, gaussian_tail_split
+def _fleet_workload(seed: int, num_users: int):
+    """Shared fleet-sim bootstrap: dataset, partition, model, shard factory.
+
+    ``fleet-sim`` uses one shard from the factory as its server;
+    ``gateway-sim`` asks for several.  Keeping the construction in one
+    place keeps the two arms comparable.
+    """
     from repro.core import make_adasgd
     from repro.data import iid_split, make_mnist_like
     from repro.devices import SimulatedDevice, fleet_specs
     from repro.nn import build_logistic
     from repro.profiler import IProf, SLO, collect_offline_dataset
     from repro.server import FleetServer
-    from repro.simulation import FleetSimConfig, FleetSimulation
 
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     dataset = make_mnist_like(train_per_class=200, test_per_class=25)
-    partition = iid_split(dataset.train_y, args.users, rng)
+    partition = iid_split(dataset.train_y, num_users, rng)
     training = [
         SimulatedDevice(spec, np.random.default_rng(60 + i))
         for i, spec in enumerate(fleet_specs(5, np.random.default_rng(6)))
     ]
     xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
-    iprof = IProf()
-    iprof.pretrain_time(xs, ys)
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    server = FleetServer(
-        make_adasgd(model.get_parameters(), num_labels=10, learning_rate=0.02,
-                    initial_tau_thres=12.0),
-        iprof, SLO(time_seconds=3.0),
+    params = model.get_parameters()
+
+    def shard_factory(index: int) -> FleetServer:
+        iprof = IProf()
+        iprof.pretrain_time(xs, ys)
+        return FleetServer(
+            make_adasgd(params.copy(), num_labels=10, learning_rate=0.02,
+                        initial_tau_thres=12.0),
+            iprof, SLO(time_seconds=3.0),
+        )
+
+    return rng, dataset, partition, model, shard_factory
+
+
+def _cmd_fleet_sim(args: argparse.Namespace) -> int:
+    from repro.analysis import cdf_table, gaussian_tail_split
+    from repro.simulation import FleetSimConfig, FleetSimulation
+
+    rng, dataset, partition, model, shard_factory = _fleet_workload(
+        args.seed, args.users
     )
+    server = shard_factory(0)
     simulation = FleetSimulation(
         server=server, model=model, dataset=dataset, partition=partition,
         rng=rng,
@@ -199,6 +220,40 @@ def _cmd_fleet_sim(args: argparse.Namespace) -> int:
     body, tail = gaussian_tail_split(staleness)
     print(f"staleness: body mean {body.mean():.1f} std {body.std():.1f}, "
           f"tail n={tail.size}, max {staleness.max():.0f}")
+    return 0
+
+
+def _cmd_gateway_sim(args: argparse.Namespace) -> int:
+    from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
+    from repro.simulation import FleetSimConfig, FleetSimulation
+
+    rng, dataset, partition, model, shard_factory = _fleet_workload(
+        args.seed, args.users
+    )
+    gateway = Gateway.from_factory(
+        args.shards, shard_factory,
+        GatewayConfig(
+            batch_size=args.batch_size,
+            batch_deadline_s=args.batch_deadline,
+            sync_every_s=args.sync_every,
+            admission_rate_per_s=args.admission_rate,
+        ),
+        cost_model=AggregationCostModel(),
+    )
+    simulation = FleetSimulation(
+        server=gateway, model=model, dataset=dataset, partition=partition,
+        rng=rng,
+        config=FleetSimConfig(horizon_s=args.hours * 3600.0,
+                              mean_think_time_s=args.think_time),
+    )
+    result = simulation.run()
+    print(f"{args.shards} shards, batch {args.batch_size}: "
+          f"{result.completed} tasks completed, {result.aborted} aborted, "
+          f"{gateway.requests_shed()} shed, {gateway.clock} model updates, "
+          f"final accuracy {result.final_accuracy():.3f}")
+    print(f"serving-tier throughput {gateway.virtual_throughput():.2f} results/s "
+          f"(virtual), upload compression {gateway.batcher.compression_ratio():.1f}x")
+    print(gateway.report())
     return 0
 
 
@@ -279,6 +334,20 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--think-time", type=float, default=15.0)
     fleet.add_argument("--seed", type=int, default=0)
 
+    gateway = sub.add_parser(
+        "gateway-sim", help="fleet simulation through the sharded gateway"
+    )
+    gateway.add_argument("--shards", type=int, default=4)
+    gateway.add_argument("--users", type=int, default=20)
+    gateway.add_argument("--hours", type=float, default=0.5)
+    gateway.add_argument("--think-time", type=float, default=15.0)
+    gateway.add_argument("--batch-size", type=int, default=4)
+    gateway.add_argument("--batch-deadline", type=float, default=30.0)
+    gateway.add_argument("--sync-every", type=float, default=300.0)
+    gateway.add_argument("--admission-rate", type=float, default=None,
+                         help="token-bucket rate (requests/s); omit to disable")
+    gateway.add_argument("--seed", type=int, default=0)
+
     freshness = sub.add_parser(
         "freshness", help="Standard vs Online FL freshness gap (Fig. 1)"
     )
@@ -295,6 +364,7 @@ _COMMANDS = {
     "online": _cmd_online,
     "profile": _cmd_profile,
     "fleet-sim": _cmd_fleet_sim,
+    "gateway-sim": _cmd_gateway_sim,
     "freshness": _cmd_freshness,
 }
 

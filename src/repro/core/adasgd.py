@@ -158,6 +158,16 @@ class StalenessAwareServer:
         """Global logical clock t: number of past model updates."""
         return self._clock
 
+    @property
+    def buffered_count(self) -> int:
+        """Updates waiting in the aggregation buffer (not yet applied)."""
+        return len(self._buffer)
+
+    @property
+    def parameter_shape(self) -> tuple[int, ...]:
+        """Shape every submitted gradient must match."""
+        return self._params.shape
+
     def current_parameters(self) -> np.ndarray:
         """Copy of the canonical model vector (what a model pull returns)."""
         return self._params.copy()
@@ -165,6 +175,18 @@ class StalenessAwareServer:
     def pull(self) -> tuple[np.ndarray, int]:
         """Model pull: parameters plus the clock t_i stamped on the lease."""
         return self.current_parameters(), self._clock
+
+    def set_parameters(self, parameters: np.ndarray) -> None:
+        """Overwrite the canonical model vector (shard synchronization).
+
+        The logical clock is left untouched: outstanding leases stamped with
+        t_i <= clock stay valid, and staleness keeps counting model updates,
+        not sync events.
+        """
+        parameters = np.asarray(parameters, dtype=np.float64)
+        if parameters.shape != self._params.shape:
+            raise ValueError("parameter vector shape does not match the model")
+        self._params = parameters.copy()
 
     def dampening_strategy(self) -> DampeningStrategy:
         """The strategy in force right now (adaptive servers re-derive it)."""
@@ -231,6 +253,36 @@ class StalenessAwareServer:
             return False
         self._apply_buffer()
         return True
+
+    def submit_many(self, updates: list[GradientUpdate]) -> bool:
+        """Fold a micro-batch of gradients into the model in ONE update.
+
+        This is the gateway's batched hot path: all weights are computed
+        against the same clock, the weighted gradients are summed, and the
+        optimizer steps once — Equation 3 with K = len(updates) — instead of
+        once per gradient.  The batch boundary IS the aggregation window:
+        ``aggregation_k`` is not consulted, and any updates already buffered
+        by :meth:`submit` are folded into the same model update.  Invalid
+        gradients (shape mismatch raises; NaN/Inf is dropped and counted as
+        rejected) are filtered exactly as in :meth:`submit`.  Returns True
+        when a model update was applied; a batch whose gradients were all
+        rejected applies nothing and leaves any partial buffer untouched.
+        """
+        # Validate every shape before touching any state, so a malformed
+        # batch fails atomically instead of leaving early updates buffered.
+        for update in updates:
+            if update.gradient.shape != self._params.shape:
+                raise ValueError("gradient shape does not match model parameters")
+        accepted = []
+        for update in updates:
+            if not np.isfinite(update.gradient).all():
+                self.rejected_count += 1
+                continue
+            accepted.append(update)
+        if not accepted:
+            return False
+        self._buffer.extend(accepted)
+        return self.flush()
 
     # ------------------------------------------------------------------
     # Internals

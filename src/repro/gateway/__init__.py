@@ -1,0 +1,26 @@
+"""Sharded serving gateway: route, batch, admit, synchronize N shards."""
+
+from repro.gateway.backpressure import TokenBucket
+from repro.gateway.batching import (
+    EncodedResult,
+    MicroBatcher,
+    decode_result,
+    encode_result,
+)
+from repro.gateway.gateway import AggregationCostModel, Gateway, GatewayConfig
+from repro.gateway.hashing import ConsistentHashRing
+from repro.gateway.sync import ShardSynchronizer, SyncRecord
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "AggregationCostModel",
+    "ConsistentHashRing",
+    "MicroBatcher",
+    "EncodedResult",
+    "encode_result",
+    "decode_result",
+    "TokenBucket",
+    "ShardSynchronizer",
+    "SyncRecord",
+]

@@ -1,0 +1,56 @@
+"""Gateway admission: token-bucket rate limiting with load-shedding stats.
+
+The per-shard controller (:mod:`repro.server.controller`) protects model
+*quality* — it prunes tasks whose gradient would be noise.  The gateway's
+token bucket protects the serving tier itself: when the fleet's request
+rate exceeds what the shards can absorb, excess requests are shed *before*
+any profiler, similarity, or admission work happens, so overload degrades
+throughput gracefully instead of queueing without bound.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket on the simulation's virtual clock.
+
+    ``rate_per_s`` tokens accrue per virtual second up to ``capacity``
+    (the burst budget).  Each admitted request consumes one token; a
+    request arriving to an empty bucket is shed.  The bucket is pure
+    mechanism — admitted/shed bookkeeping lives with the caller (the
+    gateway's metrics registry), keeping one source of truth.
+    """
+
+    def __init__(self, rate_per_s: float, capacity: float | None = None) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate_per_s = rate_per_s
+        self.capacity = capacity if capacity is not None else max(1.0, rate_per_s)
+        self._tokens = self.capacity
+        self._last_refill: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._last_refill is None:
+            self._last_refill = now
+            return
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate_per_s)
+        self._last_refill = now
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Admit (True) or shed (False) one request arriving at ``now``."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens

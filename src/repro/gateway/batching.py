@@ -1,0 +1,135 @@
+"""Per-shard micro-batching of gradient results over the wire codec.
+
+Each incoming :class:`~repro.server.protocol.TaskResult` is immediately
+encoded with :class:`~repro.server.codec.VectorCodec` — the gateway holds
+the compact wire form, not the raw float64 gradient — and queued on its
+shard's lane.  A lane flushes when it reaches ``max_batch`` results (size
+trigger) or when its oldest entry has waited ``max_delay_s`` of virtual
+time (deadline trigger), at which point the payloads are decoded back into
+``TaskResult``s for one batched shard update.
+
+Encoding on admission is what makes the gateway a transport tier rather
+than a buffer of live objects: the bytes it holds are exactly what would
+cross the network to a remote shard, and the compression ratio is
+observable per batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.server.codec import EncodedBlob, VectorCodec
+from repro.server.protocol import TaskResult
+
+__all__ = ["EncodedResult", "encode_result", "decode_result", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class EncodedResult:
+    """A ``TaskResult`` with its gradient in codec wire form.
+
+    ``metadata`` keeps every non-gradient field the shard and the profiler
+    need (ids, lease clock, label histogram, measurements) untouched; only
+    the gradient payload is quantized/compressed.
+    """
+
+    blob: EncodedBlob
+    metadata: TaskResult  # gradient field is an empty placeholder
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.blob.wire_bytes
+
+
+def encode_result(result: TaskResult, codec: VectorCodec) -> EncodedResult:
+    """Compress the gradient; carry the rest of the result as metadata."""
+    blob = codec.encode(result.gradient)
+    stripped = dataclasses.replace(result, gradient=np.zeros(0))
+    return EncodedResult(blob=blob, metadata=stripped)
+
+
+def decode_result(encoded: EncodedResult, codec: VectorCodec) -> TaskResult:
+    """Inverse of :func:`encode_result` (up to gradient quantization)."""
+    gradient = codec.decode(encoded.blob)
+    return dataclasses.replace(encoded.metadata, gradient=gradient)
+
+
+@dataclass
+class _Lane:
+    """One shard's pending micro-batch."""
+
+    entries: list[EncodedResult] = field(default_factory=list)
+    oldest_arrival: float = 0.0
+
+
+class MicroBatcher:
+    """Size- and deadline-triggered coalescing of results per shard."""
+
+    def __init__(
+        self,
+        codec: VectorCodec,
+        max_batch: int = 8,
+        max_delay_s: float = 5.0,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.codec = codec
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._lanes: dict[str, _Lane] = {}
+        self.raw_bytes_in = 0
+        self.wire_bytes_in = 0
+
+    # ------------------------------------------------------------------
+    # Enqueue + triggers
+    # ------------------------------------------------------------------
+    def add(self, shard_id: str, result: TaskResult, now: float) -> list[TaskResult]:
+        """Queue one result; return a decoded batch if the size trigger fired."""
+        encoded = encode_result(result, self.codec)
+        lane = self._lanes.setdefault(shard_id, _Lane())
+        if not lane.entries:
+            lane.oldest_arrival = now
+        lane.entries.append(encoded)
+        self.raw_bytes_in += result.gradient.size * 8  # float64 in memory
+        self.wire_bytes_in += encoded.wire_bytes
+        if len(lane.entries) >= self.max_batch:
+            return self.flush(shard_id)
+        return []
+
+    def due(self, now: float) -> list[str]:
+        """Shards whose oldest pending result has exceeded the deadline."""
+        return [
+            shard_id
+            for shard_id, lane in self._lanes.items()
+            if lane.entries and now - lane.oldest_arrival >= self.max_delay_s
+        ]
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def flush(self, shard_id: str) -> list[TaskResult]:
+        """Decode and hand back the shard's pending batch (may be empty)."""
+        lane = self._lanes.get(shard_id)
+        if lane is None or not lane.entries:
+            return []
+        batch = [decode_result(entry, self.codec) for entry in lane.entries]
+        self._lanes[shard_id] = _Lane()
+        return batch
+
+    def pending(self, shard_id: str) -> int:
+        lane = self._lanes.get(shard_id)
+        return len(lane.entries) if lane else 0
+
+    def total_pending(self) -> int:
+        return sum(len(lane.entries) for lane in self._lanes.values())
+
+    def compression_ratio(self) -> float:
+        """Raw float64 bytes per wire byte across everything admitted."""
+        if self.wire_bytes_in == 0:
+            return 1.0
+        return self.raw_bytes_in / self.wire_bytes_in

@@ -1,0 +1,442 @@
+"""The sharded serving gateway: one device-facing endpoint, N shards.
+
+``Gateway`` is the front-end of the serving tier.  It speaks the exact
+protocol of a single :class:`~repro.server.server.FleetServer` — devices
+cannot tell the difference — but behind it:
+
+* **routing** — a consistent-hash ring pins each device id to one shard,
+  so per-device profiler history and pull leases stay shard-local, while
+  shard add/remove moves only ~1/N of the fleet
+  (:mod:`repro.gateway.hashing`);
+* **micro-batching** — incoming gradients are codec-encoded and coalesced
+  per shard, flushed by size or deadline, and applied through the batched
+  hot path ``FleetServer.handle_result_batch`` — one aggregation step per
+  batch instead of per gradient (:mod:`repro.gateway.batching`);
+* **backpressure** — a token bucket sheds excess requests before any
+  shard-side work happens (:mod:`repro.gateway.backpressure`);
+* **synchronization** — shard models are periodically blended by weighted
+  parameter averaging so cross-shard divergence stays bounded
+  (:mod:`repro.gateway.sync`).
+
+All timing is virtual: callers pass ``now`` from their event loop (the
+fleet simulation passes ``loop.now``); deadline flushes and syncs fire
+lazily on the next call whose ``now`` has passed the trigger, which on a
+discrete-event clock is exact enough — time only advances at events.
+``finalize()`` drains everything at the end of a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gateway.backpressure import TokenBucket
+from repro.gateway.batching import MicroBatcher
+from repro.gateway.hashing import ConsistentHashRing
+from repro.gateway.sync import ShardSynchronizer
+from repro.server.codec import VectorCodec
+from repro.server.protocol import (
+    RejectionReason,
+    TaskAssignment,
+    TaskRejection,
+    TaskRequest,
+    TaskResult,
+)
+from repro.server.server import FleetServer
+from repro.server.telemetry import MetricsRegistry
+
+__all__ = ["GatewayConfig", "AggregationCostModel", "Gateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the serving tier.
+
+    ``admission_rate_per_s`` of None disables backpressure (every request
+    reaches its shard's controller).  ``batch_size`` of 1 disables
+    coalescing — each result becomes a one-element batch, which keeps the
+    code path uniform and (for shards with ``aggregation_k = 1``, where
+    one result is one model update either way) makes batched-vs-unbatched
+    comparisons exact.  The micro-batch is the aggregation window: a flush
+    applies one model update regardless of the shard's ``aggregation_k``.
+    """
+
+    batch_size: int = 8
+    batch_deadline_s: float = 5.0
+    sync_every_s: float = 120.0
+    codec_precision: str = "f32"
+    hash_replicas: int = 128
+    admission_rate_per_s: float | None = None
+    admission_burst: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.batch_deadline_s < 0:
+            raise ValueError("batch_deadline_s must be non-negative")
+        if self.sync_every_s <= 0:
+            raise ValueError("sync_every_s must be positive")
+        if self.admission_rate_per_s is not None and self.admission_rate_per_s <= 0:
+            raise ValueError("admission_rate_per_s must be positive")
+
+
+@dataclass(frozen=True)
+class AggregationCostModel:
+    """Virtual service time of one batched shard update.
+
+    Models the fixed cost of an aggregation pass (lock, weight computation,
+    optimizer step, bookkeeping) plus a small per-gradient cost.  The fixed
+    part is what micro-batching amortizes; the per-shard serial lanes are
+    what sharding parallelizes.
+    """
+
+    per_flush_s: float = 0.05
+    per_result_s: float = 0.002
+
+    def service_time(self, batch_size: int) -> float:
+        return self.per_flush_s + self.per_result_s * batch_size
+
+
+@dataclass
+class _ShardLane:
+    """Serial service lane of one shard (virtual-time occupancy)."""
+
+    busy_until: float = 0.0
+    busy_seconds: float = 0.0
+    batches: int = 0
+    results: int = 0
+
+
+class Gateway:
+    """Route, batch, admit and synchronize across ``FleetServer`` shards."""
+
+    def __init__(
+        self,
+        shards: list[FleetServer] | dict[str, FleetServer],
+        config: GatewayConfig | None = None,
+        cost_model: AggregationCostModel | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a gateway needs at least one shard")
+        self.config = config or GatewayConfig()
+        self.cost_model = cost_model
+        if isinstance(shards, dict):
+            self._shards: dict[str, FleetServer] = dict(shards)
+        else:
+            self._shards = {f"shard-{i}": shard for i, shard in enumerate(shards)}
+
+        self.ring = ConsistentHashRing(replicas=self.config.hash_replicas)
+        for shard_id in self._shards:
+            self.ring.add_node(shard_id)
+
+        self.codec = VectorCodec(precision=self.config.codec_precision)
+        self.batcher = MicroBatcher(
+            self.codec,
+            max_batch=self.config.batch_size,
+            max_delay_s=self.config.batch_deadline_s,
+        )
+        self.synchronizer = ShardSynchronizer(interval_s=self.config.sync_every_s)
+        self.bucket = (
+            TokenBucket(
+                self.config.admission_rate_per_s,
+                capacity=self.config.admission_burst,
+            )
+            if self.config.admission_rate_per_s is not None
+            else None
+        )
+
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "gateway.requests", "requests reaching the gateway"
+        )
+        self._shed = self.metrics.counter(
+            "gateway.requests_shed", "requests dropped by backpressure"
+        )
+        self._assigned = self.metrics.counter(
+            "gateway.assignments", "requests that received a task"
+        )
+        self._results = self.metrics.counter(
+            "gateway.results", "gradient results accepted"
+        )
+        self._batches = self.metrics.counter(
+            "gateway.batches", "micro-batches delivered to shards"
+        )
+        self._syncs = self.metrics.counter(
+            "gateway.syncs", "cross-shard synchronization rounds"
+        )
+        self._batch_sizes = self.metrics.summary(
+            "gateway.batch_size", "delivered micro-batch sizes"
+        )
+        self._divergence = self.metrics.summary(
+            "gateway.sync_divergence", "max L2 shard drift at sync time"
+        )
+
+        self._lanes: dict[str, _ShardLane] = {
+            shard_id: _ShardLane() for shard_id in self._shards
+        }
+        self._inflight: dict[int, str] = {}
+        self._now = 0.0
+        self._first_result_time: float | None = None
+        self._last_result_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Factory
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factory(
+        cls,
+        num_shards: int,
+        shard_factory: Callable[[int], FleetServer],
+        config: GatewayConfig | None = None,
+        cost_model: AggregationCostModel | None = None,
+    ) -> "Gateway":
+        """Build N identically-configured shards from a factory."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        return cls(
+            [shard_factory(i) for i in range(num_shards)],
+            config=config,
+            cost_model=cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def _advance(self, now: float | None) -> float:
+        if now is not None:
+            self._now = max(self._now, now)
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Device-facing protocol (drop-in for FleetServer)
+    # ------------------------------------------------------------------
+    def shard_for(self, worker_id: int) -> str:
+        """Routing decision for a device id (stable across calls)."""
+        return self.ring.node_for(worker_id)
+
+    def handle_request(
+        self, request: TaskRequest, now: float | None = None
+    ) -> TaskAssignment | TaskRejection:
+        """Steps 2-4 via the owning shard, behind gateway admission."""
+        now = self._advance(now)
+        self._pump(now)
+        self._requests.increment()
+        if self.bucket is not None and not self.bucket.try_acquire(now):
+            self._shed.increment()
+            return TaskRejection(
+                reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
+            )
+        shard_id = self.shard_for(request.worker_id)
+        response = self._shards[shard_id].handle_request(request)
+        if isinstance(response, TaskAssignment):
+            self._assigned.increment()
+            self._inflight[request.worker_id] = shard_id
+        return response
+
+    def handle_result(self, result: TaskResult, now: float | None = None) -> bool:
+        """Step 5: enqueue on the owning shard's micro-batch lane.
+
+        Returns True when this result's lane flushed (a shard model update
+        happened now); deadline-triggered flushes of *other* lanes may also
+        run as a side effect of time advancing.
+        """
+        now = self._advance(now)
+        self._results.increment()
+        if self._first_result_time is None:
+            self._first_result_time = now
+        self._last_result_time = now
+
+        shard_id = self._inflight.pop(result.worker_id, None)
+        if shard_id is None or shard_id not in self._shards:
+            # Rerouted result (shard removed, or lease predates the gateway):
+            # the new owner's clock may be behind the issuing shard's, so
+            # clamp the lease to keep staleness non-negative.
+            shard_id = self.shard_for(result.worker_id)
+            clock = self._shards[shard_id].clock
+            if result.pull_step > clock:
+                result = dataclasses.replace(result, pull_step=clock)
+
+        batch = self.batcher.add(shard_id, result, now)
+        updated = False
+        if batch:
+            updated = self._deliver(shard_id, batch, now)
+        # A deadline flush may deliver this very result (its lane's oldest
+        # entry was already overdue), so fold the pump's outcome for this
+        # shard into the answer.
+        updated = self._pump(now, watch=shard_id) or updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _deliver(self, shard_id: str, batch: list[TaskResult], now: float) -> bool:
+        updated = self._shards[shard_id].handle_result_batch(batch)
+        self._batches.increment()
+        self._batch_sizes.observe(len(batch))
+        lane = self._lanes[shard_id]
+        lane.batches += 1
+        lane.results += len(batch)
+        if self.cost_model is not None:
+            start = max(now, lane.busy_until)
+            service = self.cost_model.service_time(len(batch))
+            lane.busy_until = start + service
+            lane.busy_seconds += service
+        return updated
+
+    def _pump(self, now: float, watch: str | None = None) -> bool:
+        """Fire any deadline flushes and the periodic sync that are due.
+
+        Returns True when a flush of ``watch``'s lane applied a model
+        update (callers tracking a specific result's fate pass its shard).
+        """
+        watched_updated = False
+        for shard_id in self.batcher.due(now):
+            batch = self.batcher.flush(shard_id)
+            if batch:
+                updated = self._deliver(shard_id, batch, now)
+                if shard_id == watch:
+                    watched_updated = updated
+        if len(self._shards) > 1 and self.synchronizer.due(now):
+            self.synchronize(now)
+        return watched_updated
+
+    # ------------------------------------------------------------------
+    # Synchronization and membership
+    # ------------------------------------------------------------------
+    def synchronize(self, now: float | None = None) -> None:
+        """Blend shard models (weighted by fresh updates) and broadcast."""
+        now = self._advance(now)
+        record = self.synchronizer.synchronize(self._shards, now)
+        self._syncs.increment()
+        self._divergence.observe(record.max_divergence)
+
+    def flush_all(self, now: float | None = None) -> int:
+        """Force-deliver every pending micro-batch; returns results flushed."""
+        now = self._advance(now)
+        flushed = 0
+        for shard_id in list(self._shards):
+            batch = self.batcher.flush(shard_id)
+            if batch:
+                self._deliver(shard_id, batch, now)
+                flushed += len(batch)
+        return flushed
+
+    def finalize(self, now: float | None = None) -> None:
+        """End of run: drain all lanes, then converge shard models."""
+        self.flush_all(now)
+        if len(self._shards) > 1:
+            self.synchronize(now)
+
+    def add_shard(
+        self, shard: FleetServer, shard_id: str | None = None, now: float | None = None
+    ) -> str:
+        """Join a shard: it inherits the consensus model, then takes ~1/N keys."""
+        now = self._advance(now)
+        if shard_id is None:
+            shard_id = f"shard-{len(self._shards)}"
+            while shard_id in self._shards:
+                shard_id = shard_id + "+"
+        # Fold every existing shard's unsynced learning into the consensus
+        # BEFORE re-baselining the sync counters below — otherwise updates
+        # applied since the last sync would carry no weight at the next one
+        # and be overwritten by the broadcast.
+        if len(self._shards) > 1:
+            self.synchronize(now)
+        shard.optimizer.set_parameters(self.synchronizer.blend(self._shards))
+        self._shards[shard_id] = shard
+        self._lanes[shard_id] = _ShardLane()
+        self.ring.add_node(shard_id)
+        self.synchronizer.note_membership_change(self._shards)
+        return shard_id
+
+    def remove_shard(self, shard_id: str, now: float | None = None) -> FleetServer:
+        """Drain a shard, fold its learning into the others, drop it."""
+        if shard_id not in self._shards:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        now = self._advance(now)
+        batch = self.batcher.flush(shard_id)
+        if batch:
+            self._deliver(shard_id, batch, now)
+        # One sync while the leaver still participates: its updates enter
+        # the consensus, so removing it afterwards loses nothing.
+        self.synchronize(now)
+        shard = self._shards.pop(shard_id)
+        self.ring.remove_node(shard_id)
+        self._lanes.pop(shard_id)
+        self._inflight = {
+            worker: owner
+            for worker, owner in self._inflight.items()
+            if owner != shard_id
+        }
+        self.synchronizer.note_membership_change(self._shards)
+        return shard
+
+    # ------------------------------------------------------------------
+    # Introspection (FleetServer-compatible surface + gateway extras)
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> dict[str, FleetServer]:
+        return dict(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def current_parameters(self) -> np.ndarray:
+        """The consensus model: weighted blend of the shard models."""
+        return self.synchronizer.blend(self._shards)
+
+    @property
+    def clock(self) -> int:
+        """Total model updates across the serving tier."""
+        return sum(shard.clock for shard in self._shards.values())
+
+    @property
+    def results_applied(self) -> int:
+        return sum(shard.results_applied for shard in self._shards.values())
+
+    def applied_staleness(self) -> np.ndarray:
+        """Per-shard staleness of every applied gradient, concatenated."""
+        arrays = [
+            shard.optimizer.applied_staleness() for shard in self._shards.values()
+        ]
+        return np.concatenate(arrays) if arrays else np.zeros(0)
+
+    def requests_shed(self) -> int:
+        return self._shed.value
+
+    def virtual_throughput(self) -> float:
+        """Handled results per second of virtual serving-tier time.
+
+        With a cost model, the denominator runs until the busiest lane
+        drains (queueing included); without one, until the last result
+        arrived.  This is the scaling benchmark's headline number.
+        """
+        delivered = sum(lane.results for lane in self._lanes.values())
+        if delivered == 0 or self._first_result_time is None:
+            return 0.0
+        if self.cost_model is not None:
+            end = max(lane.busy_until for lane in self._lanes.values())
+        else:
+            end = self._last_result_time
+        elapsed = end - self._first_result_time
+        if elapsed <= 0:
+            return float("inf")
+        return delivered / elapsed
+
+    def report(self) -> str:
+        """Text dump of the gateway metrics plus per-shard lane stats."""
+        lines = [self.metrics.report()]
+        for shard_id in sorted(self._shards):
+            shard = self._shards[shard_id]
+            lane = self._lanes[shard_id]
+            lines.append(
+                f"{shard_id}: clock={shard.clock} applied={shard.results_applied} "
+                f"batches={lane.batches} busy={lane.busy_seconds:.2f}s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Consistent hashing: stable device → shard routing with cheap rebalancing.
+
+The gateway must send every request and result from one device to the same
+:class:`~repro.server.server.FleetServer` shard (so I-Prof's per-device
+history and the shard's pull leases stay coherent), yet adding or removing
+a shard must not reshuffle the whole fleet.  A classic consistent-hash ring
+with virtual nodes gives both: each shard owns ``replicas`` points on a
+2^32 ring, a device id hashes to a point, and the owning shard is the first
+virtual node clockwise.  Adding one shard to an N-shard ring moves only
+~1/(N+1) of the keys; every unmoved key keeps its old shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash32(data: str) -> int:
+    """Stable 32-bit ring position (independent of PYTHONHASHSEED)."""
+    digest = hashlib.sha1(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ConsistentHashRing:
+    """A ring of virtual nodes mapping keys to named shards.
+
+    Parameters
+    ----------
+    replicas:
+        Virtual nodes per shard.  More replicas smooth the key distribution
+        (stddev of shard load shrinks like 1/sqrt(replicas)) at the cost of
+        a larger sorted ring.
+    """
+
+    def __init__(self, replicas: int = 128) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []
+        self._positions: list[int] = []
+        self._nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add a shard; ~1/(N+1) of the key space moves onto it."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            self._ring.append((_hash32(f"{node}#{replica}"), node))
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        """Remove a shard; only its keys move, to their ring successors."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._ring = [(pos, name) for pos, name in self._ring if name != node]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._ring.sort()
+        self._positions = [pos for pos, _ in self._ring]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node_for(self, key: int | str) -> str:
+        """The shard owning ``key``: first virtual node clockwise."""
+        if not self._ring:
+            raise LookupError("hash ring is empty")
+        position = _hash32(f"key:{key}")
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._ring):
+            index = 0  # wrap around the ring
+        return self._ring[index][1]
+
+    def distribution(self, keys: list[int | str]) -> dict[str, int]:
+        """Key count per shard (diagnostics / balance tests)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -1,0 +1,105 @@
+"""Cross-shard model synchronization by weighted parameter averaging.
+
+Each shard learns independently between syncs, so their models drift apart
+— the sharded analogue of staleness.  Periodically the gateway blends the
+shard parameter vectors, weighting each shard by the number of gradients
+it has absorbed since the previous sync (a shard that applied 10x more
+updates contributes 10x more to the consensus), and writes the blend back
+into every shard.  Shard logical clocks are untouched, so outstanding pull
+leases stay valid and per-shard staleness semantics are preserved.
+
+With sync interval T and per-shard update rate r, cross-shard divergence
+is bounded by what r*T updates can move a model — the knob the scaling
+benchmark turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.server import FleetServer
+
+__all__ = ["SyncRecord", "ShardSynchronizer"]
+
+
+@dataclass(frozen=True)
+class SyncRecord:
+    """Bookkeeping for one synchronization round."""
+
+    time: float
+    weights: dict[str, float]
+    max_divergence: float  # max L2 distance of any shard from the blend
+
+
+class ShardSynchronizer:
+    """Periodic weighted averaging across named shards."""
+
+    def __init__(self, interval_s: float = 60.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self._last_sync: float | None = None
+        self._applied_at_last_sync: dict[str, int] = {}
+        self.history: list[SyncRecord] = []
+
+    def due(self, now: float) -> bool:
+        if self._last_sync is None:
+            self._last_sync = now  # start the first interval at first sight
+            return False
+        return now - self._last_sync >= self.interval_s
+
+    # ------------------------------------------------------------------
+    # Blending
+    # ------------------------------------------------------------------
+    def _fresh_updates(self, shards: dict[str, FleetServer]) -> dict[str, float]:
+        return {
+            shard_id: float(
+                shard.results_applied - self._applied_at_last_sync.get(shard_id, 0)
+            )
+            for shard_id, shard in shards.items()
+        }
+
+    def blend(self, shards: dict[str, FleetServer]) -> np.ndarray:
+        """Weighted average of shard models (does not mutate the shards).
+
+        Weights are the per-shard update counts since the last sync; when no
+        shard has learned anything the average is uniform (all shards still
+        hold the previous consensus, so any weighting would return it).
+        """
+        if not shards:
+            raise ValueError("cannot blend zero shards")
+        fresh = self._fresh_updates(shards)
+        total = sum(fresh.values())
+        ids = sorted(shards)
+        if total <= 0:
+            weights = np.full(len(ids), 1.0 / len(ids))
+        else:
+            weights = np.array([fresh[i] / total for i in ids])
+        stacked = np.stack([shards[i].current_parameters() for i in ids])
+        return weights @ stacked
+
+    def synchronize(self, shards: dict[str, FleetServer], now: float) -> SyncRecord:
+        """Blend and write the consensus model back into every shard."""
+        blended = self.blend(shards)
+        divergence = max(
+            float(np.linalg.norm(shard.current_parameters() - blended))
+            for shard in shards.values()
+        )
+        fresh = self._fresh_updates(shards)
+        for shard in shards.values():
+            shard.optimizer.set_parameters(blended)
+        self._last_sync = now
+        self._applied_at_last_sync = {
+            shard_id: shard.results_applied for shard_id, shard in shards.items()
+        }
+        record = SyncRecord(time=now, weights=fresh, max_divergence=divergence)
+        self.history.append(record)
+        return record
+
+    def note_membership_change(self, shards: dict[str, FleetServer]) -> None:
+        """Re-baseline update counters after shard add/remove."""
+        self._applied_at_last_sync = {
+            shard_id: shard.results_applied for shard_id, shard in shards.items()
+        }

@@ -32,10 +32,13 @@ __all__ = [
 
 
 class RejectionReason(enum.Enum):
-    """Why the controller refused to hand out a learning task."""
+    """Why the controller (or the gateway in front of it) refused a task."""
 
     BATCH_TOO_SMALL = "batch_too_small"
     SIMILARITY_TOO_HIGH = "similarity_too_high"
+    # Gateway-level backpressure: the serving tier is at capacity and sheds
+    # the request before any shard-side work happens.
+    OVERLOADED = "overloaded"
 
 
 @dataclass(frozen=True)

@@ -57,8 +57,15 @@ class FleetServer:
     # ------------------------------------------------------------------
     # Steps 2-4: request handling
     # ------------------------------------------------------------------
-    def handle_request(self, request: TaskRequest) -> TaskAssignment | TaskRejection:
-        """Bound the workload, compute similarity, run the admission check."""
+    def handle_request(
+        self, request: TaskRequest, now: float | None = None
+    ) -> TaskAssignment | TaskRejection:
+        """Bound the workload, compute similarity, run the admission check.
+
+        ``now`` is accepted (and ignored) so a ``FleetServer`` and a
+        :class:`~repro.gateway.gateway.Gateway` are interchangeable
+        endpoints for time-driven callers like the fleet simulation.
+        """
         decision = self.profiler.recommend(
             request.device_model, request.features.as_vector(), self.slo
         )
@@ -91,11 +98,56 @@ class FleetServer:
     # ------------------------------------------------------------------
     # Step 5 (server side): result handling
     # ------------------------------------------------------------------
-    def handle_result(self, result: TaskResult) -> bool:
+    def handle_result(self, result: TaskResult, now: float | None = None) -> bool:
         """Feed the profiler and fold the gradient into the global model.
 
         Returns True when the submission triggered a model update.
+        ``now`` is accepted (and ignored) for gateway interchangeability.
+
+        ``results_applied`` counts finite gradients delivered to the
+        optimizer — at delivery time, in every code path (single, batched,
+        finalize), so gateway sync weights compare shards in one unit even
+        when ``aggregation_k > 1`` buffers deliveries across updates.
         """
+        self._validate_shapes([result])
+        update = self._report_and_convert(result)
+        if np.isfinite(update.gradient).all():
+            self.results_applied += 1
+        return self.optimizer.submit(update)
+
+    def handle_result_batch(self, results: list[TaskResult]) -> bool:
+        """Batched step 5: one model update for a gateway micro-batch.
+
+        Every result still feeds the profiler individually (I-Prof learns
+        from each device measurement), but the gradients are folded into the
+        model through :meth:`StalenessAwareServer.submit_many`, so the hot
+        aggregation path runs once per batch instead of once per gradient.
+        """
+        if not results:
+            return False
+        self._validate_shapes(results)
+        updates = [self._report_and_convert(result) for result in results]
+        # Same unit as handle_result: finite gradients delivered, counted
+        # at delivery (a NaN/Inf upload is rejected by the optimizer and
+        # must not weight this shard in gateway syncs).
+        self.results_applied += sum(
+            1 for update in updates if np.isfinite(update.gradient).all()
+        )
+        return self.optimizer.submit_many(updates)
+
+    def _validate_shapes(self, results: list[TaskResult]) -> None:
+        """Reject malformed gradients BEFORE any state changes.
+
+        Failing up front keeps a bad batch from polluting the profiler or
+        inflating ``results_applied`` when the optimizer later raises.
+        """
+        shape = self.optimizer.parameter_shape
+        for result in results:
+            if result.gradient.shape != shape:
+                raise ValueError("gradient shape does not match model parameters")
+
+    def _report_and_convert(self, result: TaskResult) -> GradientUpdate:
+        """Feed one result's measurements to the profiler; wrap its gradient."""
         self.profiler.report(
             result.device_model,
             result.features.as_vector(),
@@ -103,17 +155,23 @@ class FleetServer:
             computation_time_s=result.computation_time_s,
             energy_percent=result.energy_percent,
         )
-        update = GradientUpdate(
+        return GradientUpdate(
             gradient=result.gradient,
             pull_step=result.pull_step,
             label_counts=result.label_counts,
             batch_size=result.batch_size,
             worker_id=result.worker_id,
         )
-        updated = self.optimizer.submit(update)
-        if updated:
-            self.results_applied += 1
-        return updated
+
+    def finalize(self, now: float | None = None) -> None:
+        """End of run: apply any partially-buffered aggregation window.
+
+        A no-op with ``aggregation_k = 1``; with time/size-window
+        aggregation it prevents gradients from being stranded in the
+        buffer when the caller's clock stops.  Buffered gradients were
+        already counted in ``results_applied`` at delivery time.
+        """
+        self.optimizer.flush()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -121,6 +179,10 @@ class FleetServer:
     def current_parameters(self) -> np.ndarray:
         """The canonical global model vector."""
         return self.optimizer.current_parameters()
+
+    def applied_staleness(self) -> np.ndarray:
+        """Staleness of every gradient folded into the model."""
+        return self.optimizer.applied_staleness()
 
     @property
     def clock(self) -> int:

@@ -128,8 +128,8 @@ class FleetSimResult:
     suspended_devices: int = 0
 
     def applied_staleness(self, server: FleetServer) -> np.ndarray:
-        """Endogenous staleness of every update the server applied."""
-        return server.optimizer.applied_staleness()
+        """Endogenous staleness of every update the endpoint applied."""
+        return server.applied_staleness()
 
     def final_accuracy(self) -> float:
         return self.eval_accuracy[-1] if self.eval_accuracy else 0.0
@@ -149,7 +149,13 @@ class FleetSimulation:
     Parameters
     ----------
     server:
-        A configured :class:`FleetServer` (optimizer + profiler + controller).
+        The device-facing endpoint: a configured :class:`FleetServer`
+        (optimizer + profiler + controller), or anything speaking its
+        protocol — e.g. a :class:`~repro.gateway.gateway.Gateway` fronting
+        several shards.  The simulation passes the virtual clock on every
+        call (a plain server ignores it; the gateway drives its batching
+        deadlines and sync schedule from it) and calls ``finalize`` at the
+        end of the run.
     model:
         Shared architecture replica used by every worker to compute
         gradients (the discrete-event loop is sequential, so one instance
@@ -270,7 +276,7 @@ class FleetSimulation:
         state.requests += 1
         self.result.requests += 1
         request: TaskRequest = state.worker.build_request()
-        response = self.server.handle_request(request)
+        response = self.server.handle_request(request, now=self.loop.now)
         if not isinstance(response, TaskAssignment):
             state.rejections += 1
             self.result.rejections += 1
@@ -329,7 +335,7 @@ class FleetSimulation:
         else:
             state.completed += 1
             self.result.completed += 1
-            updated = self.server.handle_result(task_result)
+            updated = self.server.handle_result(task_result, now=self.loop.now)
             if updated and (
                 self.server.clock - self._last_eval_step
                 >= self.config.eval_every_updates
@@ -358,6 +364,10 @@ class FleetSimulation:
         # Drain in-flight completions past the horizon (no new requests are
         # issued there; _on_request returns early beyond the horizon).
         self.loop.run_all()
+        # Deliver anything buffered at the endpoint (pending micro-batches
+        # and a final shard sync for a gateway; a partial aggregation window
+        # for a plain server) so the final evaluation sees all learning.
+        self.server.finalize(now=self.loop.now)
         if self.server.clock != self._last_eval_step or not self.result.eval_accuracy:
             self._evaluate()
         return self.result

@@ -1,0 +1,415 @@
+"""Tests for the sharded serving gateway (routing, batching, sync, admission)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_adasgd, make_fedavg
+from repro.core.adasgd import GradientUpdate
+from repro.devices.device import DeviceFeatures
+from repro.gateway import (
+    AggregationCostModel,
+    ConsistentHashRing,
+    Gateway,
+    GatewayConfig,
+    MicroBatcher,
+    ShardSynchronizer,
+    TokenBucket,
+)
+from repro.profiler import IProf, SLO
+from repro.server import FleetServer, VectorCodec
+from repro.server.protocol import RejectionReason, TaskRejection, TaskResult
+
+DIM = 16
+NUM_LABELS = 4
+
+
+def _features() -> DeviceFeatures:
+    return DeviceFeatures(
+        available_memory_mb=1024.0,
+        total_memory_mb=3072.0,
+        temperature_c=30.0,
+        sum_max_freq_ghz=8.0,
+        energy_per_cpu_second=2e-4,
+    )
+
+
+def _result(worker_id: int, gradient: np.ndarray, pull_step: int = 0) -> TaskResult:
+    return TaskResult(
+        worker_id=worker_id,
+        device_model="Galaxy S7",
+        features=_features(),
+        pull_step=pull_step,
+        gradient=gradient,
+        label_counts=np.ones(NUM_LABELS),
+        batch_size=8,
+        computation_time_s=1.0,
+        energy_percent=0.01,
+    )
+
+
+def _fedavg_shard(learning_rate: float = 0.1) -> FleetServer:
+    return FleetServer(
+        make_fedavg(np.zeros(DIM), learning_rate=learning_rate),
+        IProf(),
+        SLO(time_seconds=3.0),
+    )
+
+
+def _gateway(num_shards: int, **config_kwargs) -> Gateway:
+    return Gateway.from_factory(
+        num_shards,
+        lambda i: _fedavg_shard(),
+        GatewayConfig(**config_kwargs),
+    )
+
+
+class TestConsistentHashRing:
+    def test_stable_mapping(self):
+        ring = ConsistentHashRing()
+        for i in range(3):
+            ring.add_node(f"shard-{i}")
+        first = {key: ring.node_for(key) for key in range(500)}
+        second = {key: ring.node_for(key) for key in range(500)}
+        assert first == second
+
+    def test_add_moves_about_one_over_n_keys(self):
+        ring = ConsistentHashRing(replicas=128)
+        for i in range(4):
+            ring.add_node(f"shard-{i}")
+        keys = list(range(2000))
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("shard-4")
+        after = {key: ring.node_for(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # Ideal is 1/5 = 0.2; virtual nodes keep the realized fraction close.
+        assert 0.05 < len(moved) / len(keys) < 0.40
+        # Consistency: every moved key went to the NEW shard; nothing
+        # shuffled between the old shards.
+        assert all(after[key] == "shard-4" for key in moved)
+
+    def test_remove_moves_only_the_leavers_keys(self):
+        ring = ConsistentHashRing(replicas=128)
+        for i in range(5):
+            ring.add_node(f"shard-{i}")
+        keys = list(range(2000))
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("shard-2")
+        after = {key: ring.node_for(key) for key in keys}
+        for key in keys:
+            if before[key] != "shard-2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "shard-2"
+
+    def test_reasonable_balance(self):
+        ring = ConsistentHashRing(replicas=256)
+        for i in range(4):
+            ring.add_node(f"shard-{i}")
+        counts = ring.distribution(list(range(4000)))
+        assert min(counts.values()) > 4000 / 4 / 3
+
+    def test_membership_errors(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.node_for(1)
+        ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+        with pytest.raises(KeyError):
+            ring.remove_node("b")
+
+
+class TestRouting:
+    def test_same_device_same_shard(self):
+        gateway = _gateway(4, batch_size=1)
+        assert all(
+            gateway.shard_for(worker) == gateway.shard_for(worker)
+            for worker in range(100)
+        )
+        # Results actually land on the routed shard.
+        rng = np.random.default_rng(0)
+        for worker in range(32):
+            shard_id = gateway.shard_for(worker)
+            before = gateway.shards[shard_id].results_applied
+            gateway.handle_result(_result(worker, rng.normal(size=DIM)), now=float(worker))
+            assert gateway.shards[shard_id].results_applied == before + 1
+
+    def test_rerouted_result_clamps_lease(self):
+        gateway = _gateway(2, batch_size=1)
+        rng = np.random.default_rng(1)
+        # Shard clocks are all 0; a result with a lease from a "removed"
+        # shard at clock 5 must not crash the new owner with negative
+        # staleness.
+        gateway.handle_result(_result(7, rng.normal(size=DIM), pull_step=5), now=0.0)
+        assert gateway.results_applied == 1
+
+
+class TestBatchedAggregation:
+    def test_batched_equals_sequential_fedavg(self):
+        """One batched aggregation step == K sequential steps (fixed grads).
+
+        Constant dampening makes each weight exactly 1 regardless of the
+        clock, and SGD steps are linear in the gradient, so the only
+        difference left is the codec round trip.
+        """
+        rng = np.random.default_rng(2)
+        gradients = [rng.normal(size=DIM) for _ in range(8)]
+
+        sequential = _fedavg_shard()
+        for i, gradient in enumerate(gradients):
+            sequential.handle_result(_result(i, gradient))
+
+        gateway = Gateway(
+            [_fedavg_shard()],
+            GatewayConfig(batch_size=8, batch_deadline_s=100.0, codec_precision="f64"),
+        )
+        for i, gradient in enumerate(gradients):
+            gateway.handle_result(_result(i, gradient), now=float(i))
+
+        shard = gateway.shards["shard-0"]
+        assert shard.clock == 1  # ONE aggregation pass for the whole batch
+        assert sequential.clock == 8
+        np.testing.assert_allclose(
+            shard.current_parameters(), sequential.current_parameters(), atol=1e-12
+        )
+
+    def test_batched_close_under_f32_codec(self):
+        rng = np.random.default_rng(3)
+        gradients = [rng.normal(size=DIM) for _ in range(8)]
+        sequential = _fedavg_shard()
+        for i, gradient in enumerate(gradients):
+            sequential.handle_result(_result(i, gradient))
+        gateway = Gateway(
+            [_fedavg_shard()],
+            GatewayConfig(batch_size=8, batch_deadline_s=100.0, codec_precision="f32"),
+        )
+        for i, gradient in enumerate(gradients):
+            gateway.handle_result(_result(i, gradient), now=float(i))
+        np.testing.assert_allclose(
+            gateway.current_parameters(),
+            sequential.current_parameters(),
+            atol=1e-5,
+        )
+
+    def test_submit_many_filters_nonfinite(self):
+        server = make_fedavg(np.zeros(DIM), learning_rate=0.1)
+        bad = GradientUpdate(gradient=np.full(DIM, np.nan), pull_step=0)
+        good = GradientUpdate(gradient=np.ones(DIM), pull_step=0)
+        assert server.submit_many([bad, good])
+        assert server.rejected_count == 1
+        assert server.clock == 1
+        with pytest.raises(ValueError):
+            server.submit_many([GradientUpdate(gradient=np.ones(DIM + 1), pull_step=0)])
+
+    def test_submit_many_all_rejected_leaves_partial_buffer_alone(self):
+        """An all-rejected batch applies nothing — not even buffered updates."""
+        server = make_fedavg(np.zeros(DIM), learning_rate=0.1, aggregation_k=4)
+        assert not server.submit(GradientUpdate(gradient=np.ones(DIM), pull_step=0))
+        bad = GradientUpdate(gradient=np.full(DIM, np.inf), pull_step=0)
+        assert not server.submit_many([bad])
+        assert server.clock == 0
+        assert server.buffered_count == 1  # the partial window survives
+
+    def test_submit_many_shape_failure_is_atomic(self):
+        """A malformed batch must not leave earlier updates buffered."""
+        server = make_fedavg(np.zeros(DIM), learning_rate=0.1)
+        good = GradientUpdate(gradient=np.ones(DIM), pull_step=0)
+        bad_shape = GradientUpdate(gradient=np.ones(DIM + 1), pull_step=0)
+        with pytest.raises(ValueError):
+            server.submit_many([good, bad_shape])
+        # The rejected batch left no trace: a later flush applies nothing.
+        assert not server.flush()
+        assert server.clock == 0
+
+    def test_deadline_flush(self):
+        gateway = _gateway(1, batch_size=100, batch_deadline_s=10.0)
+        rng = np.random.default_rng(4)
+        assert not gateway.handle_result(_result(0, rng.normal(size=DIM)), now=0.0)
+        assert gateway.batcher.total_pending() == 1
+        # Time passing without reaching the size trigger flushes by deadline,
+        # and the flush is reported as an update to the caller.
+        assert gateway.handle_result(_result(1, rng.normal(size=DIM)), now=11.0)
+        assert gateway.batcher.total_pending() == 0
+        assert gateway.results_applied == 2
+
+    def test_batch_of_nonfinite_gradients_not_counted_applied(self):
+        shard = _fedavg_shard()
+        good = _result(0, np.ones(DIM))
+        bad = _result(1, np.full(DIM, np.nan))
+        assert shard.handle_result_batch([bad, good])
+        assert shard.results_applied == 1  # the NaN upload was rejected
+        assert shard.optimizer.rejected_count == 1
+
+    def test_micro_batcher_compression(self):
+        batcher = MicroBatcher(VectorCodec(precision="f16"), max_batch=4)
+        rng = np.random.default_rng(5)
+        for i in range(3):
+            assert batcher.add("s", _result(i, rng.normal(size=2048)), now=0.0) == []
+        assert batcher.pending("s") == 3
+        batch = batcher.add("s", _result(3, rng.normal(size=2048)), now=0.0)
+        assert len(batch) == 4
+        assert batcher.compression_ratio() > 3.0  # f16 + deflate vs f64
+
+
+class TestBackpressure:
+    def test_token_bucket_sheds_bursts_and_refills(self):
+        bucket = TokenBucket(rate_per_s=1.0, capacity=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)  # burst exhausted
+        assert bucket.tokens == 0.0
+        assert bucket.try_acquire(1.5)      # refilled
+
+    def test_gateway_sheds_with_overloaded_reason(self):
+        gateway = Gateway(
+            [_fedavg_shard()],
+            GatewayConfig(batch_size=1, admission_rate_per_s=1.0, admission_burst=1.0),
+        )
+        worker_request = None
+        from repro.server.protocol import TaskRequest
+
+        worker_request = TaskRequest(
+            worker_id=0,
+            device_model="Galaxy S7",
+            features=_features(),
+            label_counts=np.ones(NUM_LABELS),
+        )
+        first = gateway.handle_request(worker_request, now=0.0)
+        second = gateway.handle_request(worker_request, now=0.0)
+        assert not isinstance(first, TaskRejection)
+        assert isinstance(second, TaskRejection)
+        assert second.reason is RejectionReason.OVERLOADED
+        assert gateway.requests_shed() == 1
+
+
+class TestSynchronization:
+    def test_weighted_blend_and_broadcast(self):
+        shard_a = _fedavg_shard(learning_rate=1.0)
+        shard_b = _fedavg_shard(learning_rate=1.0)
+        sync = ShardSynchronizer(interval_s=10.0)
+        shards = {"a": shard_a, "b": shard_b}
+        # a absorbs 3 gradients of -1s, b absorbs 1 gradient of +1s.
+        for i in range(3):
+            shard_a.handle_result(_result(i, -np.ones(DIM)))
+        shard_b.handle_result(_result(9, np.ones(DIM)))
+        # θ_a = +3, θ_b = -1 (θ ← θ − γ g); weights 3:1 → blend at +2.
+        record = sync.synchronize(shards, now=0.0)
+        np.testing.assert_allclose(shard_a.current_parameters(), np.full(DIM, 2.0))
+        np.testing.assert_allclose(shard_b.current_parameters(), np.full(DIM, 2.0))
+        assert record.weights == {"a": 3.0, "b": 1.0}
+        assert record.max_divergence > 0
+        # Clocks are untouched by a sync.
+        assert shard_a.clock == 3 and shard_b.clock == 1
+
+    def test_sync_due_schedule(self):
+        sync = ShardSynchronizer(interval_s=10.0)
+        assert not sync.due(0.0)   # first sighting arms the interval
+        assert not sync.due(5.0)
+        assert sync.due(10.0)
+
+    def test_gateway_periodic_sync_bounds_divergence(self):
+        gateway = _gateway(2, batch_size=1, sync_every_s=5.0)
+        rng = np.random.default_rng(6)
+        for i in range(40):
+            gateway.handle_result(_result(i, rng.normal(size=DIM)), now=i * 1.0)
+        assert len(gateway.synchronizer.history) >= 3
+        spread = max(
+            float(
+                np.linalg.norm(
+                    shard.current_parameters() - gateway.current_parameters()
+                )
+            )
+            for shard in gateway.shards.values()
+        )
+        unsynced = _gateway(2, batch_size=1, sync_every_s=1e9)
+        for i in range(40):
+            unsynced.handle_result(_result(i, rng.normal(size=DIM)), now=i * 1.0)
+        unsynced_spread = max(
+            float(
+                np.linalg.norm(
+                    shard.current_parameters() - unsynced.current_parameters()
+                )
+            )
+            for shard in unsynced.shards.values()
+        )
+        assert spread < unsynced_spread
+
+
+class TestMembership:
+    def test_add_shard_inherits_consensus(self):
+        gateway = _gateway(2, batch_size=1)
+        rng = np.random.default_rng(7)
+        for i in range(10):
+            gateway.handle_result(_result(i, rng.normal(size=DIM)), now=float(i))
+        consensus = gateway.current_parameters()
+        new_id = gateway.add_shard(_fedavg_shard(), now=10.0)
+        np.testing.assert_allclose(
+            gateway.shards[new_id].current_parameters(), consensus
+        )
+        assert gateway.num_shards == 3
+
+    def test_add_shard_does_not_drop_unsynced_learning(self):
+        """Joining a shard must not erase updates applied since the last sync.
+
+        add_shard re-baselines the synchronizer's counters; without the
+        sync-before-join those updates would carry zero weight at the next
+        sync and be overwritten by the broadcast consensus.
+        """
+        gateway = _gateway(2, batch_size=1, sync_every_s=1e9)
+        rng = np.random.default_rng(10)
+        for i in range(20):
+            gateway.handle_result(_result(i, rng.normal(size=DIM)), now=float(i))
+        consensus_before = gateway.current_parameters()
+        gateway.add_shard(_fedavg_shard(), now=20.0)
+        gateway.synchronize(now=21.0)
+        np.testing.assert_allclose(
+            gateway.current_parameters(), consensus_before, atol=1e-9
+        )
+
+    def test_remove_shard_preserves_learning(self):
+        gateway = _gateway(3, batch_size=1)
+        rng = np.random.default_rng(8)
+        for i in range(30):
+            gateway.handle_result(_result(i, rng.normal(size=DIM)), now=float(i))
+        consensus_before = gateway.current_parameters()
+        gateway.remove_shard("shard-1", now=30.0)
+        assert gateway.num_shards == 2
+        # The leaver's updates were folded in via the pre-removal sync.
+        np.testing.assert_allclose(
+            gateway.current_parameters(), consensus_before, atol=1e-9
+        )
+        with pytest.raises(KeyError):
+            gateway.remove_shard("shard-1")
+
+    def test_cannot_remove_last_shard(self):
+        gateway = _gateway(1, batch_size=1)
+        with pytest.raises(ValueError):
+            gateway.remove_shard("shard-0")
+
+
+class TestThroughputAccounting:
+    def test_sharding_and_batching_raise_virtual_throughput(self):
+        cost = AggregationCostModel(per_flush_s=0.05, per_result_s=0.002)
+        rng = np.random.default_rng(9)
+
+        def drive(num_shards: int, batch_size: int) -> float:
+            gateway = Gateway.from_factory(
+                num_shards,
+                lambda i: _fedavg_shard(),
+                GatewayConfig(batch_size=batch_size, batch_deadline_s=1e9),
+                cost_model=cost,
+            )
+            # Saturating arrival pattern: 400 results in 0.4 virtual seconds
+            # (well beyond one lane's ~120 results/s service capacity), so
+            # throughput is set by the serving tier, not by the arrivals.
+            for i in range(400):
+                gateway.handle_result(
+                    _result(i % 64, rng.normal(size=DIM)), now=i * 0.001
+                )
+            gateway.finalize(now=0.4)
+            return gateway.virtual_throughput()
+
+        assert drive(2, 8) > drive(1, 8)
+        assert drive(1, 8) > drive(1, 1)

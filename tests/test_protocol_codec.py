@@ -1,0 +1,86 @@
+"""Protocol round-trips through the wire codec (gateway transport path).
+
+The gateway batcher holds results in codec wire form
+(:func:`repro.gateway.batching.encode_result` /
+:func:`~repro.gateway.batching.decode_result`); these tests pin down that
+an encode → decode round trip preserves the gradient payload (exactly at
+f64, within quantization tolerance below) and every metadata field the
+batcher, the profiler and the shard optimizer consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceFeatures
+from repro.gateway.batching import decode_result, encode_result
+from repro.server.codec import VectorCodec
+from repro.server.protocol import TaskResult
+
+
+def _make_result(gradient: np.ndarray) -> TaskResult:
+    return TaskResult(
+        worker_id=42,
+        device_model="Pixel",
+        features=DeviceFeatures(
+            available_memory_mb=512.0,
+            total_memory_mb=2048.0,
+            temperature_c=35.5,
+            sum_max_freq_ghz=6.4,
+            energy_per_cpu_second=3.1e-4,
+        ),
+        pull_step=17,
+        gradient=gradient,
+        label_counts=np.array([3.0, 0.0, 5.0, 1.0]),
+        batch_size=96,
+        computation_time_s=2.75,
+        energy_percent=0.045,
+    )
+
+
+class TestTaskResultRoundTrip:
+    def test_f64_roundtrip_is_exact(self):
+        rng = np.random.default_rng(0)
+        original = _make_result(rng.normal(size=500))
+        codec = VectorCodec(precision="f64")
+        decoded = decode_result(encode_result(original, codec), codec)
+        np.testing.assert_array_equal(decoded.gradient, original.gradient)
+
+    @pytest.mark.parametrize("precision,tolerance", [("f32", 1e-6), ("f16", 1e-2)])
+    def test_lossy_roundtrip_within_quantization(self, precision, tolerance):
+        rng = np.random.default_rng(1)
+        original = _make_result(rng.normal(size=500))
+        codec = VectorCodec(precision=precision)
+        decoded = decode_result(encode_result(original, codec), codec)
+        assert np.abs(decoded.gradient - original.gradient).max() < tolerance
+
+    def test_metadata_preserved_exactly(self):
+        """Everything the gateway batcher routes on must survive untouched."""
+        rng = np.random.default_rng(2)
+        original = _make_result(rng.normal(size=64))
+        codec = VectorCodec(precision="f16")  # lossiest transport
+        decoded = decode_result(encode_result(original, codec), codec)
+
+        assert decoded.worker_id == original.worker_id
+        assert decoded.device_model == original.device_model
+        assert decoded.pull_step == original.pull_step
+        assert decoded.batch_size == original.batch_size
+        assert decoded.computation_time_s == original.computation_time_s
+        assert decoded.energy_percent == original.energy_percent
+        assert decoded.features == original.features
+        np.testing.assert_array_equal(decoded.label_counts, original.label_counts)
+
+    def test_wire_form_is_compact(self):
+        rng = np.random.default_rng(3)
+        gradient = rng.normal(size=10_000)
+        encoded = encode_result(_make_result(gradient), VectorCodec(precision="f16"))
+        assert encoded.wire_bytes < gradient.nbytes / 3
+        # The encoded form drops the dense gradient entirely.
+        assert encoded.metadata.gradient.size == 0
+
+    def test_blob_metadata_consistent(self):
+        codec = VectorCodec(precision="f32")
+        encoded = encode_result(_make_result(np.ones(7)), codec)
+        assert encoded.blob.length == 7
+        assert encoded.blob.dtype == "f32"
