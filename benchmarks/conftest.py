@@ -8,7 +8,6 @@ leaves the full reproduction tables in the log.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 _REPORTS: list[str] = []

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import fmt_row
 from repro.analysis import bar_chart
 from repro.core import simulate_ssp_throughput
 

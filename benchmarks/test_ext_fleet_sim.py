@@ -14,12 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import gaussian_tail_split, summarize
-from repro.core import make_adasgd
+from repro.api import FleetBuilder
 from repro.data import iid_split, make_mnist_like
 from repro.devices import SimulatedDevice, fleet_specs
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer
+from repro.profiler import collect_offline_dataset
 from repro.simulation import FleetSimConfig, FleetSimulation
 
 NUM_USERS = 30
@@ -36,17 +35,14 @@ def _run():
         for i, spec in enumerate(fleet_specs(5, np.random.default_rng(6)))
     ]
     xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
-    iprof = IProf()
-    iprof.pretrain_time(xs, ys)
 
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    server = FleetServer(
-        make_adasgd(
-            model.get_parameters(), num_labels=10, learning_rate=0.02,
-            initial_tau_thres=12.0,
-        ),
-        iprof,
-        SLO(time_seconds=3.0),
+    server = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+        .build()
     )
     config = FleetSimConfig(
         horizon_s=HORIZON_S,

@@ -20,7 +20,7 @@ import numpy as np
 from repro.analysis import sparkline
 from repro.devices.activity import UserActivityModel
 from repro.devices.charging import ChargingModel
-from repro.network import WIFI, HandoverChain, NetworkConditions, NetworkInterface
+from repro.network import WIFI, NetworkConditions, NetworkInterface
 from repro.simulation.standard_fl import (
     EligibilityPolicy,
     ParticipantProfile,

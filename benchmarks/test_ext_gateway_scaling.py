@@ -19,14 +19,13 @@ import time
 
 import numpy as np
 
-from repro.core import make_adasgd, make_fedavg
+from repro.api import FleetBuilder
 from repro.data import iid_split, make_mnist_like
 from repro.devices import SimulatedDevice, fleet_specs
 from repro.devices.device import DeviceFeatures
 from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer
+from repro.profiler import collect_offline_dataset
 from repro.server.protocol import TaskResult
 from repro.simulation import FleetSimConfig, FleetSimulation
 
@@ -57,13 +56,15 @@ def _features() -> DeviceFeatures:
 def _drive_saturated(num_shards: int, batch_size: int) -> tuple[float, float]:
     """(virtual results/s, wall seconds) for one gateway configuration."""
     rng = np.random.default_rng(17)
-    gateway = Gateway.from_factory(
+    shard_spec = (
+        FleetBuilder(np.zeros(GRADIENT_DIM))
+        .algorithm("fedavg", learning_rate=0.01)
+        .slo(3.0)
+        .spec()
+    )
+    gateway = Gateway.from_spec(
         num_shards,
-        lambda i: FleetServer(
-            make_fedavg(np.zeros(GRADIENT_DIM), learning_rate=0.01),
-            IProf(),
-            SLO(time_seconds=3.0),
-        ),
+        shard_spec,
         GatewayConfig(batch_size=batch_size, batch_deadline_s=1e9, sync_every_s=1e9),
         cost_model=AggregationCostModel(per_flush_s=0.05, per_result_s=0.002),
     )
@@ -136,19 +137,16 @@ def _run_fleet_through_gateway(num_shards: int, batch_size: int):
     ]
     xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    params = model.get_parameters()
 
-    def shard_factory(index: int) -> FleetServer:
-        iprof = IProf()
-        iprof.pretrain_time(xs, ys)
-        return FleetServer(
-            make_adasgd(params.copy(), num_labels=10, learning_rate=0.02,
-                        initial_tau_thres=12.0),
-            iprof, SLO(time_seconds=3.0),
-        )
-
-    gateway = Gateway.from_factory(
-        num_shards, shard_factory,
+    shard_spec = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+        .spec()
+    )
+    gateway = Gateway.from_spec(
+        num_shards, shard_spec,
         GatewayConfig(batch_size=batch_size, batch_deadline_s=30.0,
                       sync_every_s=300.0),
         cost_model=AggregationCostModel(),

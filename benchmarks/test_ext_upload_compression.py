@@ -13,12 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import summarize
-from repro.core import make_adasgd
+from repro.api import FleetBuilder, SparseUploadDecodeStage
 from repro.data import iid_split, make_mnist_like
 from repro.devices import SimulatedDevice, fleet_specs
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer
+from repro.profiler import collect_offline_dataset
 from repro.simulation import FleetSimConfig, FleetSimulation
 
 FRACTIONS = (None, 0.2, 0.05)  # None = dense uploads
@@ -35,23 +34,32 @@ def _run(sparsify_fraction):
         for i, spec in enumerate(fleet_specs(5, np.random.default_rng(8)))
     ]
     xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
-    iprof = IProf()
-    iprof.pretrain_time(xs, ys)
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    server = FleetServer(
-        make_adasgd(model.get_parameters(), num_labels=10, learning_rate=0.02,
-                    initial_tau_thres=12.0),
-        iprof, SLO(time_seconds=3.0),
+    # The pluggable wiring under test: the server's pipeline advertises
+    # sparse uploads and decodes them at the enforcement point; workers
+    # ship the top-k wire form (no sim-side densify).
+    builder = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
     )
+    if sparsify_fraction is not None:
+        builder.sparse_uploads(fraction=sparsify_fraction)
+    server = builder.build()
     config = FleetSimConfig(
-        horizon_s=HORIZON_S, mean_think_time_s=12.0,
-        sparsify_fraction=sparsify_fraction, eval_every_updates=200,
+        horizon_s=HORIZON_S, mean_think_time_s=12.0, eval_every_updates=200,
     )
     simulation = FleetSimulation(
         server=server, model=model, dataset=dataset, partition=partition,
         rng=rng, config=config,
     )
     result = simulation.run()
+    decode_stage = server.find_result_stage(SparseUploadDecodeStage)
+    if sparsify_fraction is not None:
+        # Every completed upload crossed the decode stage as sparse wire.
+        assert decode_stage is not None
+        assert decode_stage.decoded == result.completed
     return {
         "network_s": np.array(result.network_seconds),
         "radio_mwh": np.array(result.radio_energy_mwh),

@@ -52,7 +52,7 @@ def _run(kind: str, seed: int = 0):
     base = GaussianStaleness(6.0, 2.0, np.random.default_rng(500 + seed))
     staleness = LongTail(
         base,
-        predicate=lambda ctx: 0 in set(int(l) for l in ctx.labels),
+        predicate=lambda ctx: 0 in set(int(label) for label in ctx.labels),
         straggler_tau=STRAGGLER_TAU,
     )
     curve = run_staleness_experiment(

@@ -96,7 +96,7 @@ def main() -> None:
 
     model.set_parameters(server.current_parameters())
     accuracy = model.evaluate_accuracy(dataset.test_x, dataset.test_y)
-    print(f"ten simulated daytime hours, 6 users on heterogeneous phones")
+    print("ten simulated daytime hours, 6 users on heterogeneous phones")
     print(f"tasks executed: {executed}, deferred for user activity: {deferred}")
     print(f"model updates (10-min windows + bursts): {server.clock}")
     print(f"wire traffic: {wire_bytes_total/1024:.0f} KiB total, "

@@ -15,12 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import cdf_table, curve_table, gaussian_tail_split, summarize
-from repro.core import make_adasgd
+from repro.api import FleetBuilder
 from repro.data import make_mnist_like, iid_split
 from repro.devices import SimulatedDevice, fleet_specs
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer
+from repro.profiler import collect_offline_dataset
 from repro.simulation import FleetSimConfig, FleetSimulation
 
 
@@ -40,17 +39,14 @@ def main() -> None:
         for i, spec in enumerate(fleet_specs(6, np.random.default_rng(5)))
     ]
     xs, ys = collect_offline_dataset(training_fleet, slo_seconds=3.0, kind="time")
-    iprof = IProf()
-    iprof.pretrain_time(xs, ys)
 
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    server = FleetServer(
-        make_adasgd(
-            model.get_parameters(), num_labels=10, learning_rate=0.02,
-            initial_tau_thres=12.0,
-        ),
-        iprof,
-        SLO(time_seconds=3.0),
+    server = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+        .build()
     )
 
     config = FleetSimConfig(
@@ -67,7 +63,8 @@ def main() -> None:
     result = simulation.run()
 
     print(f"\nrequests {result.requests}  completed {result.completed}  "
-          f"aborted {result.aborted}  rejected {result.rejections}  "
+          f"aborted {result.aborted}  rejected {result.rejections} "
+          f"({server.rejection_stats.breakdown()})  "
           f"(completion rate {result.completion_rate():.1%})")
     print(f"server applied {server.clock} model updates")
 

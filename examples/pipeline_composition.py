@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Composable server pipeline: DP + robust + telemetry stacked in one chain.
+
+Every FLeet capability is a pluggable stage at the server's enforcement
+point.  This example builds one server whose result path runs
+
+    DP (clip + Gaussian noise)  ->  robust pre-combine (coordinate median)
+    ->  telemetry
+
+and whose request path runs admission control and telemetry, then drives
+the full Figure-2 protocol against it — including one Byzantine worker
+that uploads garbage gradients, which the median pre-combine absorbs.
+
+Run:  python examples/pipeline_composition.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.api import (
+    FleetBuilder,
+    RobustAggregationStage,
+    TelemetryStage,
+)
+from repro.core.dp import moments_epsilon
+from repro.data import make_mnist_like, shard_non_iid_split
+from repro.devices import SimulatedDevice, get_spec
+from repro.nn import build_logistic
+from repro.profiler import collect_offline_dataset
+from repro.server import TaskAssignment, Worker
+
+NUM_USERS = 8
+ROUNDS = 160
+BYZANTINE_WORKER = 7
+CLIP_NORM = 4.0
+NOISE_MULTIPLIER = 0.01
+ROBUST_WINDOW = 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    dataset = make_mnist_like(train_per_class=50, test_per_class=15)
+    partition = shard_non_iid_split(dataset.train_y, NUM_USERS, rng)
+
+    training_fleet = [
+        SimulatedDevice(get_spec(name), np.random.default_rng(10 + i))
+        for i, name in enumerate(["Galaxy S6", "Nexus 5", "Pixel", "MotoG3"])
+    ]
+    xs, ys = collect_offline_dataset(training_fleet, slo_seconds=3.0, kind="time")
+
+    model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
+    server = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.1, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+        .dp(clip_norm=CLIP_NORM, noise_multiplier=NOISE_MULTIPLIER, seed=7)
+        .robust("median", window=ROBUST_WINDOW)
+        .telemetry()
+        .build()
+    )
+    print("request chain:", " -> ".join(s.name for s in server.request_stages))
+    print("result chain :", " -> ".join(s.name for s in server.result_stages))
+
+    phones = ["Galaxy S7", "Honor 10", "Xperia E3", "Pixel",
+              "HTC U11", "Galaxy S5", "MotoG3", "Nexus 6"]
+    workers = []
+    for uid in range(NUM_USERS):
+        data_x, data_y = dataset.subset(partition.user_indices[uid])
+        workers.append(Worker(
+            worker_id=uid,
+            model=build_logistic(np.random.default_rng(2), 28 * 28, 10),
+            data_x=data_x, data_y=data_y, num_labels=10,
+            device=SimulatedDevice(get_spec(phones[uid]),
+                                   np.random.default_rng(20 + uid)),
+            rng=np.random.default_rng(30 + uid),
+        ))
+
+    pick = np.random.default_rng(99)
+    poisoned = 0
+    for _ in range(ROUNDS):
+        worker = workers[int(pick.integers(NUM_USERS))]
+        assignment = server.handle_request(worker.build_request())
+        if not isinstance(assignment, TaskAssignment):
+            continue
+        result = worker.execute_assignment(assignment)
+        if worker.worker_id == BYZANTINE_WORKER:
+            # A malicious client: huge anti-gradient, every round.
+            result = dataclasses.replace(
+                result, gradient=-50.0 * np.sign(result.gradient)
+            )
+            poisoned += 1
+        server.handle_result(result)
+    server.finalize()
+
+    eval_model = build_logistic(np.random.default_rng(3), 28 * 28, 10)
+    eval_model.set_parameters(server.current_parameters())
+    accuracy = eval_model.evaluate_accuracy(dataset.test_x, dataset.test_y)
+    robust_stage = server.find_result_stage(RobustAggregationStage)
+    telemetry = server.find_result_stage(TelemetryStage)
+
+    print(f"\n{ROUNDS} protocol rounds, {poisoned} poisoned uploads from "
+          f"worker {BYZANTINE_WORKER}")
+    print(f"robust pre-combine folded {robust_stage.combined_batches} windows "
+          f"of {ROBUST_WINDOW}; model took {server.clock} updates")
+    print(f"test accuracy despite the attacker: {accuracy:.2%} (chance 10%)")
+
+    n = dataset.train_x.shape[0]
+    epsilon = moments_epsilon(
+        q=64.0 / n, sigma=max(NOISE_MULTIPLIER, 0.3), steps=ROUNDS,
+        delta=1.0 / n**2,
+    )
+    print(f"DP stage: clip {CLIP_NORM}, sigma {NOISE_MULTIPLIER} "
+          f"(epsilon accountable via moments_epsilon, e.g. {epsilon:.1f} "
+          f"at sigma=0.3)")
+    print("\ntelemetry registry:")
+    print(telemetry.report())
+    print(f"\nrejections: {server.rejection_stats.breakdown()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import make_adasgd
+from repro.api import FleetBuilder
 from repro.data import make_mnist_like, shard_non_iid_split
 from repro.devices import SimulatedDevice, get_spec
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer, TaskAssignment, Worker
+from repro.profiler import IProf, collect_offline_dataset
+from repro.server import TaskAssignment, Worker
 
 
 def main() -> None:
@@ -43,14 +43,17 @@ def main() -> None:
     print(f"I-Prof cold-start model fitted on {xs.shape[0]} offline measurements")
 
     # ------------------------------------------------------------------
-    # Server: AdaSGD behind the FLeet middleware, 3-second SLO.
+    # Server: AdaSGD behind the FLeet middleware, 3-second SLO — one
+    # declarative builder chain instead of hand-wiring the parts.
     # ------------------------------------------------------------------
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    optimizer = make_adasgd(
-        model.get_parameters(), num_labels=10, learning_rate=0.1,
-        initial_tau_thres=12.0,
+    server = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.1, initial_tau_thres=12.0)
+        .profiler(lambda: iprof)
+        .slo(3.0)
+        .build()
     )
-    server = FleetServer(optimizer, iprof, SLO(time_seconds=3.0))
 
     # ------------------------------------------------------------------
     # Workers: one per user, on heterogeneous simulated phones.

@@ -23,13 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import make_adasgd
+from repro.api import FleetBuilder
 from repro.data import iid_split, make_mnist_like
 from repro.devices import SimulatedDevice, fleet_specs
 from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
 from repro.nn import build_logistic
-from repro.profiler import IProf, SLO, collect_offline_dataset
-from repro.server import FleetServer
+from repro.profiler import collect_offline_dataset
 from repro.simulation import FleetSimConfig, FleetSimulation
 
 
@@ -44,23 +43,20 @@ def run_with_shards(num_shards: int, batch_size: int) -> tuple[float, float, Gat
     ]
     xs, ys = collect_offline_dataset(training_fleet, slo_seconds=3.0, kind="time")
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    params = model.get_parameters()
 
-    def shard_factory(index: int) -> FleetServer:
-        iprof = IProf()
-        iprof.pretrain_time(xs, ys)
-        return FleetServer(
-            make_adasgd(
-                params.copy(), num_labels=10, learning_rate=0.02,
-                initial_tau_thres=12.0,
-            ),
-            iprof,
-            SLO(time_seconds=3.0),
-        )
+    # One frozen ServerSpec stamps out every shard: fresh optimizer,
+    # profiler and stage instances per shard, identical configuration.
+    shard_spec = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+        .spec()
+    )
 
-    gateway = Gateway.from_factory(
+    gateway = Gateway.from_spec(
         num_shards,
-        shard_factory,
+        shard_spec,
         GatewayConfig(
             batch_size=batch_size,
             batch_deadline_s=30.0,

@@ -3,6 +3,9 @@ Awareness and Performance Prediction* (Damaskinos et al., MIDDLEWARE 2020).
 
 Subpackages
 -----------
+``repro.api``
+    The composable serving facade: ``FleetBuilder``/``ServerSpec`` and
+    the pluggable request/result stages every capability ships as.
 ``repro.core``
     AdaSGD (the paper's staleness-aware SGD), dampening strategies,
     Bhattacharyya similarity boosting, differential privacy.
@@ -35,6 +38,7 @@ Subpackages
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "profiler",
     "server",

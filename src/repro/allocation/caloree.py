@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.devices.device import SimulatedDevice
 from repro.devices.energy import AllocationConfig

@@ -1,0 +1,45 @@
+"""repro.api — the composable serving facade.
+
+One import surface for assembling FLeet servers: the
+:class:`FleetBuilder` fluent builder, the frozen :class:`ServerSpec`
+recipe (directly usable as a gateway shard factory), and the pluggable
+request/result stages every capability ships as.  The stage *machinery*
+lives in :mod:`repro.server.stages` (next to the server that runs it);
+this package re-exports it so user code needs only ``repro.api``.
+"""
+
+from repro.api.builder import (
+    STAGE_SPEC_HELP,
+    FleetBuilder,
+    ServerSpec,
+    apply_stage_specs,
+    parse_stage_spec,
+)
+from repro.server.stages import (
+    ABRoutingStage,
+    AdmissionStage,
+    GradientPrivacyStage,
+    RequestContext,
+    RequestStage,
+    ResultStage,
+    RobustAggregationStage,
+    SparseUploadDecodeStage,
+    TelemetryStage,
+)
+
+__all__ = [
+    "FleetBuilder",
+    "ServerSpec",
+    "parse_stage_spec",
+    "apply_stage_specs",
+    "STAGE_SPEC_HELP",
+    "RequestContext",
+    "RequestStage",
+    "ResultStage",
+    "AdmissionStage",
+    "ABRoutingStage",
+    "GradientPrivacyStage",
+    "RobustAggregationStage",
+    "SparseUploadDecodeStage",
+    "TelemetryStage",
+]

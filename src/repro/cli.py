@@ -160,19 +160,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fleet_workload(seed: int, num_users: int):
-    """Shared fleet-sim bootstrap: dataset, partition, model, shard factory.
+def _fleet_workload(
+    seed: int,
+    num_users: int,
+    stage_specs: list[str] | None = None,
+    telemetry_registry=None,
+):
+    """Shared fleet-sim bootstrap: dataset, partition, model, server spec.
 
-    ``fleet-sim`` uses one shard from the factory as its server;
-    ``gateway-sim`` asks for several.  Keeping the construction in one
-    place keeps the two arms comparable.
+    ``fleet-sim`` builds one server from the spec; ``gateway-sim`` stamps
+    out several shards from the same spec.  Keeping the construction in
+    one place keeps the two arms comparable, and ``--stage`` flags attach
+    pipeline stages (DP, robust, sparse decode, telemetry, admission) to
+    every server the spec produces.
     """
-    from repro.core import make_adasgd
+    from repro.api import FleetBuilder, apply_stage_specs
     from repro.data import iid_split, make_mnist_like
     from repro.devices import SimulatedDevice, fleet_specs
     from repro.nn import build_logistic
-    from repro.profiler import IProf, SLO, collect_offline_dataset
-    from repro.server import FleetServer
+    from repro.profiler import collect_offline_dataset
 
     rng = np.random.default_rng(seed)
     dataset = make_mnist_like(train_per_class=200, test_per_class=25)
@@ -183,28 +189,45 @@ def _fleet_workload(seed: int, num_users: int):
     ]
     xs, ys = collect_offline_dataset(training, slo_seconds=3.0, kind="time")
     model = build_logistic(np.random.default_rng(1), 28 * 28, 10)
-    params = model.get_parameters()
 
-    def shard_factory(index: int) -> FleetServer:
-        iprof = IProf()
-        iprof.pretrain_time(xs, ys)
-        return FleetServer(
-            make_adasgd(params.copy(), num_labels=10, learning_rate=0.02,
-                        initial_tau_thres=12.0),
-            iprof, SLO(time_seconds=3.0),
-        )
+    builder = (
+        FleetBuilder(model.get_parameters(), num_labels=10)
+        .algorithm("adasgd", learning_rate=0.02, initial_tau_thres=12.0)
+        .pretrained_profiler(xs, ys)
+        .slo(3.0)
+    )
+    apply_stage_specs(
+        builder, stage_specs or [], telemetry_registry=telemetry_registry
+    )
+    return rng, dataset, partition, model, builder.spec()
 
-    return rng, dataset, partition, model, shard_factory
+
+def _print_pipeline_summary(server) -> None:
+    """Rejection breakdown (always) + telemetry report (when staged)."""
+    from repro.server.stages import TelemetryStage
+
+    from repro.server.telemetry import format_reason_counts
+
+    if hasattr(server, "rejection_counts"):  # gateway: merged across shards
+        breakdown = format_reason_counts(server.rejection_counts())
+    else:
+        breakdown = server.rejection_stats.breakdown()
+    print(f"rejections by reason: {breakdown}")
+    # Gateways expose the first shard's chain; the CLI builds every shard's
+    # telemetry stage on one shared registry, so this report is tier-wide.
+    stage = server.find_result_stage(TelemetryStage)
+    if stage is not None:
+        print(stage.report())
 
 
 def _cmd_fleet_sim(args: argparse.Namespace) -> int:
     from repro.analysis import cdf_table, gaussian_tail_split
     from repro.simulation import FleetSimConfig, FleetSimulation
 
-    rng, dataset, partition, model, shard_factory = _fleet_workload(
-        args.seed, args.users
+    rng, dataset, partition, model, spec = _fleet_workload(
+        args.seed, args.users, stage_specs=args.stage
     )
-    server = shard_factory(0)
+    server = spec.build()
     simulation = FleetSimulation(
         server=server, model=model, dataset=dataset, partition=partition,
         rng=rng,
@@ -215,23 +238,31 @@ def _cmd_fleet_sim(args: argparse.Namespace) -> int:
     print(f"{result.completed} tasks completed, {result.aborted} aborted, "
           f"{server.clock} model updates, final accuracy "
           f"{result.final_accuracy():.3f}")
-    print("round trip:", cdf_table(np.array(result.round_trip_seconds), unit="s"))
+    if result.round_trip_seconds:
+        print("round trip:",
+              cdf_table(np.array(result.round_trip_seconds), unit="s"))
     staleness = result.applied_staleness(server)
-    body, tail = gaussian_tail_split(staleness)
-    print(f"staleness: body mean {body.mean():.1f} std {body.std():.1f}, "
-          f"tail n={tail.size}, max {staleness.max():.0f}")
+    if staleness.size:
+        body, tail = gaussian_tail_split(staleness)
+        print(f"staleness: body mean {body.mean():.1f} std {body.std():.1f}, "
+              f"tail n={tail.size}, max {staleness.max():.0f}")
+    else:
+        print("staleness: no gradients applied")
+    _print_pipeline_summary(server)
     return 0
 
 
 def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
+    from repro.server.telemetry import MetricsRegistry
     from repro.simulation import FleetSimConfig, FleetSimulation
 
-    rng, dataset, partition, model, shard_factory = _fleet_workload(
-        args.seed, args.users
+    rng, dataset, partition, model, spec = _fleet_workload(
+        args.seed, args.users, stage_specs=args.stage,
+        telemetry_registry=MetricsRegistry(),
     )
-    gateway = Gateway.from_factory(
-        args.shards, shard_factory,
+    gateway = Gateway.from_spec(
+        args.shards, spec,
         GatewayConfig(
             batch_size=args.batch_size,
             batch_deadline_s=args.batch_deadline,
@@ -254,6 +285,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     print(f"serving-tier throughput {gateway.virtual_throughput():.2f} results/s "
           f"(virtual), upload compression {gateway.batcher.compression_ratio():.1f}x")
     print(gateway.report())
+    _print_pipeline_summary(gateway)
     return 0
 
 
@@ -326,12 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--slo", type=float, default=3.0)
     profile.add_argument("--seed", type=int, default=0)
 
+    from repro.api import STAGE_SPEC_HELP
+
     fleet = sub.add_parser(
         "fleet-sim", help="end-to-end middleware simulation (virtual clock)"
     )
     fleet.add_argument("--users", type=int, default=20)
     fleet.add_argument("--hours", type=float, default=0.5)
     fleet.add_argument("--think-time", type=float, default=15.0)
+    fleet.add_argument("--stage", action="append", default=None,
+                       metavar="SPEC", help=STAGE_SPEC_HELP)
     fleet.add_argument("--seed", type=int, default=0)
 
     gateway = sub.add_parser(
@@ -346,6 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--sync-every", type=float, default=300.0)
     gateway.add_argument("--admission-rate", type=float, default=None,
                          help="token-bucket rate (requests/s); omit to disable")
+    gateway.add_argument("--stage", action="append", default=None,
+                         metavar="SPEC", help=STAGE_SPEC_HELP)
     gateway.add_argument("--seed", type=int, default=0)
 
     freshness = sub.add_parser(

@@ -30,7 +30,7 @@ SSGD           constant 1 (τ always 0) off
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.core.dampening import (
     StalenessTracker,
 )
 from repro.core.similarity import GlobalLabelTracker
-from repro.nn.optim import Schedule, VectorSGD, constant_lr
+from repro.nn.optim import Schedule, VectorSGD
 
 __all__ = [
     "GradientUpdate",
@@ -197,11 +197,20 @@ class StalenessAwareServer:
             return InverseDampening()
         return ExponentialDampening(self.staleness_tracker.tau_thres())
 
+    def similarity_of_counts(self, label_counts: np.ndarray | None) -> float:
+        """Similarity of a label histogram against LD_global (1 if disabled).
+
+        This is the request-path entry point (protocol step 3): the server
+        scores the histogram a worker reported *before* any gradient
+        exists, so no placeholder ``GradientUpdate`` needs fabricating.
+        """
+        if self.similarity_tracker is None or label_counts is None:
+            return 1.0
+        return self.similarity_tracker.similarity(label_counts)
+
     def similarity_of(self, update: GradientUpdate) -> float:
         """Similarity the server would assign to an update (1 if disabled)."""
-        if self.similarity_tracker is None or update.label_counts is None:
-            return 1.0
-        return self.similarity_tracker.similarity(update.label_counts)
+        return self.similarity_of_counts(update.label_counts)
 
     def weight_of(self, update: GradientUpdate) -> tuple[float, float, float]:
         """(weight, staleness, similarity) assigned to an update.

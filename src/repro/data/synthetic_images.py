@@ -16,7 +16,7 @@ phenomena being measured (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

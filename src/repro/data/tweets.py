@@ -20,7 +20,7 @@ length token sequence and a set of hashtag ids.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

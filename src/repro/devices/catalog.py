@@ -16,7 +16,7 @@ spans the same generational spread as the paper's 40-device fleet
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

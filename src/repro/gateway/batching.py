@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.server.codec import EncodedBlob, VectorCodec
 from repro.server.protocol import TaskResult
+from repro.server.sparsification import SparseGradient
 
 __all__ = ["EncodedResult", "encode_result", "decode_result", "MicroBatcher"]
 
@@ -36,23 +37,35 @@ class EncodedResult:
     the gradient payload is quantized/compressed.
     """
 
-    blob: EncodedBlob
+    blob: EncodedBlob | SparseGradient
     metadata: TaskResult  # gradient field is an empty placeholder
 
     @property
     def wire_bytes(self) -> int:
+        if isinstance(self.blob, SparseGradient):
+            # values + indices, 4 bytes each on the wire (matches the
+            # fleet simulation's sparse upload accounting).
+            return 2 * self.blob.values.size * 4
         return self.blob.wire_bytes
 
 
 def encode_result(result: TaskResult, codec: VectorCodec) -> EncodedResult:
-    """Compress the gradient; carry the rest of the result as metadata."""
-    blob = codec.encode(result.gradient)
+    """Compress the gradient; carry the rest of the result as metadata.
+
+    A :class:`SparseGradient` upload is already a compact wire form — it
+    passes through untouched so the owning shard's decode stage sees the
+    sparse payload the worker actually sent.
+    """
+    gradient = result.gradient
+    blob = gradient if isinstance(gradient, SparseGradient) else codec.encode(gradient)
     stripped = dataclasses.replace(result, gradient=np.zeros(0))
     return EncodedResult(blob=blob, metadata=stripped)
 
 
 def decode_result(encoded: EncodedResult, codec: VectorCodec) -> TaskResult:
     """Inverse of :func:`encode_result` (up to gradient quantization)."""
+    if isinstance(encoded.blob, SparseGradient):
+        return dataclasses.replace(encoded.metadata, gradient=encoded.blob)
     gradient = codec.decode(encoded.blob)
     return dataclasses.replace(encoded.metadata, gradient=gradient)
 
@@ -95,7 +108,13 @@ class MicroBatcher:
         if not lane.entries:
             lane.oldest_arrival = now
         lane.entries.append(encoded)
-        self.raw_bytes_in += result.gradient.size * 8  # float64 in memory
+        gradient = result.gradient
+        dimension = (
+            gradient.dimension
+            if isinstance(gradient, SparseGradient)
+            else gradient.size
+        )
+        self.raw_bytes_in += dimension * 8  # dense float64 equivalent
         self.wire_bytes_in += encoded.wire_bytes
         if len(lane.entries) >= self.max_batch:
             return self.flush(shard_id)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -200,6 +200,24 @@ class Gateway:
             [shard_factory(i) for i in range(num_shards)],
             config=config,
             cost_model=cost_model,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        num_shards: int,
+        spec,
+        config: GatewayConfig | None = None,
+        cost_model: AggregationCostModel | None = None,
+    ) -> "Gateway":
+        """Build N shards from a :class:`repro.api.ServerSpec`.
+
+        A spec is callable with a shard index and stamps out fully
+        state-independent servers, so this is ``from_factory`` with the
+        builder's product (duck-typed to avoid a gateway→api dependency).
+        """
+        return cls.from_factory(
+            num_shards, spec, config=config, cost_model=cost_model
         )
 
     # ------------------------------------------------------------------
@@ -387,6 +405,24 @@ class Gateway:
     def num_shards(self) -> int:
         return len(self._shards)
 
+    def find_request_stage(self, stage_type: type):
+        """First matching request stage of the first shard, or None.
+
+        Shards stamped from one :class:`~repro.api.ServerSpec` are
+        identically configured, so the first shard's chain is the tier's
+        advertised pipeline (clients use this to discover capabilities,
+        e.g. the fleet simulation probing for sparse-upload decode).
+        """
+        for shard in self._shards.values():
+            return shard.find_request_stage(stage_type)
+        return None
+
+    def find_result_stage(self, stage_type: type):
+        """First matching result stage of the first shard, or None."""
+        for shard in self._shards.values():
+            return shard.find_result_stage(stage_type)
+        return None
+
     def current_parameters(self) -> np.ndarray:
         """The consensus model: weighted blend of the shard models."""
         return self.synchronizer.blend(self._shards)
@@ -409,6 +445,22 @@ class Gateway:
 
     def requests_shed(self) -> int:
         return self._shed.value
+
+    def rejection_counts(self) -> dict[RejectionReason, int]:
+        """Per-reason rejection totals across the tier.
+
+        Shard-level reasons (controller thresholds) merged with the
+        gateway's own backpressure sheds (``OVERLOADED``).
+        """
+        merged: dict[RejectionReason, int] = {}
+        for shard in self._shards.values():
+            for reason, count in shard.rejection_stats.counts.items():
+                merged[reason] = merged.get(reason, 0) + count
+        if self._shed.value:
+            merged[RejectionReason.OVERLOADED] = (
+                merged.get(RejectionReason.OVERLOADED, 0) + self._shed.value
+            )
+        return merged
 
     def virtual_throughput(self) -> float:
         """Handled results per second of virtual serving-tier time.

@@ -14,7 +14,7 @@ Passive-Aggressive regressor bootstrapped from the cold-start weights.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,8 +1,14 @@
-"""FLeet middleware: server, controller and worker runtime."""
+"""FLeet middleware: server, stage pipeline, controller and worker runtime."""
 
 from repro.server.ab_testing import ABGroup, ABThresholdTuner, TunerSnapshot
 from repro.server.codec import EncodedBlob, TransferCostModel, VectorCodec
-from repro.server.telemetry import Counter, Gauge, MetricsRegistry, Summary
+from repro.server.telemetry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    RejectionStats,
+    Summary,
+)
 from repro.server.sparsification import (
     ErrorFeedbackCompressor,
     SparseGradient,
@@ -16,12 +22,33 @@ from repro.server.protocol import (
     TaskRequest,
     TaskResult,
 )
+from repro.server.stages import (
+    ABRoutingStage,
+    AdmissionStage,
+    GradientPrivacyStage,
+    RequestContext,
+    RequestStage,
+    ResultStage,
+    RobustAggregationStage,
+    SparseUploadDecodeStage,
+    TelemetryStage,
+)
 from repro.server.selection import CandidateClient, SelectionResult, select_cohort
 from repro.server.server import FleetServer
 from repro.server.worker import Worker
 
 __all__ = [
     "FleetServer",
+    "RequestContext",
+    "RequestStage",
+    "ResultStage",
+    "AdmissionStage",
+    "ABRoutingStage",
+    "GradientPrivacyStage",
+    "RobustAggregationStage",
+    "SparseUploadDecodeStage",
+    "TelemetryStage",
+    "RejectionStats",
     "ABGroup",
     "ABThresholdTuner",
     "TunerSnapshot",

@@ -16,7 +16,7 @@ data — preserving the privacy posture of Standard FL.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -53,12 +53,18 @@ class TaskRequest:
 
 @dataclass(frozen=True)
 class TaskAssignment:
-    """Step 4 (accept): model parameters plus the workload bound."""
+    """Step 4 (accept): model parameters plus the workload bound.
+
+    ``annotations`` carries whatever the server's request-stage pipeline
+    attached (e.g. the A/B arm that admitted this worker); empty when no
+    stage annotates.
+    """
 
     parameters: np.ndarray
     pull_step: int
     batch_size: int
     similarity: float
+    annotations: dict[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

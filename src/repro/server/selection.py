@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["CandidateClient", "SelectionResult", "select_cohort"]
 

@@ -1,8 +1,15 @@
-"""The FLeet server: I-Prof + controller + AdaSGD behind one endpoint.
+"""The FLeet server: I-Prof + a stage pipeline + AdaSGD behind one endpoint.
 
 ``FleetServer.handle_request`` runs protocol steps 2-4 of Figure 2 (workload
-bound, similarity, admission check) and ``handle_result`` runs the server
-half of step 5 (profiler feedback + staleness-aware model update).
+bound, similarity, then the **request-stage chain** — admission control is
+the first stage) and ``handle_result`` runs the server half of step 5 (the
+**result-stage chain** — DP noise, robust pre-combine, sparse decode, … —
+then profiler feedback + staleness-aware model update).
+
+Construction sites should use :class:`repro.api.FleetBuilder`; the
+positional ``FleetServer(optimizer, profiler, slo, controller)`` signature
+is kept as a thin deprecated shim (the controller is wrapped into an
+:class:`~repro.server.stages.AdmissionStage` automatically).
 """
 
 from __future__ import annotations
@@ -13,12 +20,18 @@ from repro.core.adasgd import GradientUpdate, StalenessAwareServer
 from repro.profiler.iprof import IProf, SLO
 from repro.server.controller import Controller
 from repro.server.protocol import (
-    RejectionReason,
     TaskAssignment,
     TaskRejection,
     TaskRequest,
     TaskResult,
 )
+from repro.server.stages import (
+    AdmissionStage,
+    RequestContext,
+    RequestStage,
+    ResultStage,
+)
+from repro.server.telemetry import RejectionStats
 
 __all__ = ["FleetServer"]
 
@@ -34,9 +47,16 @@ class FleetServer:
         I-Prof (or any object with the same recommend/report interface, such
         as :class:`repro.profiler.maui.MauiProfiler` for baselines).
     controller:
-        Admission control; a default permissive controller if omitted.
+        Deprecated shim: admission control passed directly.  It becomes the
+        first :class:`AdmissionStage` of the request chain.  New code
+        configures admission through ``FleetBuilder.admission``.
     slo:
         The service-level objective advertised to workers.
+    request_stages / result_stages:
+        The middleware chains (see :mod:`repro.server.stages`).  If no
+        ``AdmissionStage`` is present one is prepended (permissive unless
+        ``controller`` is given), so every server has a governed admission
+        point.
     """
 
     def __init__(
@@ -45,14 +65,66 @@ class FleetServer:
         profiler: IProf,
         slo: SLO,
         controller: Controller | None = None,
+        *,
+        request_stages: list[RequestStage] | tuple[RequestStage, ...] = (),
+        result_stages: list[ResultStage] | tuple[ResultStage, ...] = (),
     ) -> None:
         self.optimizer = optimizer
         self.profiler = profiler
         self.slo = slo
-        self.controller = controller or Controller()
+        self.request_stages: list[RequestStage] = list(request_stages)
+        if not any(isinstance(s, AdmissionStage) for s in self.request_stages):
+            self.request_stages.insert(0, AdmissionStage(controller or Controller()))
+        elif controller is not None:
+            raise ValueError(
+                "pass either a controller (deprecated shim) or an "
+                "AdmissionStage in request_stages, not both"
+            )
+        self.result_stages: list[ResultStage] = list(result_stages)
+        for stage in (*self.request_stages, *self.result_stages):
+            stage.bind(self)
         self.assignments_issued = 0
         self.results_applied = 0
-        self.rejections: list[TaskRejection] = []
+        self.rejection_stats = RejectionStats()
+
+    # ------------------------------------------------------------------
+    # Compatibility surface
+    # ------------------------------------------------------------------
+    @property
+    def controller(self) -> Controller | None:
+        """The first admission stage's controller (shim compatibility)."""
+        for stage in self.request_stages:
+            if isinstance(stage, AdmissionStage):
+                return stage.controller
+        return None
+
+    @controller.setter
+    def controller(self, value: Controller) -> None:
+        for stage in self.request_stages:
+            if isinstance(stage, AdmissionStage):
+                stage.controller = value
+                return
+        self.request_stages.insert(0, AdmissionStage(value))
+
+    @property
+    def rejections(self):
+        """Ring buffer of the most recent rejections (bounded; see
+        :class:`~repro.server.telemetry.RejectionStats` for full counts)."""
+        return self.rejection_stats.recent
+
+    def find_request_stage(self, stage_type: type) -> RequestStage | None:
+        """First request stage of the given type, or None."""
+        for stage in self.request_stages:
+            if isinstance(stage, stage_type):
+                return stage
+        return None
+
+    def find_result_stage(self, stage_type: type) -> ResultStage | None:
+        """First result stage of the given type, or None."""
+        for stage in self.result_stages:
+            if isinstance(stage, stage_type):
+                return stage
+        return None
 
     # ------------------------------------------------------------------
     # Steps 2-4: request handling
@@ -60,46 +132,45 @@ class FleetServer:
     def handle_request(
         self, request: TaskRequest, now: float | None = None
     ) -> TaskAssignment | TaskRejection:
-        """Bound the workload, compute similarity, run the admission check.
+        """Bound the workload, compute similarity, run the request chain.
 
-        ``now`` is accepted (and ignored) so a ``FleetServer`` and a
-        :class:`~repro.gateway.gateway.Gateway` are interchangeable
-        endpoints for time-driven callers like the fleet simulation.
+        ``now`` is passed to the stages (and otherwise ignored) so a
+        ``FleetServer`` and a :class:`~repro.gateway.gateway.Gateway` are
+        interchangeable endpoints for time-driven callers like the fleet
+        simulation.
         """
         decision = self.profiler.recommend(
             request.device_model, request.features.as_vector(), self.slo
         )
-        similarity = self.optimizer.similarity_of(
-            GradientUpdate(
-                gradient=np.zeros(0),
-                pull_step=self.optimizer.clock,
-                label_counts=request.label_counts,
-            )
+        similarity = self.optimizer.similarity_of_counts(request.label_counts)
+        ctx = RequestContext(
+            request=request,
+            batch_size=decision.batch_size,
+            similarity=similarity,
+            server=self,
+            now=now,
         )
-        admission = self.controller.check(decision.batch_size, similarity)
-        if not admission.accepted:
-            rejection = TaskRejection(
-                reason=admission.reason,
-                batch_size=decision.batch_size,
-                similarity=similarity,
-            )
-            self.rejections.append(rejection)
-            return rejection
+        for stage in self.request_stages:
+            stage.on_request(ctx)
+            if ctx.rejection is not None:
+                self.rejection_stats.record(ctx.rejection)
+                return ctx.rejection
 
         parameters, pull_step = self.optimizer.pull()
         self.assignments_issued += 1
         return TaskAssignment(
             parameters=parameters,
             pull_step=pull_step,
-            batch_size=decision.batch_size,
-            similarity=similarity,
+            batch_size=ctx.batch_size,
+            similarity=ctx.similarity,
+            annotations=dict(ctx.annotations),
         )
 
     # ------------------------------------------------------------------
     # Step 5 (server side): result handling
     # ------------------------------------------------------------------
     def handle_result(self, result: TaskResult, now: float | None = None) -> bool:
-        """Feed the profiler and fold the gradient into the global model.
+        """Run the result chain, feed the profiler, fold into the model.
 
         Returns True when the submission triggered a model update.
         ``now`` is accepted (and ignored) for gateway interchangeability.
@@ -107,43 +178,99 @@ class FleetServer:
         ``results_applied`` counts finite gradients delivered to the
         optimizer — at delivery time, in every code path (single, batched,
         finalize), so gateway sync weights compare shards in one unit even
-        when ``aggregation_k > 1`` buffers deliveries across updates.
+        when ``aggregation_k > 1`` buffers deliveries across updates.  A
+        buffering stage (e.g. robust pre-combine) that absorbs this result
+        contributes at the later delivery instead.
         """
-        self._validate_shapes([result])
+        self._validate_uploads([result])
         update = self._report_and_convert(result)
-        if np.isfinite(update.gradient).all():
-            self.results_applied += 1
-        return self.optimizer.submit(update)
+        carried: list[GradientUpdate] = [update]
+        for stage in self.result_stages:
+            transformed: list[GradientUpdate] = []
+            for item in carried:
+                out = stage.on_result(item, self)
+                if out is not None:
+                    transformed.append(out)
+            carried = transformed
+            if not carried:
+                return False
+        return self._deliver(carried)
 
     def handle_result_batch(self, results: list[TaskResult]) -> bool:
         """Batched step 5: one model update for a gateway micro-batch.
 
         Every result still feeds the profiler individually (I-Prof learns
-        from each device measurement), but the gradients are folded into the
-        model through :meth:`StalenessAwareServer.submit_many`, so the hot
-        aggregation path runs once per batch instead of once per gradient.
+        from each device measurement), the batch traverses each result
+        stage's ``on_batch`` hook, and the surviving gradients are folded
+        into the model through :meth:`StalenessAwareServer.submit_many`,
+        so the hot aggregation path runs once per batch instead of once
+        per gradient.
         """
         if not results:
             return False
-        self._validate_shapes(results)
+        self._validate_uploads(results)
         updates = [self._report_and_convert(result) for result in results]
-        # Same unit as handle_result: finite gradients delivered, counted
-        # at delivery (a NaN/Inf upload is rejected by the optimizer and
-        # must not weight this shard in gateway syncs).
+        for stage in self.result_stages:
+            updates = stage.on_batch(updates, self)
+            if not updates:
+                return False
+        return self._deliver(updates, batched=True)
+
+    def _deliver(self, updates: list[GradientUpdate], batched: bool = False) -> bool:
+        """Validate post-stage updates and hand them to the optimizer.
+
+        Same unit in every path: finite gradients delivered, counted at
+        delivery (a NaN/Inf upload is rejected by the optimizer and must
+        not weight this shard in gateway syncs).
+        """
+        self._validate_updates(updates)
         self.results_applied += sum(
             1 for update in updates if np.isfinite(update.gradient).all()
         )
+        if not batched and len(updates) == 1:
+            return self.optimizer.submit(updates[0])
         return self.optimizer.submit_many(updates)
 
-    def _validate_shapes(self, results: list[TaskResult]) -> None:
-        """Reject malformed gradients BEFORE any state changes.
+    def _validate_uploads(self, results: list[TaskResult]) -> None:
+        """Reject malformed uploads BEFORE any state changes.
 
         Failing up front keeps a bad batch from polluting the profiler or
         inflating ``results_applied`` when the optimizer later raises.
+        Dense gradients must match the model shape; sparse uploads must
+        match the model dimension AND the server must actually run a
+        decode stage — otherwise the payload would only blow up in
+        ``_validate_updates`` after the profiler absorbed the batch.
+        Other payload types pass through: a custom result stage may decode
+        them, and ``_validate_updates`` still guards the optimizer.
         """
+        from repro.server.sparsification import SparseGradient
+        from repro.server.stages import SparseUploadDecodeStage
+
         shape = self.optimizer.parameter_shape
         for result in results:
-            if result.gradient.shape != shape:
+            gradient = result.gradient
+            if isinstance(gradient, np.ndarray):
+                if gradient.shape != shape:
+                    raise ValueError("gradient shape does not match model parameters")
+            elif isinstance(gradient, SparseGradient):
+                if (gradient.dimension,) != shape:
+                    raise ValueError(
+                        "sparse gradient dimension does not match model parameters"
+                    )
+                if self.find_result_stage(SparseUploadDecodeStage) is None:
+                    raise ValueError(
+                        "sparse upload to a server without a sparse-decode "
+                        "stage (configure FleetBuilder.sparse_uploads)"
+                    )
+
+    def _validate_updates(self, updates: list[GradientUpdate]) -> None:
+        """After the chain ran, every gradient must be a dense model vector."""
+        shape = self.optimizer.parameter_shape
+        for update in updates:
+            if (
+                not isinstance(update.gradient, np.ndarray)
+                or update.gradient.shape != shape
+            ):
                 raise ValueError("gradient shape does not match model parameters")
 
     def _report_and_convert(self, result: TaskResult) -> GradientUpdate:
@@ -164,13 +291,25 @@ class FleetServer:
         )
 
     def finalize(self, now: float | None = None) -> None:
-        """End of run: apply any partially-buffered aggregation window.
+        """End of run: drain stage buffers, then any partial optimizer window.
 
-        A no-op with ``aggregation_k = 1``; with time/size-window
-        aggregation it prevents gradients from being stranded in the
-        buffer when the caller's clock stops.  Buffered gradients were
-        already counted in ``results_applied`` at delivery time.
+        A no-op with stateless stages and ``aggregation_k = 1``; with
+        buffering stages (robust pre-combine) or time/size-window
+        aggregation it prevents gradients from being stranded when the
+        caller's clock stops.  Gradients already delivered were counted in
+        ``results_applied`` at delivery time; stage leftovers are counted
+        here, at their delivery.
         """
+        for index, stage in enumerate(self.result_stages):
+            leftovers = stage.flush(self)
+            if not leftovers:
+                continue
+            for later in self.result_stages[index + 1 :]:
+                leftovers = later.on_batch(leftovers, self)
+                if not leftovers:
+                    break
+            if leftovers:
+                self._deliver(leftovers, batched=True)
         self.optimizer.flush()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,368 @@
+"""Pluggable request/result stages: the middleware chain ``FleetServer`` runs.
+
+The paper frames DP noise, similarity-based admission, profiling and
+staleness-aware aggregation as one serving stack; related middleware work
+argues the same capabilities should be *interceptors at a governed
+enforcement point* rather than bespoke wiring.  This module is that
+enforcement point's vocabulary.  Two hook interfaces:
+
+* :class:`RequestStage` wraps protocol steps 2-4 (Figure 2): a stage can
+  **veto** a request (``ctx.reject``), **rewrite the workload bound**
+  (``ctx.batch_size``) or **annotate the assignment** (``ctx.annotations``
+  travel on the :class:`~repro.server.protocol.TaskAssignment`);
+* :class:`ResultStage` wraps the server half of step 5: it transforms
+  :class:`~repro.core.adasgd.GradientUpdate`\\ s before aggregation —
+  per result (``on_result``: return a replacement, or None to absorb) and
+  per micro-batch (``on_batch``: return the updates to pass downstream).
+
+Stages run in registration order; the first rejection short-circuits the
+request chain, and a result chain that absorbs every update applies
+nothing.  The built-in stages adapt the repo's standalone capability
+modules — admission control, A/B arm routing, DP clipping+noise,
+Byzantine-robust pre-combine, sparsified-upload decode and telemetry — so
+that every capability is one ``FleetBuilder`` call instead of a fork of
+``FleetServer``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adasgd import GradientUpdate
+from repro.core.dp import gaussian_mechanism
+from repro.core.robust import (
+    average,
+    coordinate_median,
+    krum,
+    multi_krum,
+    trimmed_mean,
+)
+from repro.server.ab_testing import ABThresholdTuner
+from repro.server.controller import Controller
+from repro.server.protocol import RejectionReason, TaskRejection, TaskRequest
+from repro.server.sparsification import SparseGradient
+from repro.server.telemetry import MetricsRegistry
+
+__all__ = [
+    "RequestContext",
+    "RequestStage",
+    "ResultStage",
+    "AdmissionStage",
+    "ABRoutingStage",
+    "GradientPrivacyStage",
+    "RobustAggregationStage",
+    "SparseUploadDecodeStage",
+    "TelemetryStage",
+]
+
+
+# ----------------------------------------------------------------------
+# Hook interfaces
+# ----------------------------------------------------------------------
+@dataclass
+class RequestContext:
+    """Mutable state threaded through the request chain (steps 2-4).
+
+    ``batch_size`` starts as I-Prof's workload bound and ``similarity`` as
+    AdaSGD's score for the request's label histogram; stages may rewrite
+    the former (the bound is advisory until the assignment is issued) and
+    read both.  ``annotations`` is copied onto the resulting
+    ``TaskAssignment`` so downstream consumers (workers, benches, A/B
+    bookkeeping) see what the pipeline decided.
+    """
+
+    request: TaskRequest
+    batch_size: int
+    similarity: float
+    server: object
+    now: float | None = None
+    annotations: dict[str, object] = field(default_factory=dict)
+    rejection: TaskRejection | None = None
+
+    def reject(self, reason: RejectionReason) -> None:
+        """Veto the request; later stages do not run."""
+        self.rejection = TaskRejection(
+            reason=reason, batch_size=self.batch_size, similarity=self.similarity
+        )
+
+
+class RequestStage:
+    """Interceptor for protocol steps 2-4; subclass and override."""
+
+    name = "request-stage"
+
+    def bind(self, server) -> None:
+        """Called once when the stage is attached to a server."""
+
+    def on_request(self, ctx: RequestContext) -> None:
+        """Inspect/modify the context; call ``ctx.reject`` to veto."""
+
+
+class ResultStage:
+    """Interceptor for the server half of protocol step 5."""
+
+    name = "result-stage"
+
+    def bind(self, server) -> None:
+        """Called once when the stage is attached to a server."""
+
+    def on_result(self, update: GradientUpdate, server) -> GradientUpdate | None:
+        """Transform one update; return None to absorb it (e.g. buffering)."""
+        return update
+
+    def on_batch(self, updates: list[GradientUpdate], server) -> list[GradientUpdate]:
+        """Transform a micro-batch; default applies ``on_result`` per item."""
+        transformed = []
+        for update in updates:
+            out = self.on_result(update, server)
+            if out is not None:
+                transformed.append(out)
+        return transformed
+
+    def flush(self, server) -> list[GradientUpdate]:
+        """End of run: release anything the stage buffered."""
+        return []
+
+
+# ----------------------------------------------------------------------
+# Built-in stages
+# ----------------------------------------------------------------------
+class AdmissionStage(RequestStage):
+    """The paper's controller (§2.4, §3.5) as the first request stage."""
+
+    name = "admission"
+
+    def __init__(self, controller: Controller | None = None) -> None:
+        self.controller = controller or Controller()
+
+    def on_request(self, ctx: RequestContext) -> None:
+        decision = self.controller.check(ctx.batch_size, ctx.similarity)
+        if not decision.accepted:
+            assert decision.reason is not None
+            ctx.reject(decision.reason)
+
+
+class ABRoutingStage(RequestStage):
+    """Route each worker to its A/B threshold arm (§2.4).
+
+    The tuner hash-partitions the user population; this stage enforces the
+    worker's group threshold and annotates the assignment with the arm, so
+    quality can be attributed per group when ``advance_epoch`` runs.
+    """
+
+    name = "ab-routing"
+
+    def __init__(self, tuner: ABThresholdTuner) -> None:
+        self.tuner = tuner
+
+    def on_request(self, ctx: RequestContext) -> None:
+        group = self.tuner.group_of(ctx.request.worker_id)
+        ctx.annotations["ab_group"] = group.value
+        decision = self.tuner.controller_for(group).check(
+            ctx.batch_size, ctx.similarity
+        )
+        if not decision.accepted:
+            assert decision.reason is not None
+            ctx.reject(decision.reason)
+
+
+class GradientPrivacyStage(ResultStage):
+    """Server-side DP hardening (§3.2): clip to C, add N(0, (σC)²) noise.
+
+    Applies :func:`repro.core.dp.gaussian_mechanism` to every gradient
+    before aggregation.  The privacy loss is accountable with the moments
+    accountant (``repro.core.dp.moments_epsilon``) from the stage's
+    ``steps`` counter and the caller's sampling ratio.
+    """
+
+    name = "dp"
+
+    def __init__(
+        self,
+        clip_norm: float = 1.0,
+        noise_multiplier: float = 0.1,
+        seed: int | tuple[int, ...] = 0,
+    ) -> None:
+        if clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if noise_multiplier < 0:
+            raise ValueError("noise_multiplier must be non-negative")
+        self.clip_norm = clip_norm
+        self.noise_multiplier = noise_multiplier
+        self._rng = np.random.default_rng(seed)
+        self.steps = 0
+
+    def on_result(self, update: GradientUpdate, server) -> GradientUpdate:
+        self.steps += 1
+        private = gaussian_mechanism(
+            update.gradient, self.clip_norm, self.noise_multiplier, self._rng
+        )
+        return dataclasses.replace(update, gradient=private)
+
+
+class RobustAggregationStage(ResultStage):
+    """Byzantine-robust pre-combine (paper §4: GARs "plug into FLeet").
+
+    Buffers updates until ``window`` have arrived (per-result path) or a
+    micro-batch lands (batched path), then replaces them with ONE combined
+    update whose gradient is ``rule(stack) × K`` — sum semantics, so plain
+    ``average`` reproduces unprotected aggregation exactly.  The combined
+    update carries the *median* lease clock (fair staleness for the group)
+    and the summed label counts (similarity of the group's data).
+    """
+
+    name = "robust"
+
+    _FIXED_RULES = {"median": coordinate_median, "average": average}
+
+    def __init__(
+        self,
+        rule: str = "median",
+        window: int = 4,
+        num_byzantine: int = 1,
+        trim: int = 1,
+    ) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.rule_name = rule
+        self.window = window
+        if rule in self._FIXED_RULES:
+            self._rule = self._FIXED_RULES[rule]
+        elif rule == "krum":
+            self._rule = lambda g: krum(g, num_byzantine=num_byzantine)
+        elif rule in ("multi_krum", "multikrum"):
+            self._rule = lambda g: multi_krum(g, num_byzantine=num_byzantine)
+        elif rule in ("trimmed_mean", "trimmed"):
+            self._rule = lambda g: trimmed_mean(g, trim=trim)
+        else:
+            raise ValueError(f"unknown robust rule {self.rule_name!r}")
+        self._buffer: list[GradientUpdate] = []
+        self.combined_batches = 0
+
+    def _combine(self, updates: list[GradientUpdate]) -> GradientUpdate:
+        stacked = np.stack([u.gradient for u in updates])
+        try:
+            combined = self._rule(stacked)
+        except ValueError:
+            # Too few peers for this rule (e.g. Krum's K >= f+3 on a
+            # partial flush): degrade to the mean rather than stranding
+            # the gradients — a middleware must survive its run end.
+            combined = average(stacked)
+        label_counts = None
+        counted = [u.label_counts for u in updates if u.label_counts is not None]
+        if counted:
+            label_counts = np.sum(counted, axis=0)
+        self.combined_batches += 1
+        return GradientUpdate(
+            gradient=combined * len(updates),
+            pull_step=int(np.median([u.pull_step for u in updates])),
+            label_counts=label_counts,
+            batch_size=sum(u.batch_size for u in updates),
+            worker_id=None,
+        )
+
+    def on_result(self, update: GradientUpdate, server) -> GradientUpdate | None:
+        self._buffer.append(update)
+        if len(self._buffer) < self.window:
+            return None
+        window, self._buffer = self._buffer, []
+        return self._combine(window)
+
+    def on_batch(self, updates: list[GradientUpdate], server) -> list[GradientUpdate]:
+        pending = self._buffer + list(updates)
+        if len(pending) < 2:
+            # A lone gradient (batch_size=1 gateway lane, deadline flush of
+            # a single result) must not bypass the robust rule: keep it
+            # buffered until peers arrive or ``flush`` degrades at run end.
+            self._buffer = pending
+            return []
+        self._buffer = []
+        return [self._combine(pending)]
+
+    def flush(self, server) -> list[GradientUpdate]:
+        pending, self._buffer = self._buffer, []
+        if len(pending) < 2:
+            return pending
+        return [self._combine(pending)]
+
+
+class SparseUploadDecodeStage(ResultStage):
+    """Decode top-k sparsified uploads (§4: communication efficiency).
+
+    Workers that compress with :class:`~repro.server.sparsification.
+    ErrorFeedbackCompressor` ship a :class:`SparseGradient`; this stage
+    densifies it at the enforcement point so every downstream stage and
+    the optimizer see a plain vector.  ``fraction`` advertises the kept
+    fraction to clients (the fleet simulation reads it to set up
+    worker-side compressors); the decode itself is fraction-agnostic.
+    """
+
+    name = "sparse-decode"
+
+    def __init__(self, fraction: float | None = None) -> None:
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.decoded = 0
+
+    def on_result(self, update: GradientUpdate, server) -> GradientUpdate:
+        if isinstance(update.gradient, SparseGradient):
+            self.decoded += 1
+            return dataclasses.replace(update, gradient=update.gradient.densify())
+        return update
+
+
+class TelemetryStage(RequestStage, ResultStage):
+    """Operational metrics at the enforcement point.
+
+    Attached to both chains: the request side counts traffic and observes
+    the workload bound and similarity distributions, the result side
+    counts deliveries and observes staleness and gradient norms.  All
+    metrics live in one :class:`MetricsRegistry` (share it across shards
+    by passing the same registry to every builder).
+    """
+
+    name = "telemetry"
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self._requests = self.registry.counter(
+            "pipeline.requests", "requests entering the stage chain"
+        )
+        self._results = self.registry.counter(
+            "pipeline.results", "gradient updates through the stage chain"
+        )
+        self._batch_bound = self.registry.summary(
+            "pipeline.workload_bound", "I-Prof mini-batch bounds"
+        )
+        self._similarity = self.registry.summary(
+            "pipeline.similarity", "request similarity scores"
+        )
+        self._staleness = self.registry.summary(
+            "pipeline.staleness", "staleness of updates at arrival"
+        )
+        self._gradient_norm = self.registry.summary(
+            "pipeline.gradient_norm", "L2 norm of arriving gradients"
+        )
+
+    def on_request(self, ctx: RequestContext) -> None:
+        self._requests.increment()
+        self._batch_bound.observe(float(ctx.batch_size))
+        self._similarity.observe(float(ctx.similarity))
+
+    def on_result(self, update: GradientUpdate, server) -> GradientUpdate:
+        self._results.increment()
+        clock = getattr(server, "clock", None)
+        if clock is not None:
+            self._staleness.observe(float(clock - update.pull_step))
+        if isinstance(update.gradient, np.ndarray):
+            norm = float(np.linalg.norm(update.gradient))
+            if np.isfinite(norm):
+                self._gradient_norm.observe(norm)
+        return update
+
+    def report(self) -> str:
+        return self.registry.report()

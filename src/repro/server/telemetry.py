@@ -15,7 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Summary",
+    "MetricsRegistry",
+    "RejectionStats",
+    "format_reason_counts",
+]
 
 
 class Counter:
@@ -97,6 +104,62 @@ class Summary:
         if not self._values:
             return float("nan")
         return max(self._values)
+
+
+class RejectionStats:
+    """Per-reason rejection accounting with a bounded ring of recents.
+
+    Rejections are the controller's (and the gateway's) primary output
+    signal; an unbounded list of them is a memory leak in a server that
+    may shed millions of requests.  This keeps a monotone per-reason
+    counter forever plus the ``capacity`` most recent rejection records
+    for debugging.  Keys are whatever carries a ``.reason`` attribute
+    (``TaskRejection``), so this module stays protocol-agnostic.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.recent: deque = deque(maxlen=capacity)
+        self._counts: dict = {}
+        self._total = 0
+
+    def record(self, rejection) -> None:
+        """Fold one rejection (anything with a ``.reason``) into the stats."""
+        self.recent.append(rejection)
+        reason = rejection.reason
+        self._counts[reason] = self._counts.get(reason, 0) + 1
+        self._total += 1
+
+    @property
+    def counts(self) -> dict:
+        """Per-reason totals (a copy; reasons are enum members)."""
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        """All rejections ever recorded (not capped by the ring)."""
+        return self._total
+
+    def breakdown(self) -> str:
+        """``reason=count`` summary line, stable order; 'none' when empty."""
+        return format_reason_counts(self._counts)
+
+
+def format_reason_counts(counts: dict) -> str:
+    """Render per-reason totals as a stable ``reason=count`` line.
+
+    Shared by :meth:`RejectionStats.breakdown` and callers that merge
+    counts across servers (the gateway's tier-wide summary), so the two
+    renderings cannot drift apart.
+    """
+    if not counts:
+        return "none"
+    parts = sorted(
+        (getattr(reason, "value", str(reason)), count)
+        for reason, count in counts.items()
+    )
+    return " ".join(f"{name}={count}" for name, count in parts)
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ from repro.server.codec import VectorCodec
 from repro.server.sparsification import ErrorFeedbackCompressor
 from repro.server.protocol import TaskAssignment, TaskRequest
 from repro.server.server import FleetServer
+from repro.server.stages import SparseUploadDecodeStage
 from repro.server.worker import Worker
 from repro.simulation.events import EventLoop
 
@@ -76,6 +77,11 @@ class FleetSimConfig:
     # every worker uploads a top-k sparsified gradient with error feedback
     # (k = fraction × model size), shrinking the upload wire size — and the
     # accuracy cost of the lossy upload becomes measurable end to end.
+    # DEPRECATED in favor of building the server with
+    # ``FleetBuilder.sparse_uploads(fraction)``: when the server pipeline
+    # carries a ``SparseUploadDecodeStage`` with an advertised fraction,
+    # the simulation's workers compress automatically and ship the sparse
+    # wire form for the *server* to decode (this flag decodes sim-side).
     sparsify_fraction: float | None = None
 
     def __post_init__(self) -> None:
@@ -230,11 +236,22 @@ class FleetSimulation:
         self._wire_bytes = sample_blob.wire_bytes
 
         # Optional per-worker upload compression (§4: pluggable technique).
+        # Preferred wiring: the server's pipeline advertises sparse uploads
+        # via a SparseUploadDecodeStage and decodes them itself; the
+        # legacy ``sparsify_fraction`` flag densifies sim-side instead.
         self._compressors: list[ErrorFeedbackCompressor] | None = None
         self._upload_bytes = self._wire_bytes
-        if self.config.sparsify_fraction is not None:
+        self._ship_sparse = False
+        fraction = self.config.sparsify_fraction
+        if fraction is None:
+            find = getattr(server, "find_result_stage", None)
+            stage = find(SparseUploadDecodeStage) if callable(find) else None
+            if stage is not None and stage.fraction is not None:
+                fraction = stage.fraction
+                self._ship_sparse = True
+        if fraction is not None:
             dimension = server.current_parameters().size
-            k = max(1, int(self.config.sparsify_fraction * dimension))
+            k = max(1, int(fraction * dimension))
             self._compressors = [
                 ErrorFeedbackCompressor(dimension, k)
                 for _ in range(len(self.participants))
@@ -288,7 +305,8 @@ class FleetSimulation:
         result = state.worker.execute_assignment(response)
         if self._compressors is not None:
             sparse = self._compressors[user_id].compress(result.gradient)
-            result = dataclasses.replace(result, gradient=sparse.densify())
+            payload = sparse if self._ship_sparse else sparse.densify()
+            result = dataclasses.replace(result, gradient=payload)
         compute_s = result.computation_time_s
         up = state.network.transfer(
             self._upload_bytes, start + down.seconds + compute_s, uplink=True

@@ -83,3 +83,41 @@ class TestNewCommands:
         assert fleet.users == 20 and fleet.hours == 0.5
         fresh = parser.parse_args(["freshness"])
         assert fresh.users == 16
+
+
+class TestStageFlags:
+    def test_fleet_sim_with_stages(self, capsys):
+        assert main([
+            "fleet-sim", "--users", "4", "--hours", "0.05",
+            "--think-time", "20", "--stage", "dp:noise=0.0",
+            "--stage", "telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rejections by reason" in out
+        assert "pipeline.requests" in out  # telemetry stage report surfaced
+
+    def test_gateway_sim_with_stages(self, capsys):
+        assert main([
+            "gateway-sim", "--shards", "2", "--users", "4", "--hours", "0.05",
+            "--batch-size", "2", "--stage", "robust:window=2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rejections by reason" in out
+
+    def test_rejection_breakdown_names_the_reason(self, capsys):
+        assert main([
+            "fleet-sim", "--users", "4", "--hours", "0.05",
+            "--think-time", "20", "--stage", "admission:min_batch=1000000000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch_too_small=" in out
+
+    def test_bad_stage_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["fleet-sim", "--users", "2", "--hours", "0.02",
+                  "--stage", "warp-drive"])
+
+    def test_stage_defaults_to_none(self):
+        parser = build_parser()
+        assert parser.parse_args(["fleet-sim"]).stage is None
+        assert parser.parse_args(["gateway-sim"]).stage is None

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import make_adasgd, make_fedavg
+from repro.core import make_fedavg
 from repro.core.adasgd import GradientUpdate
 from repro.devices.device import DeviceFeatures
 from repro.gateway import (

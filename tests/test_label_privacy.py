@@ -11,7 +11,6 @@ from repro.core.label_privacy import (
     randomized_response_counts,
     similarity_error,
 )
-from repro.core.similarity import bhattacharyya
 
 
 class TestLaplace:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.nn.gradcheck import max_relative_error, numerical_gradient
 from repro.nn.losses import (

@@ -7,7 +7,6 @@ import pytest
 
 from repro.nn.gradcheck import check_model_gradients
 from repro.nn.models import (
-    Sequential,
     build_cifar100_cnn,
     build_emnist_cnn,
     build_hashtag_gru,

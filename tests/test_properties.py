@@ -12,7 +12,6 @@ from repro.core import (
     ExponentialDampening,
     GradientUpdate,
     InverseDampening,
-    StalenessAwareServer,
     make_adasgd,
 )
 from repro.core.similarity import GlobalLabelTracker

@@ -113,3 +113,49 @@ class TestMetricsRegistry:
 
     def test_empty_registry_report(self):
         assert MetricsRegistry().report() == ""
+
+
+class TestRejectionStats:
+    def _stats(self, capacity=512):
+        from repro.server.telemetry import RejectionStats
+
+        return RejectionStats(capacity=capacity)
+
+    def _rejection(self, reason):
+        from repro.server.protocol import TaskRejection
+
+        return TaskRejection(reason=reason, batch_size=1, similarity=0.5)
+
+    def test_counts_per_reason(self):
+        from repro.server.protocol import RejectionReason
+
+        stats = self._stats()
+        for _ in range(3):
+            stats.record(self._rejection(RejectionReason.BATCH_TOO_SMALL))
+        stats.record(self._rejection(RejectionReason.SIMILARITY_TOO_HIGH))
+        assert stats.counts[RejectionReason.BATCH_TOO_SMALL] == 3
+        assert stats.counts[RejectionReason.SIMILARITY_TOO_HIGH] == 1
+        assert stats.total == 4
+
+    def test_ring_caps_recents_but_not_counts(self):
+        from repro.server.protocol import RejectionReason
+
+        stats = self._stats(capacity=5)
+        for _ in range(9):
+            stats.record(self._rejection(RejectionReason.OVERLOADED))
+        assert len(stats.recent) == 5
+        assert stats.total == 9
+        assert stats.counts[RejectionReason.OVERLOADED] == 9
+
+    def test_breakdown_rendering(self):
+        from repro.server.protocol import RejectionReason
+
+        stats = self._stats()
+        assert stats.breakdown() == "none"
+        stats.record(self._rejection(RejectionReason.SIMILARITY_TOO_HIGH))
+        stats.record(self._rejection(RejectionReason.BATCH_TOO_SMALL))
+        assert stats.breakdown() == "batch_too_small=1 similarity_too_high=1"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            self._stats(capacity=0)
