@@ -7,6 +7,7 @@ tracker (Eq. 4) and the differentially private gradient mechanism (Fig. 11).
 """
 
 from repro.core.adasgd import (
+    AppliedLog,
     AppliedUpdate,
     GradientUpdate,
     StalenessAwareServer,
@@ -64,6 +65,7 @@ from repro.core.similarity import GlobalLabelTracker, bhattacharyya, label_distr
 __all__ = [
     "GradientUpdate",
     "AppliedUpdate",
+    "AppliedLog",
     "StalenessAwareServer",
     "make_adasgd",
     "make_dynsgd",

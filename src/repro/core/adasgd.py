@@ -16,7 +16,19 @@ exponential Λ and cannot reproduce the paper's Fig. 9 (see
 (:mod:`repro.core.dampening`) and sim comes from
 :mod:`repro.core.similarity`.  Setting the strategy and the similarity
 switch appropriately recovers every algorithm in the paper's evaluation,
-so the comparisons in Figs. 8-11 run through a single, shared code path:
+so the comparisons in Figs. 8-11 run through a single, shared code path.
+
+**Per-batch weighting semantics.**  All K gradients of one aggregation
+window are weighted against the *same* server snapshot — clock t,
+dampening strategy Λ and global label distribution — taken when the
+window closes; staleness observations and LD_global contributions land
+only after every weight is computed.  Weights within a window are
+therefore permutation-invariant, and an adaptive Λ cannot drift while a
+batch is being folded.  Two interchangeable backends implement this: the
+default vectorized path (one ``(B, D)`` stack, array-valued Λ/similarity,
+a single ``weights @ stacked`` fold) and the per-update scalar loop
+(``vectorized=False``), kept as the reference oracle for equivalence
+tests and the hot-path throughput benchmark.
 
 =============  ======================  ==========
 algorithm      dampening               similarity
@@ -47,12 +59,51 @@ from repro.nn.optim import Schedule, VectorSGD
 __all__ = [
     "GradientUpdate",
     "AppliedUpdate",
+    "AppliedLog",
     "StalenessAwareServer",
+    "stack_gradients",
     "make_adasgd",
     "make_dynsgd",
     "make_fedavg",
     "make_ssgd",
 ]
+
+
+def stack_gradients(gradients: list[np.ndarray]) -> np.ndarray:
+    """The batch's gradients as one ``(B, D)`` float64 matrix, copy-free
+    when possible.
+
+    The serving path already materializes batches contiguously — the
+    micro-batcher decodes a lane into one matrix and hands out its rows,
+    and vectorized result stages (DP noise, sparse decode) likewise return
+    rows of a single allocation.  When every gradient is row ``i`` of the
+    same C-contiguous base matrix, that base IS the stack and is returned
+    without touching the ~``B*D*8`` bytes again; otherwise the rows are
+    copied into a fresh matrix.
+    """
+    first = gradients[0]
+    base = first.base
+    if (
+        type(base) is np.ndarray
+        and base.ndim == 2
+        and base.shape == (len(gradients), first.size)
+        and base.dtype == np.float64
+        and base.flags.c_contiguous
+        and first.size > 0
+    ):
+        row_bytes = base.strides[0]
+        start = base.ctypes.data
+        if all(
+            gradient.base is base
+            and gradient.flags.c_contiguous
+            and gradient.ctypes.data == start + row * row_bytes
+            for row, gradient in enumerate(gradients)
+        ):
+            return base
+    stacked = np.empty((len(gradients), first.size), dtype=np.float64)
+    for row, gradient in enumerate(gradients):
+        stacked[row] = gradient
+    return stacked
 
 
 @dataclass
@@ -82,6 +133,114 @@ class AppliedUpdate:
     worker_id: int | None = None
 
 
+class AppliedLog:
+    """Structure-of-arrays log of every gradient folded into the model.
+
+    The server appends one row per applied gradient for the lifetime of a
+    run, and the experiment harness reads whole columns (Figs. 7 and 9b) —
+    so the log stores growable numpy columns (amortized doubling) instead
+    of an ever-growing list of :class:`AppliedUpdate` objects.  Iteration
+    and indexing materialize ``AppliedUpdate`` records on demand, keeping
+    the record-oriented surface for callers that want it.
+    """
+
+    _COLUMNS = ("step", "staleness", "similarity", "dampening", "weight")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._size = 0
+        self._step = np.empty(capacity, dtype=np.int64)
+        self._staleness = np.empty(capacity, dtype=np.float64)
+        self._similarity = np.empty(capacity, dtype=np.float64)
+        self._dampening = np.empty(capacity, dtype=np.float64)
+        self._weight = np.empty(capacity, dtype=np.float64)
+        # NaN encodes "no worker id" so the column stays a flat float array.
+        self._worker_id = np.empty(capacity, dtype=np.float64)
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._step.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in (*self._COLUMNS, "worker_id"):
+            column = getattr(self, f"_{name}")
+            grown = np.empty(capacity, dtype=column.dtype)
+            grown[: self._size] = column[: self._size]
+            setattr(self, f"_{name}", grown)
+
+    def append_batch(
+        self,
+        step: int,
+        staleness: np.ndarray,
+        similarity: np.ndarray,
+        dampening: np.ndarray,
+        weight: np.ndarray,
+        worker_ids: np.ndarray,
+    ) -> None:
+        """Append one aggregation batch's rows (all share the same step)."""
+        count = staleness.shape[0]
+        self._reserve(count)
+        lo, hi = self._size, self._size + count
+        self._step[lo:hi] = step
+        self._staleness[lo:hi] = staleness
+        self._similarity[lo:hi] = similarity
+        self._dampening[lo:hi] = dampening
+        self._weight[lo:hi] = weight
+        self._worker_id[lo:hi] = worker_ids
+        self._size = hi
+
+    def append(self, record: AppliedUpdate) -> None:
+        """Append a single record (the scalar reference path)."""
+        self._reserve(1)
+        i = self._size
+        self._step[i] = record.step
+        self._staleness[i] = record.staleness
+        self._similarity[i] = record.similarity
+        self._dampening[i] = record.dampening
+        self._weight[i] = record.weight
+        self._worker_id[i] = np.nan if record.worker_id is None else record.worker_id
+        self._size = i + 1
+
+    def weights(self) -> np.ndarray:
+        return self._weight[: self._size].copy()
+
+    def staleness(self) -> np.ndarray:
+        return self._staleness[: self._size].copy()
+
+    def similarity(self) -> np.ndarray:
+        return self._similarity[: self._size].copy()
+
+    def dampening(self) -> np.ndarray:
+        return self._dampening[: self._size].copy()
+
+    def steps(self) -> np.ndarray:
+        return self._step[: self._size].copy()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> AppliedUpdate:
+        if not -self._size <= index < self._size:
+            raise IndexError("applied log index out of range")
+        index %= self._size
+        raw_worker = self._worker_id[index]
+        return AppliedUpdate(
+            step=int(self._step[index]),
+            staleness=float(self._staleness[index]),
+            similarity=float(self._similarity[index]),
+            dampening=float(self._dampening[index]),
+            weight=float(self._weight[index]),
+            worker_id=None if np.isnan(raw_worker) else int(raw_worker),
+        )
+
+    def __iter__(self):
+        for index in range(self._size):
+            yield self[index]
+
+
 class StalenessAwareServer:
     """Parameter-server optimizer with pluggable staleness handling.
 
@@ -100,6 +259,14 @@ class StalenessAwareServer:
         Number of gradients per model update (paper's K; default 1).
     learning_rate:
         Scalar or schedule γ_t.
+    vectorized:
+        Select the aggregation backend.  ``True`` (default) runs the
+        batched hot path: one ``(B, D)`` stack, array-valued weights and a
+        single ``weights @ stacked`` fold per buffer.  ``False`` runs the
+        per-update scalar loop, kept as the reference oracle for
+        equivalence tests and the throughput benchmark.  Both backends
+        implement identical per-batch weighting semantics (see
+        :meth:`_apply_buffer`).
     """
 
     def __init__(
@@ -115,6 +282,7 @@ class StalenessAwareServer:
         initial_tau_thres: float | None = None,
         drop_zero_weight: bool = True,
         robust_rule=None,
+        vectorized: bool = True,
     ) -> None:
         if aggregation_k <= 0:
             raise ValueError("aggregation_k must be positive")
@@ -129,6 +297,7 @@ class StalenessAwareServer:
         self._buffer: list[GradientUpdate] = []
         self._clock = 0
         self.drop_zero_weight = drop_zero_weight
+        self.vectorized = vectorized
 
         self._adaptive = dampening == "adaptive"
         if self._adaptive:
@@ -147,7 +316,7 @@ class StalenessAwareServer:
             )
             self._fixed_dampening = dampening
 
-        self.applied: list[AppliedUpdate] = []
+        self.applied = AppliedLog()
         self.rejected_count = 0
 
     # ------------------------------------------------------------------
@@ -225,6 +394,12 @@ class StalenessAwareServer:
         sim > 0 and Λ(48) ≈ 1e-7 can never overcome it again, so Fig. 9a's
         repeated incorporation of the straggler class would be impossible
         (see DESIGN.md §5).
+
+        This method scores one update against the server state of *right
+        now* — the request-path probe.  Aggregation itself does NOT call
+        it per update: :meth:`_apply_buffer` snapshots the strategy, clock
+        and LD_global once per window, so all weights within a window are
+        computed against the same state (per-batch weighting semantics).
         """
         staleness = float(self._clock - update.pull_step)
         if staleness < 0:
@@ -263,54 +438,160 @@ class StalenessAwareServer:
         self._apply_buffer()
         return True
 
-    def submit_many(self, updates: list[GradientUpdate]) -> bool:
+    def submit_many(
+        self,
+        updates: list[GradientUpdate],
+        stacked: np.ndarray | None = None,
+        finite: np.ndarray | None = None,
+    ) -> bool:
         """Fold a micro-batch of gradients into the model in ONE update.
 
         This is the gateway's batched hot path: all weights are computed
-        against the same clock, the weighted gradients are summed, and the
+        against the same clock, the same dampening-strategy snapshot and
+        the same LD_global snapshot (per-batch weighting semantics — see
+        :meth:`_apply_buffer`), the weighted gradients are summed, and the
         optimizer steps once — Equation 3 with K = len(updates) — instead of
         once per gradient.  The batch boundary IS the aggregation window:
         ``aggregation_k`` is not consulted, and any updates already buffered
         by :meth:`submit` are folded into the same model update.  Invalid
         gradients (shape mismatch raises; NaN/Inf is dropped and counted as
         rejected) are filtered exactly as in :meth:`submit`.  Returns True
-        when a model update was applied; a batch whose gradients were all
-        rejected applies nothing and leaves any partial buffer untouched.
+        when the batch closed an aggregation window; a batch whose
+        gradients were all NaN/Inf-rejected applies nothing and leaves any
+        partial buffer untouched.  (A window whose every row was then
+        dropped as zero-weight still returns True — the window was
+        consumed, matching :meth:`flush`.)
+
+        ``stacked`` optionally carries the batch as one contiguous ``(B, D)``
+        matrix whose rows are ``updates``' gradients (the gateway's
+        micro-batcher decodes a lane straight into this form); the
+        vectorized backend then validates and folds without re-stacking.
+        ``finite`` optionally carries the per-row ``np.isfinite(...).all``
+        mask a caller already computed (the serving tier counts finite
+        deliveries), sparing a second full-matrix validation pass.
         """
         # Validate every shape before touching any state, so a malformed
         # batch fails atomically instead of leaving early updates buffered.
         for update in updates:
             if update.gradient.shape != self._params.shape:
                 raise ValueError("gradient shape does not match model parameters")
-        accepted = []
-        for update in updates:
-            if not np.isfinite(update.gradient).all():
+        if stacked is not None and stacked.shape != (len(updates), self._params.size):
+            raise ValueError("stacked matrix does not match the update batch")
+        if finite is not None and finite.shape != (len(updates),):
+            raise ValueError("finite mask does not match the update batch")
+
+        if not self.vectorized:
+            # Scalar reference: per-update validation loop, as in submit().
+            accepted = []
+            for row, update in enumerate(updates):
+                ok = finite[row] if finite is not None else (
+                    np.isfinite(update.gradient).all()
+                )
+                if not ok:
+                    self.rejected_count += 1
+                    continue
+                accepted.append(update)
+            if not accepted:
+                return False
+            self._buffer.extend(accepted)
+            return self.flush()
+
+        if len(updates) == 1 and not self._buffer:
+            # Single-result delivery (e.g. a gateway deadline flush): skip
+            # the stack/mask preamble — _apply_buffer routes one-row
+            # windows to the scalar kernel anyway.
+            update = updates[0]
+            ok = (
+                bool(finite[0])
+                if finite is not None
+                else bool(np.isfinite(update.gradient).all())
+            )
+            if not ok:
                 self.rejected_count += 1
-                continue
-            accepted.append(update)
-        if not accepted:
+                return False
+            self._buffer = [update]
+            self._apply_buffer()
+            return True
+        if updates and stacked is None:
+            stacked = stack_gradients([update.gradient for update in updates])
+        if stacked is None:
             return False
-        self._buffer.extend(accepted)
-        return self.flush()
+        if finite is None:
+            finite = np.isfinite(stacked).all(axis=1)
+        if finite.all():
+            accepted = updates
+            accepted_stack = stacked
+        else:
+            self.rejected_count += int(finite.size - finite.sum())
+            if not finite.any():
+                return False
+            accepted = [u for u, ok in zip(updates, finite) if ok]
+            accepted_stack = stacked[finite]
+        if self._buffer:
+            # A partial submit() window joins the batch; fall back to the
+            # generic flush (the buffer rows are not in the matrix).
+            self._buffer.extend(accepted)
+            return self.flush()
+        self._buffer = accepted
+        self._apply_buffer(stacked=accepted_stack)
+        return True
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _apply_buffer(self) -> None:
+    def _apply_buffer(self, stacked: np.ndarray | None = None) -> None:
+        """Fold the buffered window into the model — ONE Equation-3 step.
+
+        Per-batch weighting semantics (both backends): every gradient in
+        the window is weighted against the same snapshot of server state —
+        the clock t, the dampening strategy Λ and the LD_global similarity
+        aggregate all as they stood when the window closed.  Staleness
+        observations and LD_global contributions are folded in only *after*
+        all weights are computed, so weights within a window are
+        permutation-invariant and an adaptive Λ cannot drift mid-batch.
+
+        Single-row windows always take the scalar kernel: the array
+        machinery costs more than it saves at B = 1 (per the throughput
+        benchmark), and the backends are proven equivalent.
+        """
+        if self.vectorized and len(self._buffer) > 1:
+            self._apply_buffer_vectorized(stacked)
+        else:
+            self._apply_buffer_scalar()
+
+    def _apply_buffer_scalar(self) -> None:
+        """Reference oracle: the per-update loop, one gradient at a time."""
+        strategy = self.dampening_strategy()  # snapshot: one Λ per window
+        scored = []
+        for update in self._buffer:
+            staleness = float(self._clock - update.pull_step)
+            if staleness < 0:
+                raise ValueError(
+                    f"update pulled at step {update.pull_step} "
+                    f"but clock is {self._clock}"
+                )
+            similarity = self.similarity_of(update)
+            weight = min(1.0, strategy(staleness * similarity))
+            dampening = strategy(staleness)
+            scored.append((update, weight, staleness, similarity, dampening))
+        # Observe only after every weight is computed: the tracker feeding
+        # an adaptive Λ must not move mid-window.
+        for _, _, staleness, _, _ in scored:
+            self.staleness_tracker.observe(staleness)
+        # Rebind rather than clear: submit_many may have handed us the
+        # caller's own list, which must not be emptied under them.
+        self._buffer = []
+
         aggregate = np.zeros_like(self._params)
         weighted_gradients = []
         records = []
-        for update in self._buffer:
-            weight, staleness, similarity = self.weight_of(update)
-            dampening = self.dampening_strategy()(staleness)
-            # Observe *after* computing the weight so the estimate in force
-            # matches what was actually applied to this gradient.
-            self.staleness_tracker.observe(staleness)
+        for update, weight, staleness, similarity, dampening in scored:
             if weight == 0.0 and self.drop_zero_weight:
                 self.rejected_count += 1
                 continue
-            aggregate += weight * update.gradient
-            weighted_gradients.append(weight * update.gradient)
+            weighted = weight * update.gradient
+            aggregate += weighted
+            weighted_gradients.append(weighted)
             records.append(
                 AppliedUpdate(
                     step=self._clock,
@@ -325,26 +606,129 @@ class StalenessAwareServer:
                 # Usage-weighted: only what the model actually absorbed
                 # counts as "previously used samples" (see similarity.py).
                 self.similarity_tracker.update(update.label_counts, weight=weight)
-        self._buffer.clear()
         if not records:
             return
         if self.robust_rule is not None and len(weighted_gradients) > 1:
-            stacked = np.stack(weighted_gradients)
-            aggregate = self.robust_rule(stacked) * len(weighted_gradients)
+            aggregate = self.robust_rule(np.stack(weighted_gradients)) * len(
+                weighted_gradients
+            )
         self._params = self._optimizer.step(self._params, aggregate)
         self._clock += 1
-        self.applied.extend(records)
+        for record in records:
+            self.applied.append(record)
+
+    def _apply_buffer_vectorized(self, stacked: np.ndarray | None = None) -> None:
+        """Batched hot path: the whole window as ``(B, D)`` numpy arrays.
+
+        ``stacked`` may carry the buffer's gradients pre-stacked (rows in
+        buffer order); otherwise they are stacked here once.
+        """
+        updates = self._buffer
+        if not updates:
+            return
+        count = len(updates)
+
+        pull_steps = np.fromiter(
+            (update.pull_step for update in updates), dtype=np.float64, count=count
+        )
+        staleness = self._clock - pull_steps
+        if staleness.min() < 0:
+            offender = int(pull_steps.max())
+            raise ValueError(
+                f"update pulled at step {offender} but clock is {self._clock}"
+            )
+
+        # Similarity of every row against the same LD_global snapshot.
+        similarity = np.ones(count, dtype=np.float64)
+        counts_matrix = None
+        has_counts = None
+        if self.similarity_tracker is not None:
+            has_counts = np.fromiter(
+                (update.label_counts is not None for update in updates),
+                dtype=bool,
+                count=count,
+            )
+            if has_counts.any():
+                counts_matrix = np.stack(
+                    [u.label_counts for u, ok in zip(updates, has_counts) if ok]
+                )
+                similarity[has_counts] = self.similarity_tracker.similarity_many(
+                    counts_matrix
+                )
+
+        strategy = self.dampening_strategy()  # snapshot: one Λ per window
+        weights = np.minimum(1.0, strategy(staleness * similarity))
+        dampening = strategy(staleness)
+        # Observe only after every weight is computed (no mid-window drift).
+        self.staleness_tracker.observe_many(staleness)
+
+        if stacked is None:
+            stacked = stack_gradients([update.gradient for update in updates])
+        worker_ids = np.fromiter(
+            (
+                np.nan if update.worker_id is None else float(update.worker_id)
+                for update in updates
+            ),
+            dtype=np.float64,
+            count=count,
+        )
+        self._buffer = []
+
+        if self.drop_zero_weight:
+            keep = weights != 0.0
+            self.rejected_count += int(count - keep.sum())
+            if not keep.any():
+                return
+            if not keep.all():
+                weights = weights[keep]
+                staleness = staleness[keep]
+                similarity = similarity[keep]
+                dampening = dampening[keep]
+                worker_ids = worker_ids[keep]
+                stacked = stacked[keep]
+                if counts_matrix is not None:
+                    # counts_matrix rows track the has_counts subset; keep
+                    # restricted to that subset filters them in lockstep.
+                    counts_matrix = counts_matrix[keep[has_counts]]
+                    if counts_matrix.shape[0] == 0:
+                        counts_matrix = None
+                if has_counts is not None:
+                    has_counts = has_counts[keep]
+
+        kept = weights.shape[0]
+        if self.robust_rule is not None and kept > 1:
+            aggregate = self.robust_rule(weights[:, None] * stacked) * kept
+        else:
+            aggregate = weights @ stacked
+
+        self._params = self._optimizer.step(self._params, aggregate)
+        self.applied.append_batch(
+            step=self._clock,
+            staleness=staleness,
+            similarity=similarity,
+            dampening=dampening,
+            weight=weights,
+            worker_ids=worker_ids,
+        )
+        self._clock += 1
+        if (
+            self.similarity_tracker is not None
+            and counts_matrix is not None
+            and has_counts is not None
+        ):
+            # Usage-weighted LD_global contribution, folded post-weighting.
+            self.similarity_tracker.update_many(counts_matrix, weights[has_counts])
 
     # ------------------------------------------------------------------
     # Introspection helpers used by the experiment harness
     # ------------------------------------------------------------------
     def applied_weights(self) -> np.ndarray:
         """All per-gradient scaling factors applied so far (Fig. 9b)."""
-        return np.array([rec.weight for rec in self.applied], dtype=np.float64)
+        return self.applied.weights()
 
     def applied_staleness(self) -> np.ndarray:
         """Staleness values of all applied gradients (Fig. 7)."""
-        return np.array([rec.staleness for rec in self.applied], dtype=np.float64)
+        return self.applied.staleness()
 
 
 def make_adasgd(

@@ -19,7 +19,6 @@ percentile estimate τ_thres that AdaSGD needs.
 from __future__ import annotations
 
 import math
-from collections import deque
 
 import numpy as np
 
@@ -52,12 +51,27 @@ def beta_for_threshold(tau_thres: float) -> float:
 
 
 class DampeningStrategy:
-    """Interface: map a staleness value to a gradient scaling factor."""
+    """Interface: map staleness value(s) to gradient scaling factor(s).
+
+    Strategies are array-capable: calling one with a numpy array returns an
+    array of factors (the batched aggregation hot path evaluates a whole
+    micro-batch in one call), while a scalar in gives a scalar out.
+    ``factor`` is the scalar kernel; ``factor_many`` is the vectorized one
+    (the default loops over ``factor``, built-ins override it with true
+    numpy expressions).
+    """
 
     def factor(self, staleness: float) -> float:
         raise NotImplementedError
 
-    def __call__(self, staleness: float) -> float:
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
+        return np.array([self.factor(float(tau)) for tau in staleness], dtype=np.float64)
+
+    def __call__(self, staleness: float | np.ndarray) -> float | np.ndarray:
+        if isinstance(staleness, np.ndarray):
+            if staleness.size and staleness.min() < 0:
+                raise ValueError("staleness must be non-negative")
+            return self.factor_many(staleness.astype(np.float64, copy=False))
         if staleness < 0:
             raise ValueError(f"staleness must be non-negative, got {staleness}")
         return self.factor(staleness)
@@ -73,6 +87,9 @@ class ExponentialDampening(DampeningStrategy):
     def factor(self, staleness: float) -> float:
         return math.exp(-self.beta * staleness)
 
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
+        return np.exp(-self.beta * staleness)
+
     def __repr__(self) -> str:
         return f"ExponentialDampening(tau_thres={self.tau_thres:.3g}, beta={self.beta:.3g})"
 
@@ -81,6 +98,9 @@ class InverseDampening(DampeningStrategy):
     """DynSGD's Λ(τ) = 1 / (τ + 1)."""
 
     def factor(self, staleness: float) -> float:
+        return 1.0 / (staleness + 1.0)
+
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
         return 1.0 / (staleness + 1.0)
 
     def __repr__(self) -> str:
@@ -98,6 +118,9 @@ class ConstantDampening(DampeningStrategy):
     def factor(self, staleness: float) -> float:
         return self.value
 
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
+        return np.full(staleness.shape, self.value, dtype=np.float64)
+
     def __repr__(self) -> str:
         return f"ConstantDampening({self.value})"
 
@@ -110,6 +133,9 @@ class DropStale(DampeningStrategy):
 
     def factor(self, staleness: float) -> float:
         return 1.0 if staleness <= self.max_staleness else 0.0
+
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
+        return np.where(staleness <= self.max_staleness, 1.0, 0.0)
 
     def __repr__(self) -> str:
         return f"DropStale(max_staleness={self.max_staleness})"
@@ -133,6 +159,9 @@ class LinearDampening(DampeningStrategy):
     def factor(self, staleness: float) -> float:
         return max(0.0, 1.0 - staleness / self.tau_max)
 
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - staleness / self.tau_max)
+
     def __repr__(self) -> str:
         return f"LinearDampening(tau_max={self.tau_max:.3g})"
 
@@ -151,6 +180,9 @@ class PolynomialDampening(DampeningStrategy):
         self.power = float(power)
 
     def factor(self, staleness: float) -> float:
+        return (staleness + 1.0) ** (-self.power)
+
+    def factor_many(self, staleness: np.ndarray) -> np.ndarray:
         return (staleness + 1.0) ** (-self.power)
 
     def __repr__(self) -> str:
@@ -176,32 +208,81 @@ class StalenessTracker:
     ) -> None:
         if not 0.0 < percentile <= 100.0:
             raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if window <= 0:
+            raise ValueError("window must be positive")
         self.percentile = percentile
         self.min_samples = min_samples
-        self._values: deque[float] = deque(maxlen=window)
+        # Ring buffer over the sliding window: tau_thres() runs once per
+        # aggregation window on the hot path, and percentiles don't care
+        # about arrival order — so the window lives in a flat numpy array
+        # (no deque -> fromiter round trip per model update).
+        self._window = window
+        self._ring = np.empty(window, dtype=np.float64)
+        # _total counts every observation ever made; _cursor is the next
+        # ring write position.  They are tracked separately because a
+        # window-sized batch rewrites the ring from index 0 regardless of
+        # where the cursor stood.
+        self._total = 0
+        self._cursor = 0
         self._initial_tau_thres = initial_tau_thres
 
     def observe(self, staleness: float) -> None:
         """Record one staleness observation."""
         if staleness < 0:
             raise ValueError("staleness must be non-negative")
-        self._values.append(float(staleness))
+        self._ring[self._cursor] = staleness
+        self._cursor = (self._cursor + 1) % self._window
+        self._total += 1
+
+    def observe_many(self, staleness: np.ndarray) -> None:
+        """Record a batch of staleness observations in arrival order."""
+        staleness = np.asarray(staleness, dtype=np.float64)
+        if staleness.size and staleness.min() < 0:
+            raise ValueError("staleness must be non-negative")
+        count = staleness.size
+        if count >= self._window:
+            # The batch alone overwrites the whole window; the freshest
+            # value sits at the end, so the next write starts at 0.
+            self._ring[:] = staleness[-self._window:]
+            self._cursor = 0
+        else:
+            start = self._cursor
+            first = min(count, self._window - start)
+            self._ring[start : start + first] = staleness[:first]
+            if first < count:  # wrap around
+                self._ring[: count - first] = staleness[first:]
+            self._cursor = (start + count) % self._window
+        self._total += count
 
     @property
     def num_observations(self) -> int:
-        return len(self._values)
+        return min(self._total, self._window)
 
     @property
     def bootstrapped(self) -> bool:
         """True once enough observations exist to trust the percentile."""
         if self._initial_tau_thres is not None:
             return True
-        return len(self._values) >= self.min_samples
+        return self.num_observations >= self.min_samples
 
     def tau_thres(self) -> float:
         """Current τ_thres estimate (s-th percentile of the window)."""
-        if self._initial_tau_thres is not None and len(self._values) < self.min_samples:
+        if (
+            self._initial_tau_thres is not None
+            and self.num_observations < self.min_samples
+        ):
+            # Counted over RETAINED samples: a window smaller than
+            # min_samples keeps the initial estimate in force forever
+            # rather than trusting a percentile over too few values.
             return self._initial_tau_thres
-        if not self._values:
+        if self._total == 0:
             return 0.0
-        return float(np.percentile(np.fromiter(self._values, dtype=float), self.percentile))
+        window = self._ring[: self.num_observations]
+        # np.percentile's linear interpolation via one k-selection pass:
+        # this runs once per aggregation window on the hot path, and the
+        # generic quantile machinery costs more than the partition itself.
+        rank = (self.percentile / 100.0) * (window.size - 1)
+        lo = int(rank)
+        hi = min(lo + 1, window.size - 1)
+        part = np.partition(window, (lo, hi))
+        return float(part[lo] + (rank - lo) * (part[hi] - part[lo]))

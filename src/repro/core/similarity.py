@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["bhattacharyya", "label_distribution", "GlobalLabelTracker"]
+__all__ = [
+    "bhattacharyya",
+    "bhattacharyya_many",
+    "label_distribution",
+    "GlobalLabelTracker",
+]
 
 
 def bhattacharyya(p: np.ndarray, q: np.ndarray) -> float:
@@ -36,6 +41,30 @@ def bhattacharyya(p: np.ndarray, q: np.ndarray) -> float:
     coeff = float(np.sqrt((p / p_sum) * (q / q_sum)).sum())
     # Guard against floating-point overshoot beyond 1.
     return min(1.0, coeff)
+
+
+def bhattacharyya_many(P: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise BC(P[i], q) for a ``(B, L)`` stack of histograms.
+
+    The batched form of :func:`bhattacharyya` used by the vectorized
+    aggregation hot path: one sqrt/sum pass over the whole matrix instead
+    of one Python call per row.  Rows that sum to zero (or a zero global
+    ``q``) score 0.0, matching the scalar function.
+    """
+    P = np.asarray(P, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if P.ndim != 2 or q.ndim != 1 or P.shape[1] != q.shape[0]:
+        raise ValueError("expected a (B, L) stack against an (L,) distribution")
+    if (P < 0).any() or (q < 0).any():
+        raise ValueError("distributions must be non-negative")
+    q_sum = q.sum()
+    if q_sum == 0.0:
+        return np.zeros(P.shape[0], dtype=np.float64)
+    row_sums = P.sum(axis=1)
+    safe = np.where(row_sums == 0.0, 1.0, row_sums)
+    coeff = np.sqrt(P * (q / q_sum)).sum(axis=1) / np.sqrt(safe)
+    coeff = np.where(row_sums == 0.0, 0.0, coeff)
+    return np.minimum(1.0, coeff)
 
 
 def label_distribution(counts: np.ndarray) -> np.ndarray:
@@ -99,6 +128,23 @@ class GlobalLabelTracker:
             return 1.0
         return bhattacharyya(local_counts, self.counts)
 
+    def similarity_many(self, counts_matrix: np.ndarray) -> np.ndarray:
+        """Row-wise similarity of a ``(B, num_labels)`` stack of histograms.
+
+        The batched hot-path form of :meth:`similarity`: every row is scored
+        against the *same* LD_global snapshot, so scores are independent of
+        row order.  Returns all-ones while still bootstrapping.
+        """
+        counts_matrix = np.asarray(counts_matrix, dtype=np.float64)
+        if counts_matrix.ndim != 2 or counts_matrix.shape[1] != self.num_labels:
+            raise ValueError(
+                f"expected counts of shape (B, {self.num_labels}), "
+                f"got {counts_matrix.shape}"
+            )
+        if not self.bootstrapped:
+            return np.ones(counts_matrix.shape[0], dtype=np.float64)
+        return bhattacharyya_many(counts_matrix, self.counts)
+
     def update(self, local_counts: np.ndarray, weight: float = 1.0) -> None:
         """Fold a served task's label counts into the global aggregate,
         scaled by the weight the gradient was applied with."""
@@ -112,6 +158,27 @@ class GlobalLabelTracker:
         if weight < 0:
             raise ValueError("weight must be non-negative")
         self.counts += weight * local_counts
+
+    def update_many(self, counts_matrix: np.ndarray, weights: np.ndarray) -> None:
+        """Fold a batch of label histograms into LD_global in one pass.
+
+        Equivalent to calling :meth:`update` row by row (the sum commutes),
+        but a single ``weights @ counts_matrix`` product.
+        """
+        counts_matrix = np.asarray(counts_matrix, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if counts_matrix.ndim != 2 or counts_matrix.shape[1] != self.num_labels:
+            raise ValueError(
+                f"expected counts of shape (B, {self.num_labels}), "
+                f"got {counts_matrix.shape}"
+            )
+        if weights.shape != (counts_matrix.shape[0],):
+            raise ValueError("one weight per histogram row required")
+        if (counts_matrix < 0).any():
+            raise ValueError("label counts must be non-negative")
+        if weights.size and weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        self.counts += weights @ counts_matrix
 
     def global_distribution(self) -> np.ndarray:
         """Current LD_global as a normalized distribution."""

@@ -132,13 +132,47 @@ class MicroBatcher:
     # Flush
     # ------------------------------------------------------------------
     def flush(self, shard_id: str) -> list[TaskResult]:
-        """Decode and hand back the shard's pending batch (may be empty)."""
-        lane = self._lanes.get(shard_id)
+        """Decode and hand back the shard's pending batch (may be empty).
+
+        The lane entry itself is removed (``add`` recreates it on demand),
+        so a shard that stops receiving results leaves nothing behind for
+        :meth:`due` to rescan.  A lane of uniform dense blobs is decoded
+        into ONE contiguous ``(B, D)`` matrix; the returned results'
+        gradients are rows of that matrix, so the shard's batched hot path
+        folds them without restacking scattered vectors.
+        """
+        lane = self._lanes.pop(shard_id, None)
         if lane is None or not lane.entries:
             return []
-        batch = [decode_result(entry, self.codec) for entry in lane.entries]
-        self._lanes[shard_id] = _Lane()
-        return batch
+        return self._decode_lane(lane.entries)
+
+    def _decode_lane(self, entries: list[EncodedResult]) -> list[TaskResult]:
+        blobs = [entry.blob for entry in entries]
+        uniform = all(
+            isinstance(blob, EncodedBlob) and blob.length == blobs[0].length
+            for blob in blobs
+        )
+        if not uniform:
+            # Mixed sparse/dense lane: decode entry by entry (the sparse
+            # payloads travel as-is for the shard's decode stage).
+            return [decode_result(entry, self.codec) for entry in entries]
+        matrix = np.empty((len(entries), blobs[0].length), dtype=np.float64)
+        for row, blob in enumerate(blobs):
+            matrix[row] = self.codec.decode(blob)
+        return [
+            dataclasses.replace(entry.metadata, gradient=matrix[row])
+            for row, entry in enumerate(entries)
+        ]
+
+    def drop(self, shard_id: str) -> None:
+        """Discard a shard's lane without decoding its pending entries.
+
+        :meth:`flush` already removes the lane it drains, so after a
+        flush this is a no-op; it exists for callers that want pending
+        entries thrown away outright, and keeps shard removal leak-free
+        even if ``flush`` ever re-inserts lanes again.
+        """
+        self._lanes.pop(shard_id, None)
 
     def pending(self, shard_id: str) -> int:
         lane = self._lanes.get(shard_id)

@@ -380,6 +380,7 @@ class Gateway:
         batch = self.batcher.flush(shard_id)
         if batch:
             self._deliver(shard_id, batch, now)
+        self.batcher.drop(shard_id)
         # One sync while the leaver still participates: its updates enter
         # the consensus, so removing it afterwards loses nothing.
         self.synchronize(now)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.adasgd import GradientUpdate, StalenessAwareServer
+from repro.core.adasgd import GradientUpdate, StalenessAwareServer, stack_gradients
 from repro.profiler.iprof import IProf, SLO
 from repro.server.controller import Controller
 from repro.server.protocol import (
@@ -221,15 +221,22 @@ class FleetServer:
 
         Same unit in every path: finite gradients delivered, counted at
         delivery (a NaN/Inf upload is rejected by the optimizer and must
-        not weight this shard in gateway syncs).
+        not weight this shard in gateway syncs).  The batched path stacks
+        the surviving gradients once — the finite count and the
+        optimizer's validation/fold all run on that one ``(B, D)`` matrix,
+        and the row mask computed here is handed down so the optimizer does
+        not re-validate the same bytes.
         """
         self._validate_updates(updates)
-        self.results_applied += sum(
-            1 for update in updates if np.isfinite(update.gradient).all()
-        )
         if not batched and len(updates) == 1:
+            self.results_applied += int(np.isfinite(updates[0].gradient).all())
             return self.optimizer.submit(updates[0])
-        return self.optimizer.submit_many(updates)
+        if not updates:
+            return False
+        stacked = stack_gradients([update.gradient for update in updates])
+        finite = np.isfinite(stacked).all(axis=1)
+        self.results_applied += int(finite.sum())
+        return self.optimizer.submit_many(updates, stacked=stacked, finite=finite)
 
     def _validate_uploads(self, results: list[TaskResult]) -> None:
         """Reject malformed uploads BEFORE any state changes.

@@ -84,6 +84,20 @@ class ErrorFeedbackCompressor:
         self.residual = corrected - sparse.densify()
         return sparse
 
+    def restore(self, sparse: SparseGradient) -> None:
+        """Return an unsent payload's mass to the residual.
+
+        ``compress`` absorbs the dropped coordinates at compress time on
+        the assumption the sparse payload reaches the server.  If the
+        upload is aborted (user backgrounds the app mid-push), the shipped
+        component would silently vanish from future compensation — calling
+        ``restore`` with the undelivered payload adds it back, making the
+        residual again equal to the full uncompensated gradient.
+        """
+        if sparse.dimension != self.dimension:
+            raise ValueError("sparse payload dimension mismatch")
+        self.residual[sparse.indices] += sparse.values
+
     def compression_ratio(self) -> float:
         """Dense floats sent per sparse float (> 1 means savings)."""
         return self.dimension / (2.0 * self.k)

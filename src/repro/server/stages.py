@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.adasgd import GradientUpdate
+from repro.core.adasgd import GradientUpdate, stack_gradients
 from repro.core.dp import gaussian_mechanism
 from repro.core.robust import (
     average,
@@ -202,6 +202,41 @@ class GradientPrivacyStage(ResultStage):
         )
         return dataclasses.replace(update, gradient=private)
 
+    def on_batch(self, updates: list[GradientUpdate], server) -> list[GradientUpdate]:
+        """Vectorized clip+noise: one stacked pass for the whole micro-batch.
+
+        Row-wise clipping and a single ``(B, D)`` Gaussian draw.  The
+        Generator's stream is consumed in the same order as B per-row
+        draws, so batched and per-result paths see identical noise for the
+        same seed (clip factors may differ by ULPs: the ``axis=1`` norm
+        reduction rounds differently than the per-row BLAS norm).  Falls
+        back to the per-item path when any gradient is
+        not yet a dense model vector (e.g. DP ordered before a decode
+        stage).
+        """
+        if len(updates) < 2 or not all(
+            isinstance(u.gradient, np.ndarray) and u.gradient.ndim == 1
+            for u in updates
+        ):
+            return super().on_batch(updates, server)
+        # Copy-free when the rows already share one contiguous base (the
+        # micro-batcher's decoded lane matrix).
+        stacked = stack_gradients([u.gradient for u in updates])
+        norms = np.linalg.norm(stacked, axis=1)
+        scale = np.ones_like(norms)
+        over = (norms > self.clip_norm) & (norms > 0.0)
+        scale[over] = self.clip_norm / norms[over]
+        clipped = stacked * scale[:, None]
+        if self.noise_multiplier > 0.0:
+            clipped = clipped + self._rng.normal(
+                0.0, self.noise_multiplier * self.clip_norm, size=stacked.shape
+            )
+        self.steps += len(updates)
+        return [
+            dataclasses.replace(update, gradient=row)
+            for update, row in zip(updates, clipped)
+        ]
+
 
 class RobustAggregationStage(ResultStage):
     """Byzantine-robust pre-combine (paper §4: GARs "plug into FLeet").
@@ -243,7 +278,10 @@ class RobustAggregationStage(ResultStage):
         self.combined_batches = 0
 
     def _combine(self, updates: list[GradientUpdate]) -> GradientUpdate:
-        stacked = np.stack([u.gradient for u in updates])
+        # The whole pre-combine — stack, rule, rescale — runs on one
+        # contiguous matrix for the window (copy-free when the rows
+        # already share a base).
+        stacked = stack_gradients([u.gradient for u in updates])
         try:
             combined = self._rule(stacked)
         except ValueError:
@@ -314,6 +352,27 @@ class SparseUploadDecodeStage(ResultStage):
             return dataclasses.replace(update, gradient=update.gradient.densify())
         return update
 
+    def on_batch(self, updates: list[GradientUpdate], server) -> list[GradientUpdate]:
+        """Densify a batch's sparse rows into one contiguous matrix.
+
+        Downstream stages and the optimizer then see rows of a single
+        ``(S, D)`` allocation instead of S scattered vectors.
+        """
+        sparse_rows = [
+            i for i, u in enumerate(updates) if isinstance(u.gradient, SparseGradient)
+        ]
+        if not sparse_rows:
+            return list(updates)
+        dimension = updates[sparse_rows[0]].gradient.dimension
+        dense = np.zeros((len(sparse_rows), dimension), dtype=np.float64)
+        out = list(updates)
+        for row, i in enumerate(sparse_rows):
+            sparse = updates[i].gradient
+            dense[row, sparse.indices] = sparse.values
+            out[i] = dataclasses.replace(updates[i], gradient=dense[row])
+        self.decoded += len(sparse_rows)
+        return out
+
 
 class TelemetryStage(RequestStage, ResultStage):
     """Operational metrics at the enforcement point.
@@ -363,6 +422,34 @@ class TelemetryStage(RequestStage, ResultStage):
             if np.isfinite(norm):
                 self._gradient_norm.observe(norm)
         return update
+
+    def on_batch(self, updates: list[GradientUpdate], server) -> list[GradientUpdate]:
+        """Batched bookkeeping: norms and staleness in single array passes."""
+        if not updates:
+            return []
+        self._results.increment(len(updates))
+        clock = getattr(server, "clock", None)
+        if clock is not None:
+            staleness = np.fromiter(
+                (clock - u.pull_step for u in updates),
+                dtype=np.float64,
+                count=len(updates),
+            )
+            self._staleness.observe_many(staleness)
+        dense = [
+            u.gradient
+            for u in updates
+            if isinstance(u.gradient, np.ndarray) and u.gradient.ndim == 1
+        ]
+        if dense and all(g.shape == dense[0].shape for g in dense):
+            norms = np.linalg.norm(stack_gradients(dense), axis=1)
+            self._gradient_norm.observe_many(norms[np.isfinite(norms)])
+        elif dense:
+            for gradient in dense:
+                norm = float(np.linalg.norm(gradient))
+                if np.isfinite(norm):
+                    self._gradient_norm.observe(norm)
+        return list(updates)
 
     def report(self) -> str:
         return self.registry.report()

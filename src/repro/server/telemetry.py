@@ -83,6 +83,13 @@ class Summary:
             raise ValueError("summary observations must be finite")
         self._values.append(float(value))
 
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a batch of observations in one append (hot-path helper)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size and not np.isfinite(values).all():
+            raise ValueError("summary observations must be finite")
+        self._values.extend(values.tolist())
+
     @property
     def count(self) -> int:
         return len(self._values)

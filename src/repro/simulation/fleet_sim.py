@@ -303,9 +303,12 @@ class FleetSimulation:
         start = self.loop.now
         down = state.network.transfer(self._wire_bytes, start, uplink=False)
         result = state.worker.execute_assignment(response)
+        sparse_payload = None
         if self._compressors is not None:
-            sparse = self._compressors[user_id].compress(result.gradient)
-            payload = sparse if self._ship_sparse else sparse.densify()
+            sparse_payload = self._compressors[user_id].compress(result.gradient)
+            payload = (
+                sparse_payload if self._ship_sparse else sparse_payload.densify()
+            )
             result = dataclasses.replace(result, gradient=payload)
         compute_s = result.computation_time_s
         up = state.network.transfer(
@@ -324,6 +327,7 @@ class FleetSimulation:
                 compute_s,
                 down.seconds + up.seconds,
                 down.energy_mwh + up.energy_mwh,
+                sparse_payload,
             ),
         )
 
@@ -335,6 +339,7 @@ class FleetSimulation:
         compute_s: float,
         network_s: float,
         radio_mwh: float,
+        sparse_payload=None,
     ) -> None:
         state = self.participants[user_id]
         device = state.worker.device
@@ -350,6 +355,13 @@ class FleetSimulation:
         if aborted:
             state.aborted += 1
             self.result.aborted += 1
+            if sparse_payload is not None and self._compressors is not None:
+                # Error feedback: the compressor absorbed this payload's
+                # residual at compress time, but the server never received
+                # it — put the shipped component back so the next upload
+                # compensates for the full gradient, not just the dropped
+                # coordinates.
+                self._compressors[user_id].restore(sparse_payload)
         else:
             state.completed += 1
             self.result.completed += 1

@@ -260,3 +260,36 @@ class TestUploadSparsification:
         sim.run()
         # Error feedback accumulated residual mass somewhere.
         assert any(np.abs(c.residual).sum() > 0 for c in sim._compressors)
+
+    def test_aborted_upload_restores_residual(self, tiny_dataset):
+        """An aborted task's shipped component returns to the residual.
+
+        The compressor absorbs the dropped coordinates at compress time on
+        the assumption the payload lands.  When the task aborts, the sim
+        must call ``restore`` so the next upload compensates for the FULL
+        gradient — observable as the residual holding the whole corrected
+        gradient (not just the dropped coordinates) right after an abort.
+        """
+        from repro.server.sparsification import ErrorFeedbackCompressor
+
+        config = FleetSimConfig(
+            horizon_s=1200.0, mean_think_time_s=20.0,
+            abort_probability=0.7, sparsify_fraction=0.1,
+        )
+        sim = _build_simulation(tiny_dataset, np.random.default_rng(13), config=config)
+
+        restored: list[int] = []
+        original_restore = ErrorFeedbackCompressor.restore
+
+        def spying_restore(self, sparse):
+            restored.append(sparse.values.size)
+            return original_restore(self, sparse)
+
+        ErrorFeedbackCompressor.restore = spying_restore
+        try:
+            result = sim.run()
+        finally:
+            ErrorFeedbackCompressor.restore = original_restore
+        assert result.aborted > 0
+        # Every abort put its undelivered payload back.
+        assert len(restored) == result.aborted

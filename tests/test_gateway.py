@@ -413,3 +413,61 @@ class TestThroughputAccounting:
 
         assert drive(2, 8) > drive(1, 8)
         assert drive(1, 8) > drive(1, 1)
+
+
+class TestLaneLifecycle:
+    """Micro-batcher lanes must not outlive their shard (the leak fix)."""
+
+    def test_flush_removes_lane_entry(self):
+        batcher = MicroBatcher(VectorCodec(precision="f64"), max_batch=8)
+        batcher.add("s", _result(0, np.ones(DIM)), now=0.0)
+        assert "s" in batcher._lanes
+        assert len(batcher.flush("s")) == 1
+        # No empty lane is re-inserted for due() to rescan forever.
+        assert "s" not in batcher._lanes
+        assert batcher.flush("s") == []
+
+    def test_drop_discards_pending_entries(self):
+        batcher = MicroBatcher(VectorCodec(precision="f64"), max_batch=8)
+        batcher.add("s", _result(0, np.ones(DIM)), now=0.0)
+        batcher.drop("s")
+        assert batcher.pending("s") == 0
+        assert batcher.flush("s") == []
+        batcher.drop("s")  # idempotent on unknown shards
+
+    def test_due_ignores_flushed_and_dropped_lanes(self):
+        batcher = MicroBatcher(
+            VectorCodec(precision="f64"), max_batch=100, max_delay_s=1.0
+        )
+        batcher.add("a", _result(0, np.ones(DIM)), now=0.0)
+        batcher.add("b", _result(1, np.ones(DIM)), now=0.0)
+        batcher.flush("a")
+        batcher.drop("b")
+        assert batcher.due(now=100.0) == []
+
+    def test_remove_shard_leaves_no_lane_behind(self):
+        gateway = _gateway(3, batch_size=100, batch_deadline_s=1e9, sync_every_s=1e9)
+        rng = np.random.default_rng(3)
+        # Park pending-but-unflushed results on every shard's lane.
+        for i in range(12):
+            gateway.handle_result(_result(i, rng.normal(size=DIM)), now=0.0)
+        assert gateway.batcher.total_pending() > 0
+        gateway.remove_shard("shard-1", now=1.0)
+        assert "shard-1" not in gateway.batcher._lanes
+        assert gateway.batcher.pending("shard-1") == 0
+        # Remaining shards' lanes are intact.
+        assert set(gateway.batcher._lanes) <= {"shard-0", "shard-2"}
+
+    def test_uniform_lane_decodes_to_contiguous_matrix(self):
+        batcher = MicroBatcher(VectorCodec(precision="f64"), max_batch=8)
+        rng = np.random.default_rng(4)
+        gradients = [rng.normal(size=DIM) for _ in range(3)]
+        for i, gradient in enumerate(gradients):
+            batcher.add("s", _result(i, gradient), now=0.0)
+        batch = batcher.flush("s")
+        base = batch[0].gradient
+        for decoded, original, row in zip(batch, gradients, range(3)):
+            np.testing.assert_array_equal(decoded.gradient, original)
+            # Every row is a view into one (B, D) allocation.
+            assert decoded.gradient.base is not None
+            assert np.shares_memory(decoded.gradient, base.base)

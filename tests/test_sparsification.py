@@ -101,3 +101,60 @@ class TestSGDWithSparsification:
             grad = 2.0 * (x - target)
             x = x - 0.2 * compressor.compress(grad).densify()
         assert np.abs(x - target).max() < 0.05
+
+
+class TestAbortRestore:
+    """Error feedback must not lose the shipped component of an aborted upload."""
+
+    def test_restore_recovers_full_residual(self):
+        compressor = ErrorFeedbackCompressor(dimension=4, k=1)
+        grad = np.array([10.0, 1.0, 2.0, 3.0])
+        sparse = compressor.compress(grad)
+        # compress() assumed the payload reaches the server; the upload
+        # aborted, so the shipped component goes back into the residual.
+        compressor.restore(sparse)
+        assert np.allclose(compressor.residual, grad)
+
+    def test_next_upload_compensates_for_aborted_one(self):
+        rng = np.random.default_rng(7)
+        aborted_then_sent = ErrorFeedbackCompressor(dimension=12, k=3)
+        never_compressed = ErrorFeedbackCompressor(dimension=12, k=3)
+        lost_grad = rng.normal(size=12)
+        sparse = aborted_then_sent.compress(lost_grad)
+        aborted_then_sent.restore(sparse)
+        never_compressed.residual[:] = lost_grad
+        # After restore, the compressor behaves as if the aborted gradient
+        # had only ever lived in the residual: the next compress emits the
+        # same payload either way.
+        next_grad = rng.normal(size=12)
+        a = aborted_then_sent.compress(next_grad)
+        b = never_compressed.compress(next_grad)
+        assert np.array_equal(np.sort(a.indices), np.sort(b.indices))
+        assert np.allclose(a.densify(), b.densify())
+        assert np.allclose(aborted_then_sent.residual, never_compressed.residual)
+
+    def test_nothing_lost_with_aborts(self):
+        """Conservation holds when a random subset of uploads never lands."""
+        rng = np.random.default_rng(3)
+        compressor = ErrorFeedbackCompressor(dimension=20, k=3)
+        total_in = np.zeros(20)
+        total_delivered = np.zeros(20)
+        for round_index in range(60):
+            grad = rng.normal(size=20)
+            total_in += grad
+            sparse = compressor.compress(grad)
+            if round_index % 3 == 0:  # this upload aborts mid-flight
+                compressor.restore(sparse)
+            else:
+                total_delivered += sparse.densify()
+        assert np.allclose(
+            total_in, total_delivered + compressor.residual, atol=1e-9
+        )
+
+    def test_restore_dimension_mismatch(self):
+        compressor = ErrorFeedbackCompressor(dimension=10, k=2)
+        wrong = SparseGradient(
+            indices=np.array([0]), values=np.array([1.0]), dimension=5
+        )
+        with pytest.raises(ValueError):
+            compressor.restore(wrong)

@@ -1,0 +1,589 @@
+"""Equivalence suite: vectorized aggregation vs the scalar reference oracle.
+
+The server ships two aggregation backends — the default batched hot path
+(``vectorized=True``: one ``(B, D)`` stack, array-valued Λ/similarity, a
+single ``weights @ stacked`` fold) and the per-update scalar loop kept as
+the reference oracle.  Both implement the same per-batch weighting
+semantics: every gradient in a window is weighted against the same clock,
+dampening-strategy snapshot and LD_global snapshot, with staleness
+observations and LD_global contributions folded in only after all weights
+are computed.  This suite drives identical update streams through paired
+servers and asserts the two backends agree — parameters, weights,
+staleness, clock, rejection counts — across every algorithm preset,
+similarity on/off, robust rules, and ``drop_zero_weight`` edge cases; plus
+the regression tests for the mid-batch adaptive-dampening drift bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adasgd import (
+    AppliedLog,
+    AppliedUpdate,
+    GradientUpdate,
+    StalenessAwareServer,
+    make_adasgd,
+    make_dynsgd,
+    make_fedavg,
+    make_ssgd,
+)
+from repro.core.dampening import DropStale
+from repro.core.robust import coordinate_median, krum, trimmed_mean
+from repro.core.similarity import GlobalLabelTracker
+
+DIM = 16
+NUM_LABELS = 5
+
+
+def _update(rng, pull_step, labels=True, worker=None, gradient=None):
+    return GradientUpdate(
+        gradient=(
+            rng.normal(size=DIM) if gradient is None else np.asarray(gradient, float)
+        ),
+        pull_step=pull_step,
+        label_counts=rng.integers(0, 8, size=NUM_LABELS).astype(float)
+        if labels
+        else None,
+        worker_id=worker,
+    )
+
+
+def _assert_equivalent(vec: StalenessAwareServer, ref: StalenessAwareServer):
+    """Full observable-state agreement between the two backends."""
+    assert vec.clock == ref.clock
+    assert vec.rejected_count == ref.rejected_count
+    assert vec.buffered_count == ref.buffered_count
+    np.testing.assert_allclose(
+        vec.current_parameters(), ref.current_parameters(), rtol=1e-10, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        vec.applied_weights(), ref.applied_weights(), rtol=1e-12, atol=1e-15
+    )
+    np.testing.assert_array_equal(vec.applied_staleness(), ref.applied_staleness())
+    np.testing.assert_allclose(
+        vec.applied.similarity(), ref.applied.similarity(), rtol=1e-12, atol=1e-15
+    )
+    np.testing.assert_allclose(
+        vec.applied.dampening(), ref.applied.dampening(), rtol=1e-12, atol=1e-15
+    )
+    np.testing.assert_array_equal(vec.applied.steps(), ref.applied.steps())
+    if vec.similarity_tracker is not None and ref.similarity_tracker is not None:
+        np.testing.assert_allclose(
+            vec.similarity_tracker.counts, ref.similarity_tracker.counts, rtol=1e-12
+        )
+
+
+def _drive(server: StalenessAwareServer, seed: int = 7, rounds: int = 6):
+    """A mixed workload: singles, micro-batches, stale and fresh updates."""
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        server.submit(_update(rng, pull_step=server.clock))
+    for round_index in range(rounds):
+        clock = server.clock
+        batch = [
+            _update(
+                rng,
+                pull_step=max(0, clock - int(rng.integers(0, clock + 1))),
+                labels=bool(rng.integers(0, 2)),
+                worker=int(rng.integers(0, 50)),
+            )
+            for _ in range(int(rng.integers(1, 9)))
+        ]
+        server.submit_many(batch)
+        if round_index % 2 == 0:
+            server.submit(_update(rng, pull_step=max(0, server.clock - 1)))
+
+
+def _pair(factory):
+    return factory(vectorized=True), factory(vectorized=False)
+
+
+class TestPresetEquivalence:
+    """All four algorithm presets agree between backends."""
+
+    def test_adasgd(self):
+        def build(vectorized):
+            server = make_adasgd(
+                np.zeros(DIM),
+                num_labels=NUM_LABELS,
+                learning_rate=0.1,
+                initial_tau_thres=6.0,
+                similarity_bootstrap_samples=8.0,
+            )
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        _drive(vec)
+        _drive(ref)
+        _assert_equivalent(vec, ref)
+
+    def test_adasgd_similarity_off(self):
+        def build(vectorized):
+            server = make_adasgd(
+                np.zeros(DIM),
+                num_labels=NUM_LABELS,
+                learning_rate=0.1,
+                boost_similarity=False,
+                initial_tau_thres=6.0,
+            )
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        _drive(vec, seed=11)
+        _drive(ref, seed=11)
+        _assert_equivalent(vec, ref)
+
+    def test_adasgd_adaptive_bootstrap_crossing(self):
+        """Equivalence holds while the adaptive Λ crosses its bootstrap."""
+
+        def build(vectorized):
+            server = make_adasgd(
+                np.zeros(DIM), num_labels=NUM_LABELS, learning_rate=0.05
+            )
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        _drive(vec, seed=3, rounds=14)  # > 30 observations: crosses min_samples
+        _drive(ref, seed=3, rounds=14)
+        _assert_equivalent(vec, ref)
+
+    @pytest.mark.parametrize(
+        "preset", [make_dynsgd, make_fedavg, make_ssgd], ids=["dynsgd", "fedavg", "ssgd"]
+    )
+    def test_fixed_dampening_presets(self, preset):
+        def build(vectorized):
+            server = preset(np.zeros(DIM), learning_rate=0.1)
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        _drive(vec, seed=23)
+        _drive(ref, seed=23)
+        _assert_equivalent(vec, ref)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_aggregation_windows(self, k):
+        def build(vectorized):
+            server = make_dynsgd(np.zeros(DIM), learning_rate=0.1, aggregation_k=k)
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        _drive(vec, seed=31)
+        _drive(ref, seed=31)
+        _assert_equivalent(vec, ref)
+
+
+class TestRobustRules:
+    @pytest.mark.parametrize(
+        "rule",
+        [coordinate_median, lambda g: trimmed_mean(g, trim=1), krum],
+        ids=["median", "trimmed-mean", "krum"],
+    )
+    def test_robust_rule_equivalence(self, rule):
+        def build(vectorized):
+            return StalenessAwareServer(
+                np.zeros(DIM),
+                dampening="adaptive",
+                learning_rate=0.1,
+                robust_rule=rule,
+                initial_tau_thres=8.0,
+                vectorized=vectorized,
+            )
+
+        rng_vec, rng_ref = np.random.default_rng(5), np.random.default_rng(5)
+        vec, ref = _pair(build)
+        for _ in range(5):
+            batch_vec = [_update(rng_vec, pull_step=0, worker=i) for i in range(5)]
+            batch_ref = [_update(rng_ref, pull_step=0, worker=i) for i in range(5)]
+            vec.submit_many(batch_vec)
+            ref.submit_many(batch_ref)
+        _assert_equivalent(vec, ref)
+
+    def test_robust_single_survivor_skips_rule(self):
+        """A batch reduced to one row bypasses the rule in both backends."""
+
+        def build(vectorized):
+            return StalenessAwareServer(
+                np.zeros(DIM),
+                dampening=DropStale(max_staleness=2),
+                learning_rate=1.0,
+                robust_rule=coordinate_median,
+                vectorized=vectorized,
+            )
+
+        vec, ref = _pair(build)
+        for server in (vec, ref):
+            for step in range(4):  # advance the clock to 4
+                server.submit(
+                    _update(np.random.default_rng(step), pull_step=server.clock)
+                )
+        rng_vec, rng_ref = np.random.default_rng(9), np.random.default_rng(9)
+        # One fresh row survives; the stale row gets weight 0 and is dropped.
+        vec.submit_many(
+            [_update(rng_vec, pull_step=4), _update(rng_vec, pull_step=0)]
+        )
+        ref.submit_many(
+            [_update(rng_ref, pull_step=4), _update(rng_ref, pull_step=0)]
+        )
+        _assert_equivalent(vec, ref)
+
+
+class TestDropZeroWeight:
+    def _build(self, vectorized, drop):
+        return StalenessAwareServer(
+            np.ones(DIM),
+            dampening=DropStale(max_staleness=1),
+            learning_rate=0.5,
+            drop_zero_weight=drop,
+            vectorized=vectorized,
+        )
+
+    def _advance(self, server, steps=3):
+        for step in range(steps):
+            server.submit(
+                _update(np.random.default_rng(step), pull_step=server.clock)
+            )
+
+    @pytest.mark.parametrize("drop", [True, False], ids=["drop", "keep"])
+    def test_mixed_zero_weight_batch(self, drop):
+        vec, ref = self._build(True, drop), self._build(False, drop)
+        self._advance(vec)
+        self._advance(ref)
+        rng_vec, rng_ref = np.random.default_rng(2), np.random.default_rng(2)
+        for server, rng in ((vec, rng_vec), (ref, rng_ref)):
+            server.submit_many(
+                [
+                    _update(rng, pull_step=3, worker=0),  # fresh: weight 1
+                    _update(rng, pull_step=0, worker=1),  # stale: weight 0
+                    _update(rng, pull_step=2, worker=2),  # τ=1: weight 1
+                ]
+            )
+        _assert_equivalent(vec, ref)
+        if drop:
+            assert len(vec.applied) == 3 + 2  # zero-weight row dropped
+            assert vec.rejected_count == 1
+        else:
+            assert len(vec.applied) == 3 + 3  # zero-weight row recorded
+            assert vec.rejected_count == 0
+
+    def test_all_zero_weight_batch_applies_nothing(self):
+        vec, ref = self._build(True, True), self._build(False, True)
+        self._advance(vec)
+        self._advance(ref)
+        rng_vec, rng_ref = np.random.default_rng(4), np.random.default_rng(4)
+        before_vec = vec.current_parameters()
+        vec.submit_many([_update(rng_vec, pull_step=0), _update(rng_vec, pull_step=0)])
+        ref.submit_many([_update(rng_ref, pull_step=0), _update(rng_ref, pull_step=0)])
+        np.testing.assert_array_equal(vec.current_parameters(), before_vec)
+        _assert_equivalent(vec, ref)
+        assert vec.clock == 3  # no model update happened
+        assert vec.rejected_count == 2
+
+
+class TestSubmitManyMechanics:
+    def test_nan_inf_rows_rejected_identically(self):
+        vec, ref = (
+            make_fedavg(np.zeros(DIM), learning_rate=0.1),
+            make_fedavg(np.zeros(DIM), learning_rate=0.1),
+        )
+        ref.vectorized = False
+        rng = np.random.default_rng(6)
+        good = rng.normal(size=DIM)
+        batch = [
+            GradientUpdate(gradient=good.copy(), pull_step=0),
+            GradientUpdate(gradient=np.full(DIM, np.nan), pull_step=0),
+            GradientUpdate(gradient=np.full(DIM, np.inf), pull_step=0),
+            GradientUpdate(gradient=good.copy(), pull_step=0),
+        ]
+        assert vec.submit_many(list(batch))
+        assert ref.submit_many(list(batch))
+        _assert_equivalent(vec, ref)
+        assert vec.rejected_count == 2
+
+    def test_all_rejected_batch_returns_false(self):
+        server = make_fedavg(np.zeros(DIM))
+        assert not server.submit_many(
+            [GradientUpdate(gradient=np.full(DIM, np.nan), pull_step=0)]
+        )
+        assert server.clock == 0
+        assert server.rejected_count == 1
+
+    def test_prestacked_matrix_matches_list_path(self):
+        rng = np.random.default_rng(8)
+        batch = [_update(rng, pull_step=0, worker=i) for i in range(6)]
+        stacked = np.stack([u.gradient for u in batch])
+        with_stack = make_dynsgd(np.zeros(DIM), learning_rate=0.1)
+        without = make_dynsgd(np.zeros(DIM), learning_rate=0.1)
+        with_stack.submit_many(batch, stacked=stacked)
+        without.submit_many(batch)
+        np.testing.assert_array_equal(
+            with_stack.current_parameters(), without.current_parameters()
+        )
+
+    def test_prestacked_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(8)
+        batch = [_update(rng, pull_step=0) for _ in range(3)]
+        server = make_dynsgd(np.zeros(DIM))
+        with pytest.raises(ValueError):
+            server.submit_many(batch, stacked=np.zeros((2, DIM)))
+
+    def test_partial_buffer_joins_batch(self):
+        """Updates buffered by submit() fold into the next submit_many."""
+
+        def build(vectorized):
+            server = make_dynsgd(np.zeros(DIM), learning_rate=0.1, aggregation_k=4)
+            server.vectorized = vectorized
+            return server
+
+        vec, ref = _pair(build)
+        rng_vec, rng_ref = np.random.default_rng(12), np.random.default_rng(12)
+        for server, rng in ((vec, rng_vec), (ref, rng_ref)):
+            server.submit(_update(rng, pull_step=0, worker=99))  # buffered, K=4
+            assert server.buffered_count == 1
+            assert server.submit_many(
+                [_update(rng, pull_step=0, worker=i) for i in range(3)]
+            )
+            assert server.buffered_count == 0
+        _assert_equivalent(vec, ref)
+        assert vec.clock == 1  # one window: the buffered update joined
+
+    def test_empty_batch_is_noop(self):
+        server = make_dynsgd(np.zeros(DIM))
+        assert not server.submit_many([])
+        assert server.clock == 0
+
+    @pytest.mark.parametrize("size", [1, 3], ids=["single", "multi"])
+    def test_caller_batch_list_not_mutated(self, size):
+        """submit_many must never empty or alter the caller's list.
+
+        Regression: the vectorized branch adopts the caller's list as the
+        window buffer when every row is finite; the kernel must rebind the
+        buffer, not clear the shared object (a caller may log or retry its
+        batch after submission).
+        """
+        rng = np.random.default_rng(21)
+        batch = [_update(rng, pull_step=0, worker=i) for i in range(size)]
+        server = make_dynsgd(np.zeros(DIM), learning_rate=0.1)
+        assert server.submit_many(batch)
+        assert len(batch) == size
+
+
+class TestPermutationInvariance:
+    """Regression: mid-batch adaptive-dampening drift (the tentpole bugfix).
+
+    Historically ``staleness_tracker.observe()`` ran inside the per-update
+    loop, so an adaptive Λ mutated mid-batch and weights depended on the
+    order gradients happened to sit in the micro-batch.  Both backends now
+    snapshot the strategy once per window and observe afterwards, so the
+    weight assigned to an update is a function of the update and the
+    pre-window server state only.
+    """
+
+    @staticmethod
+    def _adaptive_at_bootstrap_edge(vectorized: bool) -> StalenessAwareServer:
+        """Adaptive server one observation short of bootstrapping.
+
+        The next window's observations cross ``min_samples``: under the
+        old mid-batch-observe code, updates early in the batch were
+        weighted by DynSGD's inverse fallback while later ones saw the
+        freshly bootstrapped exponential Λ — the sharpest form of drift.
+        """
+        server = StalenessAwareServer(
+            np.zeros(DIM),
+            dampening="adaptive",
+            learning_rate=0.1,
+            vectorized=vectorized,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(10):  # 10 windows -> clock 10, 10 observations
+            server.submit(_update(rng, pull_step=server.clock, labels=False))
+        for _ in range(19):  # 29 total: one short of min_samples=30
+            server.staleness_tracker.observe(8.0)
+        assert not server.staleness_tracker.bootstrapped
+        return server
+
+    @staticmethod
+    def _weights_by_worker(server: StalenessAwareServer, step: int) -> dict:
+        return {
+            record.worker_id: record.weight
+            for record in server.applied
+            if record.step == step
+        }
+
+    @pytest.mark.parametrize("vectorized", [True, False], ids=["vectorized", "scalar"])
+    def test_submit_many_weights_permutation_invariant(self, vectorized):
+        rng = np.random.default_rng(21)
+        gradients = [rng.normal(size=DIM) for _ in range(6)]
+        pull_steps = [8, 2, 10, 0, 5, 9]  # staleness 2, 8, 0, 10, 5, 1
+
+        def run(order):
+            server = self._adaptive_at_bootstrap_edge(vectorized)
+            step = server.clock
+            server.submit_many(
+                [
+                    GradientUpdate(
+                        gradient=gradients[i].copy(),
+                        pull_step=pull_steps[i],
+                        worker_id=i,
+                    )
+                    for i in order
+                ]
+            )
+            return self._weights_by_worker(server, step), server.current_parameters()
+
+        forward, params_fwd = run(range(6))
+        backward, params_bwd = run(reversed(range(6)))
+        shuffled, params_shuf = run([3, 0, 5, 1, 4, 2])
+        assert forward.keys() == backward.keys() == shuffled.keys()
+        for worker in forward:
+            assert forward[worker] == pytest.approx(backward[worker], rel=1e-12)
+            assert forward[worker] == pytest.approx(shuffled[worker], rel=1e-12)
+        # The folded model is order-independent too (commutative sum).
+        np.testing.assert_allclose(params_fwd, params_bwd, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(params_fwd, params_shuf, rtol=1e-9, atol=1e-12)
+
+    def test_strategy_snapshot_excludes_in_window_observations(self):
+        """The window's own staleness lands only after weighting."""
+        server = self._adaptive_at_bootstrap_edge(vectorized=True)
+        before = server.staleness_tracker.num_observations
+        server.submit_many(
+            [
+                GradientUpdate(gradient=np.ones(DIM), pull_step=0, worker_id=0),
+                GradientUpdate(gradient=np.ones(DIM), pull_step=10, worker_id=1),
+            ]
+        )
+        # Both updates were weighted by the pre-window inverse fallback
+        # (tracker not yet bootstrapped), even though the window itself
+        # pushed the tracker past min_samples.
+        assert server.staleness_tracker.num_observations == before + 2
+        assert server.staleness_tracker.bootstrapped
+        weights = self._weights_by_worker(server, 10)
+        assert weights[0] == pytest.approx(1.0 / (10.0 + 1.0))  # τ=10 inverse
+        assert weights[1] == pytest.approx(1.0)  # τ=0
+
+    def test_vectorized_and_scalar_agree_at_bootstrap_edge(self):
+        vec = self._adaptive_at_bootstrap_edge(vectorized=True)
+        ref = self._adaptive_at_bootstrap_edge(vectorized=False)
+        rng = np.random.default_rng(33)
+        batch = [
+            GradientUpdate(
+                gradient=rng.normal(size=DIM), pull_step=p, worker_id=i
+            )
+            for i, p in enumerate([0, 3, 7, 10])
+        ]
+        vec.submit_many([GradientUpdate(u.gradient.copy(), u.pull_step, None, u.worker_id) for u in batch])
+        ref.submit_many([GradientUpdate(u.gradient.copy(), u.pull_step, None, u.worker_id) for u in batch])
+        _assert_equivalent(vec, ref)
+
+
+class TestAppliedLog:
+    """The structure-of-arrays applied log keeps the record surface."""
+
+    def test_append_and_getitem_roundtrip(self):
+        log = AppliedLog(capacity=2)
+        records = [
+            AppliedUpdate(
+                step=i,
+                staleness=float(i),
+                similarity=0.5,
+                dampening=0.25,
+                weight=0.125,
+                worker_id=None if i % 2 else i,
+            )
+            for i in range(9)  # forces two capacity doublings
+        ]
+        for record in records:
+            log.append(record)
+        assert len(log) == 9
+        assert list(log) == records
+        assert log[-1] == records[-1]
+        with pytest.raises(IndexError):
+            log[9]
+        with pytest.raises(IndexError):
+            log[-10]
+
+    def test_append_batch_matches_scalar_appends(self):
+        batched, scalar = AppliedLog(), AppliedLog()
+        staleness = np.array([0.0, 1.0, 2.0])
+        similarity = np.array([1.0, 0.5, 0.25])
+        dampening = np.array([1.0, 0.5, 0.33])
+        weight = np.array([1.0, 0.25, 0.08])
+        worker_ids = np.array([7.0, np.nan, 9.0])
+        batched.append_batch(
+            step=4,
+            staleness=staleness,
+            similarity=similarity,
+            dampening=dampening,
+            weight=weight,
+            worker_ids=worker_ids,
+        )
+        for i in range(3):
+            scalar.append(
+                AppliedUpdate(
+                    step=4,
+                    staleness=staleness[i],
+                    similarity=similarity[i],
+                    dampening=dampening[i],
+                    weight=weight[i],
+                    worker_id=None if np.isnan(worker_ids[i]) else int(worker_ids[i]),
+                )
+            )
+        assert list(batched) == list(scalar)
+        np.testing.assert_array_equal(batched.weights(), scalar.weights())
+        np.testing.assert_array_equal(batched.staleness(), scalar.staleness())
+
+    def test_column_accessors_return_copies(self):
+        log = AppliedLog()
+        log.append(
+            AppliedUpdate(
+                step=0, staleness=1.0, similarity=1.0, dampening=1.0, weight=1.0
+            )
+        )
+        weights = log.weights()
+        weights[...] = -1.0
+        assert log.weights()[0] == 1.0
+
+
+class TestBatchedTrackerHelpers:
+    """The array-capable building blocks agree with their scalar kernels."""
+
+    def test_similarity_many_matches_scalar(self):
+        tracker = GlobalLabelTracker(NUM_LABELS, bootstrap_samples=1.0)
+        rng = np.random.default_rng(14)
+        tracker.update(rng.integers(1, 10, size=NUM_LABELS).astype(float))
+        counts = rng.integers(0, 6, size=(8, NUM_LABELS)).astype(float)
+        counts[3] = 0.0  # zero histogram row
+        batched = tracker.similarity_many(counts)
+        scalar = np.array([tracker.similarity(row) for row in counts])
+        np.testing.assert_allclose(batched, scalar, rtol=1e-12)
+
+    def test_similarity_many_bootstrap_neutral(self):
+        tracker = GlobalLabelTracker(NUM_LABELS, bootstrap_samples=1e9)
+        scores = tracker.similarity_many(np.ones((4, NUM_LABELS)))
+        np.testing.assert_array_equal(scores, np.ones(4))
+
+    def test_update_many_matches_scalar_updates(self):
+        rng = np.random.default_rng(15)
+        counts = rng.integers(0, 6, size=(5, NUM_LABELS)).astype(float)
+        weights = rng.uniform(0.0, 1.0, size=5)
+        batched = GlobalLabelTracker(NUM_LABELS)
+        scalar = GlobalLabelTracker(NUM_LABELS)
+        batched.update_many(counts, weights)
+        for row, weight in zip(counts, weights):
+            scalar.update(row, weight=float(weight))
+        np.testing.assert_allclose(batched.counts, scalar.counts, rtol=1e-12)
+
+    def test_update_many_validation(self):
+        tracker = GlobalLabelTracker(NUM_LABELS)
+        with pytest.raises(ValueError):
+            tracker.update_many(np.ones((2, NUM_LABELS + 1)), np.ones(2))
+        with pytest.raises(ValueError):
+            tracker.update_many(np.ones((2, NUM_LABELS)), np.ones(3))
+        with pytest.raises(ValueError):
+            tracker.update_many(np.ones((2, NUM_LABELS)), np.array([0.5, -0.1]))
