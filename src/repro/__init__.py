@@ -16,6 +16,9 @@ Subpackages
 ``repro.gateway``
     The serving tier: consistent-hash routing, micro-batching,
     backpressure and model sync across many ``FleetServer`` shards.
+``repro.runtime``
+    The elastic async serving runtime: per-shard worker lanes behind
+    bounded queues, and queue-driven autoscaling of the gateway tier.
 ``repro.devices``
     Simulated Android device fleet (latency/energy/thermal models).
 ``repro.nn``

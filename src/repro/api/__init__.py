@@ -15,6 +15,7 @@ from repro.api.builder import (
     apply_stage_specs,
     parse_stage_spec,
 )
+from repro.runtime import ElasticityPolicy, RuntimeSpec
 from repro.server.stages import (
     ABRoutingStage,
     AdmissionStage,
@@ -30,6 +31,8 @@ from repro.server.stages import (
 __all__ = [
     "FleetBuilder",
     "ServerSpec",
+    "RuntimeSpec",
+    "ElasticityPolicy",
     "parse_stage_spec",
     "apply_stage_specs",
     "STAGE_SPEC_HELP",

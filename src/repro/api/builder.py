@@ -40,6 +40,7 @@ from repro.core.adasgd import (
     make_ssgd,
 )
 from repro.profiler.iprof import IProf, SLO
+from repro.runtime import RuntimeSpec
 from repro.server.ab_testing import ABThresholdTuner
 from repro.server.controller import Controller
 from repro.server.server import FleetServer
@@ -83,6 +84,10 @@ class ServerSpec:
     profiler_factory: Callable[[], IProf]
     slo: SLO
     stage_factories: tuple[tuple[str, Callable[[], object]], ...] = ()
+    # Tier-level serving-runtime recipe (worker lanes, bounded queues,
+    # autoscaling): ignored by ``build()`` — a single server has no tier —
+    # and picked up by ``Gateway.from_spec``.
+    runtime: RuntimeSpec | None = None
 
     def build(self, index: int = 0) -> FleetServer:
         """One fresh, fully independent server (``index`` is cosmetic)."""
@@ -135,6 +140,7 @@ class FleetBuilder:
         self._profiler_factory: Callable[[], IProf] = IProf
         self._slo = SLO(time_seconds=3.0)
         self._stage_factories: list[tuple[str, Callable[[], object]]] = []
+        self._runtime: RuntimeSpec | None = None
 
     # ------------------------------------------------------------------
     # Model / optimizer / profiler / SLO
@@ -289,6 +295,23 @@ class FleetBuilder:
         return self
 
     # ------------------------------------------------------------------
+    # Serving runtime (tier-level, consumed by Gateway.from_spec)
+    # ------------------------------------------------------------------
+    def runtime(self, spec: RuntimeSpec | None = None, **kwargs) -> "FleetBuilder":
+        """Attach a serving-runtime recipe to the spec.
+
+        Pass a ready :class:`RuntimeSpec`, or keyword knobs (``mode``,
+        ``executor``, ``workers``, ``queue_capacity``, ``autoscale``) to
+        build one.  The runtime rides on the :class:`ServerSpec` so
+        ``Gateway.from_spec(n, spec)`` assembles the async lanes and the
+        autoscaler without a separate argument; ``build()`` ignores it.
+        """
+        if spec is not None and kwargs:
+            raise ValueError("pass a RuntimeSpec or knobs, not both")
+        self._runtime = spec if spec is not None else RuntimeSpec(**kwargs)
+        return self
+
+    # ------------------------------------------------------------------
     # Custom stages
     # ------------------------------------------------------------------
     @staticmethod
@@ -342,6 +365,7 @@ class FleetBuilder:
             profiler_factory=self._profiler_factory,
             slo=self._slo,
             stage_factories=tuple(self._stage_factories),
+            runtime=self._runtime,
         )
 
     def build(self) -> FleetServer:

@@ -9,6 +9,7 @@ Usage::
     python -m repro dampening --tau-thres 12
     python -m repro fleet-sim --users 20 --hours 1
     python -m repro gateway-sim --shards 4 --batch-size 4
+    python -m repro gateway-sim --runtime async --autoscale --max-shards 8
     python -m repro freshness --users 16
 
 Every command prints a compact textual report; the benchmark suite in
@@ -253,7 +254,13 @@ def _cmd_fleet_sim(args: argparse.Namespace) -> int:
 
 
 def _cmd_gateway_sim(args: argparse.Namespace) -> int:
-    from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
+    from repro.gateway import (
+        AggregationCostModel,
+        ElasticityPolicy,
+        Gateway,
+        GatewayConfig,
+        RuntimeSpec,
+    )
     from repro.server.telemetry import MetricsRegistry
     from repro.simulation import FleetSimConfig, FleetSimulation
 
@@ -261,30 +268,61 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         args.seed, args.users, stage_specs=args.stage,
         telemetry_registry=MetricsRegistry(),
     )
+    # With --autoscale, --admission-rate is per shard (the controller
+    # retunes the bucket to rate × shards on every scaling event);
+    # without it, the flag stays the tier-wide rate it always was.
+    admission_rate = args.admission_rate
+    runtime = None
+    if args.runtime == "async" or args.autoscale:
+        policy = None
+        if args.autoscale:
+            policy = ElasticityPolicy(
+                min_shards=1,
+                max_shards=args.max_shards,
+                window_s=args.autoscale_window,
+                cooldown_s=args.autoscale_window,
+                admission_rate_per_shard=args.admission_rate,
+            )
+            if args.admission_rate is not None:
+                admission_rate = args.admission_rate * args.shards
+        runtime = RuntimeSpec(
+            mode=args.runtime,
+            executor="virtual",
+            queue_capacity=args.queue_capacity,
+            autoscale=policy,
+        )
     gateway = Gateway.from_spec(
         args.shards, spec,
         GatewayConfig(
             batch_size=args.batch_size,
             batch_deadline_s=args.batch_deadline,
             sync_every_s=args.sync_every,
-            admission_rate_per_s=args.admission_rate,
+            admission_rate_per_s=admission_rate,
         ),
         cost_model=AggregationCostModel(),
+        runtime=runtime,
     )
     simulation = FleetSimulation(
         server=gateway, model=model, dataset=dataset, partition=partition,
         rng=rng,
-        config=FleetSimConfig(horizon_s=args.hours * 3600.0,
-                              mean_think_time_s=args.think_time),
+        config=FleetSimConfig(
+            horizon_s=args.hours * 3600.0,
+            mean_think_time_s=args.think_time,
+            heartbeat_s=args.autoscale_window / 2 if args.autoscale else None,
+        ),
     )
     result = simulation.run()
-    print(f"{args.shards} shards, batch {args.batch_size}: "
+    print(f"{args.shards} shards ({args.runtime}), batch {args.batch_size}: "
           f"{result.completed} tasks completed, {result.aborted} aborted, "
           f"{gateway.requests_shed()} shed, {gateway.clock} model updates, "
           f"final accuracy {result.final_accuracy():.3f}")
     print(f"serving-tier throughput {gateway.virtual_throughput():.2f} results/s "
           f"(virtual), upload compression {gateway.batcher.compression_ratio():.1f}x")
     print(gateway.report())
+    if gateway.autoscaler is not None:
+        # The scaling-event timeline itself is part of gateway.report().
+        print(f"autoscaler: {gateway.num_shards} shards at end, "
+              f"{len(gateway.autoscaler.events)} scaling events")
     _print_pipeline_summary(gateway)
     return 0
 
@@ -381,7 +419,20 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--batch-deadline", type=float, default=30.0)
     gateway.add_argument("--sync-every", type=float, default=300.0)
     gateway.add_argument("--admission-rate", type=float, default=None,
-                         help="token-bucket rate (requests/s); omit to disable")
+                         help="token-bucket rate (requests/s; per shard "
+                              "with --autoscale); omit to disable")
+    gateway.add_argument("--runtime", choices=["sync", "async"], default="sync",
+                         help="micro-batch delivery: on the caller's thread "
+                              "(sync) or per-shard worker lanes (async)")
+    gateway.add_argument("--autoscale", action="store_true",
+                         help="auto add/remove shards from queue signals "
+                              "(--shards is the starting count)")
+    gateway.add_argument("--max-shards", type=int, default=8,
+                         help="autoscaler upper bound")
+    gateway.add_argument("--autoscale-window", type=float, default=60.0,
+                         help="autoscaler observation window (virtual s)")
+    gateway.add_argument("--queue-capacity", type=int, default=64,
+                         help="pending micro-batches per shard lane (async)")
     gateway.add_argument("--stage", action="append", default=None,
                          metavar="SPEC", help=STAGE_SPEC_HELP)
     gateway.add_argument("--seed", type=int, default=0)

@@ -133,6 +133,55 @@ class AppliedUpdate:
     worker_id: int | None = None
 
 
+class _ReservoirTail:
+    """Uniform reservoir sample (Algorithm R) over spilled log rows.
+
+    Keeps a fixed-size, statistically uniform sample of every row ever
+    evicted from a windowed :class:`AppliedLog`, so tail statistics
+    (staleness/weight percentiles over a week-long run) stay answerable
+    in O(reservoir) memory.  Deterministic for a fixed seed.
+    """
+
+    def __init__(self, size: int, num_columns: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError("reservoir size must be positive")
+        self._rows = np.empty((size, num_columns), dtype=np.float64)
+        self._filled = 0
+        self._seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    def offer_block(self, block: np.ndarray) -> None:
+        """Fold a ``(B, C)`` block of evicted rows into the sample.
+
+        Vectorized Algorithm R: one RNG call draws every row's slot
+        (row i of the block, the ``seen + i``-th offer overall, draws
+        uniformly from ``[0, seen + i + 1)``), equivalent to offering the
+        rows one at a time — this sits on the aggregation hot path, so no
+        per-row Python dispatch.
+        """
+        size = self._rows.shape[0]
+        if self._filled < size:
+            take = min(size - self._filled, block.shape[0])
+            self._rows[self._filled : self._filled + take] = block[:take]
+            self._filled += take
+            self._seen += take
+            block = block[take:]
+        count = block.shape[0]
+        if count == 0:
+            return
+        slots = self._rng.integers(0, self._seen + 1 + np.arange(count))
+        for index in np.flatnonzero(slots < size):
+            # Sequential semantics (a later offer overwrites an earlier
+            # one landing in the same slot); accepted rows are rare once
+            # seen ≫ size, so this loop is short.
+            self._rows[slots[index]] = block[index]
+        self._seen += count
+
+    def sample(self) -> np.ndarray:
+        """The current sample as a ``(filled, C)`` matrix (a copy)."""
+        return self._rows[: self._filled].copy()
+
+
 class AppliedLog:
     """Structure-of-arrays log of every gradient folded into the model.
 
@@ -142,14 +191,39 @@ class AppliedLog:
     of an ever-growing list of :class:`AppliedUpdate` objects.  Iteration
     and indexing materialize ``AppliedUpdate`` records on demand, keeping
     the record-oriented surface for callers that want it.
+
+    **Bounded-memory mode.**  ``window`` of N keeps only the N most recent
+    rows exactly (the figure pipelines' percentiles stay exact within the
+    window); older rows spill into a fixed-size uniform reservoir
+    (``spill_reservoir`` rows, Algorithm R) that preserves unbiased tail
+    statistics over the whole run — so a week-long serving run holds
+    O(window + reservoir) memory instead of growing without bound.
+    Column accessors and ``len`` cover the window; :meth:`spill_sample`
+    and :meth:`percentile` reach the spilled past.
     """
 
     _COLUMNS = ("step", "staleness", "similarity", "dampening", "weight")
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        window: int | None = None,
+        spill_reservoir: int = 1024,
+        spill_seed: int = 0,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive")
         self._size = 0
+        self._start = 0  # first live row (rows before it were spilled)
+        self._window = window
+        self._spilled = 0
+        self._spill = (
+            _ReservoirTail(spill_reservoir, len(self._COLUMNS), seed=spill_seed)
+            if window is not None
+            else None
+        )
         self._step = np.empty(capacity, dtype=np.int64)
         self._staleness = np.empty(capacity, dtype=np.float64)
         self._similarity = np.empty(capacity, dtype=np.float64)
@@ -158,11 +232,27 @@ class AppliedLog:
         # NaN encodes "no worker id" so the column stays a flat float array.
         self._worker_id = np.empty(capacity, dtype=np.float64)
 
+    def _compact(self) -> None:
+        """Move the live window back to row 0 (reclaims spilled slots)."""
+        live = self._size - self._start
+        for name in (*self._COLUMNS, "worker_id"):
+            column = getattr(self, f"_{name}")
+            column[:live] = column[self._start : self._size].copy()
+        self._start = 0
+        self._size = live
+
     def _reserve(self, extra: int) -> None:
         needed = self._size + extra
         capacity = self._step.shape[0]
         if needed <= capacity:
             return
+        if self._start > 0:
+            # Windowed mode: reclaim the spilled prefix before growing, so
+            # physical capacity stays bounded by ~window + batch size.
+            self._compact()
+            needed = self._size + extra
+            if needed <= capacity:
+                return
         while capacity < needed:
             capacity *= 2
         for name in (*self._COLUMNS, "worker_id"):
@@ -170,6 +260,29 @@ class AppliedLog:
             grown = np.empty(capacity, dtype=column.dtype)
             grown[: self._size] = column[: self._size]
             setattr(self, f"_{name}", grown)
+
+    def _spill_overflow(self) -> None:
+        """Evict rows beyond the window into the reservoir tail."""
+        if self._window is None:
+            return
+        cut = self._size - self._window
+        if cut <= self._start:
+            return
+        assert self._spill is not None
+        evicted = slice(self._start, cut)
+        self._spill.offer_block(
+            np.column_stack(
+                [
+                    self._step[evicted],
+                    self._staleness[evicted],
+                    self._similarity[evicted],
+                    self._dampening[evicted],
+                    self._weight[evicted],
+                ]
+            )
+        )
+        self._spilled += cut - self._start
+        self._start = cut
 
     def append_batch(
         self,
@@ -191,6 +304,7 @@ class AppliedLog:
         self._weight[lo:hi] = weight
         self._worker_id[lo:hi] = worker_ids
         self._size = hi
+        self._spill_overflow()
 
     def append(self, record: AppliedUpdate) -> None:
         """Append a single record (the scalar reference path)."""
@@ -203,29 +317,89 @@ class AppliedLog:
         self._weight[i] = record.weight
         self._worker_id[i] = np.nan if record.worker_id is None else record.worker_id
         self._size = i + 1
+        self._spill_overflow()
 
     def weights(self) -> np.ndarray:
-        return self._weight[: self._size].copy()
+        return self._weight[self._start : self._size].copy()
 
     def staleness(self) -> np.ndarray:
-        return self._staleness[: self._size].copy()
+        return self._staleness[self._start : self._size].copy()
 
     def similarity(self) -> np.ndarray:
-        return self._similarity[: self._size].copy()
+        return self._similarity[self._start : self._size].copy()
 
     def dampening(self) -> np.ndarray:
-        return self._dampening[: self._size].copy()
+        return self._dampening[self._start : self._size].copy()
 
     def steps(self) -> np.ndarray:
-        return self._step[: self._size].copy()
+        return self._step[self._start : self._size].copy()
+
+    # ------------------------------------------------------------------
+    # Bounded-memory introspection
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> int | None:
+        return self._window
+
+    @property
+    def spilled(self) -> int:
+        """Rows evicted from the exact window (0 in unbounded mode)."""
+        return self._spilled
+
+    @property
+    def total_appended(self) -> int:
+        """Every row ever appended, retained or spilled."""
+        return len(self) + self._spilled
+
+    def spill_sample(self, column: str) -> np.ndarray:
+        """Reservoir sample of one column over the spilled past."""
+        if column not in self._COLUMNS:
+            raise ValueError(f"unknown column {column!r}")
+        if self._spill is None:
+            return np.zeros(0)
+        return self._spill.sample()[:, self._COLUMNS.index(column)]
+
+    def percentile(
+        self, column: str, q: float, include_spilled: bool = True
+    ) -> float:
+        """q-th percentile of a column — exact in-window, sampled beyond.
+
+        With ``include_spilled`` the in-window rows (exact) are pooled
+        with the reservoir sample of the evicted past; each sample row is
+        weighted by the number of spilled rows it represents, so the
+        estimate targets the full-history percentile rather than
+        over-weighting the recent window.  NaN when no data at all.
+        """
+        if column not in self._COLUMNS:
+            raise ValueError(f"unknown column {column!r}")
+        values = np.asarray(
+            getattr(self, f"_{column}")[self._start : self._size],
+            dtype=np.float64,
+        )
+        weights = np.ones(values.size)
+        if include_spilled and self._spill is not None and self._spilled > 0:
+            sample = self.spill_sample(column)
+            if sample.size:
+                values = np.concatenate([values, sample])
+                weights = np.concatenate(
+                    [weights, np.full(sample.size, self._spilled / sample.size)]
+                )
+        if values.size == 0:
+            return float("nan")
+        order = np.argsort(values, kind="stable")
+        values, weights = values[order], weights[order]
+        target = (q / 100.0) * weights.sum()
+        index = int(np.searchsorted(np.cumsum(weights), target))
+        return float(values[min(index, values.size - 1)])
 
     def __len__(self) -> int:
-        return self._size
+        return self._size - self._start
 
     def __getitem__(self, index: int) -> AppliedUpdate:
-        if not -self._size <= index < self._size:
+        live = self._size - self._start
+        if not -live <= index < live:
             raise IndexError("applied log index out of range")
-        index %= self._size
+        index = self._start + (index % live)
         raw_worker = self._worker_id[index]
         return AppliedUpdate(
             step=int(self._step[index]),
@@ -237,7 +411,7 @@ class AppliedLog:
         )
 
     def __iter__(self):
-        for index in range(self._size):
+        for index in range(self._size - self._start):
             yield self[index]
 
 
@@ -267,6 +441,10 @@ class StalenessAwareServer:
         equivalence tests and the throughput benchmark.  Both backends
         implement identical per-batch weighting semantics (see
         :meth:`_apply_buffer`).
+    applied_log_window:
+        Bound the applied-gradient log to this many exact recent rows;
+        older rows spill into a reservoir tail (see :class:`AppliedLog`).
+        None (default) keeps the full history.
     """
 
     def __init__(
@@ -283,6 +461,7 @@ class StalenessAwareServer:
         drop_zero_weight: bool = True,
         robust_rule=None,
         vectorized: bool = True,
+        applied_log_window: int | None = None,
     ) -> None:
         if aggregation_k <= 0:
             raise ValueError("aggregation_k must be positive")
@@ -316,7 +495,9 @@ class StalenessAwareServer:
             )
             self._fixed_dampening = dampening
 
-        self.applied = AppliedLog()
+        # ``applied_log_window`` bounds the log's memory for long serving
+        # runs: exact rows within the window, reservoir tail beyond it.
+        self.applied = AppliedLog(window=applied_log_window)
         self.rejected_count = 0
 
     # ------------------------------------------------------------------

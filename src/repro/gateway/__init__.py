@@ -10,11 +10,14 @@ from repro.gateway.batching import (
 from repro.gateway.gateway import AggregationCostModel, Gateway, GatewayConfig
 from repro.gateway.hashing import ConsistentHashRing
 from repro.gateway.sync import ShardSynchronizer, SyncRecord
+from repro.runtime import ElasticityPolicy, RuntimeSpec
 
 __all__ = [
     "Gateway",
     "GatewayConfig",
     "AggregationCostModel",
+    "RuntimeSpec",
+    "ElasticityPolicy",
     "ConsistentHashRing",
     "MicroBatcher",
     "EncodedResult",

@@ -41,6 +41,23 @@ class TokenBucket:
         self._tokens = min(self.capacity, self._tokens + elapsed * self.rate_per_s)
         self._last_refill = now
 
+    def set_rate(self, rate_per_s: float, now: float) -> None:
+        """Retune the refill rate in place (live admission retuning).
+
+        Refill-then-rescale: tokens accrued so far are settled at the OLD
+        rate up to ``now``, then the rate changes and the burst budget is
+        rescaled proportionally.  The current token count is never scaled
+        up — raising the rate must not mint an instantaneous burst of
+        admissions, only a faster accrual from here on — and is clamped
+        down when the new capacity falls below it.
+        """
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self._refill(now)
+        self.capacity *= rate_per_s / self.rate_per_s
+        self._tokens = min(self._tokens, self.capacity)
+        self.rate_per_s = rate_per_s
+
     def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
         """Admit (True) or shed (False) one request arriving at ``now``."""
         if tokens <= 0:

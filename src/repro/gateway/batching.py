@@ -103,6 +103,18 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def add(self, shard_id: str, result: TaskResult, now: float) -> list[TaskResult]:
         """Queue one result; return a decoded batch if the size trigger fired."""
+        return self.decode_entries(self.add_encoded(shard_id, result, now))
+
+    def add_encoded(
+        self, shard_id: str, result: TaskResult, now: float
+    ) -> list[EncodedResult]:
+        """Queue one result; return the *encoded* batch on the size trigger.
+
+        This is the asynchronous runtime's enqueue path: the caller's
+        thread pays only for the codec encode, and the flushed wire-form
+        entries travel to the shard's worker lane, which decodes them
+        there (:meth:`decode_entries`).
+        """
         encoded = encode_result(result, self.codec)
         lane = self._lanes.setdefault(shard_id, _Lane())
         if not lane.entries:
@@ -117,7 +129,7 @@ class MicroBatcher:
         self.raw_bytes_in += dimension * 8  # dense float64 equivalent
         self.wire_bytes_in += encoded.wire_bytes
         if len(lane.entries) >= self.max_batch:
-            return self.flush(shard_id)
+            return self.flush_encoded(shard_id)
         return []
 
     def due(self, now: float) -> list[str]:
@@ -141,12 +153,19 @@ class MicroBatcher:
         gradients are rows of that matrix, so the shard's batched hot path
         folds them without restacking scattered vectors.
         """
+        return self.decode_entries(self.flush_encoded(shard_id))
+
+    def flush_encoded(self, shard_id: str) -> list[EncodedResult]:
+        """Remove and return the shard's pending entries, still encoded."""
         lane = self._lanes.pop(shard_id, None)
         if lane is None or not lane.entries:
             return []
-        return self._decode_lane(lane.entries)
+        return lane.entries
 
-    def _decode_lane(self, entries: list[EncodedResult]) -> list[TaskResult]:
+    def decode_entries(self, entries: list[EncodedResult]) -> list[TaskResult]:
+        """Decode a flushed batch (see :meth:`flush` for the layout)."""
+        if not entries:
+            return []
         blobs = [entry.blob for entry in entries]
         uniform = all(
             isinstance(blob, EncodedBlob) and blob.length == blobs[0].length

@@ -16,7 +16,12 @@ cannot tell the difference — but behind it:
   shard-side work happens (:mod:`repro.gateway.backpressure`);
 * **synchronization** — shard models are periodically blended by weighted
   parameter averaging so cross-shard divergence stays bounded
-  (:mod:`repro.gateway.sync`).
+  (:mod:`repro.gateway.sync`);
+* **runtime** (optional) — flushed micro-batches execute on per-shard
+  worker lanes behind bounded queues instead of the caller's thread, and
+  a queue-driven elasticity controller resizes the tier between
+  configurable bounds (:mod:`repro.runtime`; pass a
+  :class:`~repro.runtime.spec.RuntimeSpec`).
 
 All timing is virtual: callers pass ``now`` from their event loop (the
 fleet simulation passes ``loop.now``); deadline flushes and syncs fire
@@ -27,7 +32,9 @@ discrete-event clock is exact enough — time only advances at events.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -37,6 +44,7 @@ from repro.gateway.backpressure import TokenBucket
 from repro.gateway.batching import MicroBatcher
 from repro.gateway.hashing import ConsistentHashRing
 from repro.gateway.sync import ShardSynchronizer
+from repro.runtime import ElasticityController, RuntimeSpec, ShardRuntime
 from repro.server.codec import VectorCodec
 from repro.server.protocol import (
     RejectionReason,
@@ -118,6 +126,8 @@ class Gateway:
         shards: list[FleetServer] | dict[str, FleetServer],
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
+        runtime: RuntimeSpec | None = None,
+        shard_factory: Callable[[int], FleetServer] | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -177,10 +187,59 @@ class Gateway:
         self._lanes: dict[str, _ShardLane] = {
             shard_id: _ShardLane() for shard_id in self._shards
         }
+        # Aggregates retired by remove_shard: the leaver's delivered work,
+        # model updates and applied-result counts stay in the tier-wide
+        # accounting after the shard leaves — an elastic tier would
+        # otherwise erase history (and regress the monotone ``clock`` the
+        # fleet simulation's eval trigger rides on) at every scale-down.
+        self._retired = _ShardLane()
+        self._retired_clock = 0
+        self._retired_results_applied = 0
+        # Guards _deliver's tier-wide bookkeeping: with a threaded runtime,
+        # deliveries of DIFFERENT shards run on concurrent lane threads.
+        self._bookkeeping_lock = threading.Lock()
+        # Per-shard guards for threads mode: a lane serializes deliveries
+        # of ONE shard against each other, but the caller's thread still
+        # serves handle_request (model pull, similarity, profiler reads)
+        # for that shard concurrently with its lane job — these locks
+        # serialize the two.  No-ops outside the threaded executor.
+        self._threaded = (
+            runtime is not None
+            and runtime.mode == "async"
+            and runtime.executor == "threads"
+        )
+        self._shard_locks: dict[str, threading.Lock] = {
+            shard_id: threading.Lock() for shard_id in self._shards
+        }
         self._inflight: dict[int, str] = {}
         self._now = 0.0
         self._first_result_time: float | None = None
         self._last_result_time = 0.0
+
+        # Serving runtime: worker lanes behind bounded queues (async mode)
+        # and/or the queue-driven autoscaler.  ``runtime`` of None keeps
+        # the original fully-synchronous, manually-sized gateway.
+        self.runtime_spec = runtime
+        self._shard_factory = shard_factory
+        self._shards_built = len(self._shards)
+        self._added_order: list[str] = []
+        self.runtime: ShardRuntime | None = None
+        self.autoscaler: ElasticityController | None = None
+        if runtime is not None:
+            if runtime.mode == "async":
+                self.runtime = ShardRuntime(
+                    runtime, metrics=self.metrics, cost_model=self.cost_model
+                )
+                for shard_id in self._shards:
+                    self.runtime.add_lane(shard_id)
+            if runtime.autoscale is not None:
+                if shard_factory is None:
+                    raise ValueError(
+                        "autoscaling needs a shard factory: build the "
+                        "gateway via from_factory/from_spec (or pass "
+                        "shard_factory=) so new shards can be stamped out"
+                    )
+                self.autoscaler = ElasticityController(runtime.autoscale, self)
 
     # ------------------------------------------------------------------
     # Factory
@@ -192,14 +251,22 @@ class Gateway:
         shard_factory: Callable[[int], FleetServer],
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
+        runtime: RuntimeSpec | None = None,
     ) -> "Gateway":
-        """Build N identically-configured shards from a factory."""
+        """Build N identically-configured shards from a factory.
+
+        The factory is retained: it is what lets the elasticity
+        controller (``runtime.autoscale``) stamp out additional shards at
+        scale-up time.
+        """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         return cls(
             [shard_factory(i) for i in range(num_shards)],
             config=config,
             cost_model=cost_model,
+            runtime=runtime,
+            shard_factory=shard_factory,
         )
 
     @classmethod
@@ -209,15 +276,21 @@ class Gateway:
         spec,
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
+        runtime: RuntimeSpec | None = None,
     ) -> "Gateway":
         """Build N shards from a :class:`repro.api.ServerSpec`.
 
         A spec is callable with a shard index and stamps out fully
         state-independent servers, so this is ``from_factory`` with the
         builder's product (duck-typed to avoid a gateway→api dependency).
+        A spec built with ``FleetBuilder.runtime(...)`` carries its own
+        :class:`RuntimeSpec`; an explicit ``runtime`` argument overrides it.
         """
+        if runtime is None:
+            runtime = getattr(spec, "runtime", None)
         return cls.from_factory(
-            num_shards, spec, config=config, cost_model=cost_model
+            num_shards, spec, config=config, cost_model=cost_model,
+            runtime=runtime,
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +300,16 @@ class Gateway:
         if now is not None:
             self._now = max(self._now, now)
         return self._now
+
+    def _shard_guard(self, shard_id: str):
+        """Serialize caller-thread shard access against its worker lane.
+
+        Returns the shard's lock in threads mode, a no-op context
+        otherwise (the virtual executor runs inline on one thread).
+        """
+        if not self._threaded:
+            return contextlib.nullcontext()
+        return self._shard_locks[shard_id]
 
     # ------------------------------------------------------------------
     # Device-facing protocol (drop-in for FleetServer)
@@ -248,7 +331,8 @@ class Gateway:
                 reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
             )
         shard_id = self.shard_for(request.worker_id)
-        response = self._shards[shard_id].handle_request(request)
+        with self._shard_guard(shard_id):
+            response = self._shards[shard_id].handle_request(request)
         if isinstance(response, TaskAssignment):
             self._assigned.increment()
             self._inflight[request.worker_id] = shard_id
@@ -273,14 +357,19 @@ class Gateway:
             # the new owner's clock may be behind the issuing shard's, so
             # clamp the lease to keep staleness non-negative.
             shard_id = self.shard_for(result.worker_id)
-            clock = self._shards[shard_id].clock
+            with self._shard_guard(shard_id):
+                clock = self._shards[shard_id].clock
             if result.pull_step > clock:
                 result = dataclasses.replace(result, pull_step=clock)
 
-        batch = self.batcher.add(shard_id, result, now)
-        updated = False
-        if batch:
-            updated = self._deliver(shard_id, batch, now)
+        if self.runtime is None:
+            batch = self.batcher.add(shard_id, result, now)
+            updated = self._deliver(shard_id, batch, now) if batch else False
+        else:
+            entries = self.batcher.add_encoded(shard_id, result, now)
+            updated = (
+                self._submit_entries(shard_id, entries, now) if entries else False
+            )
         # A deadline flush may deliver this very result (its lane's oldest
         # entry was already overdue), so fold the pump's outcome for this
         # shard into the answer.
@@ -290,18 +379,54 @@ class Gateway:
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
+    def _submit_entries(self, shard_id: str, entries: list, now: float) -> bool:
+        """Hand a flushed, still-encoded micro-batch to the shard's lane.
+
+        The job the worker lane runs is the full back half of the serving
+        path — codec decode, stage ``on_batch`` hooks, ``submit_many`` —
+        so the caller's thread pays only for encode + enqueue.  Returns
+        the model-updated outcome when the lane resolved it already (the
+        virtual executor runs inline); a threaded lane resolves later and
+        this returns False — callers needing the outcome hold the ticket.
+        A full lane rejects the batch (counted by the runtime).
+        """
+        assert self.runtime is not None
+
+        def job() -> bool:
+            batch = self.batcher.decode_entries(entries)
+            with self._shard_guard(shard_id):
+                return self._deliver(shard_id, batch, now)
+
+        ticket = self.runtime.submit(shard_id, len(entries), job, now)
+        if ticket is not None and ticket.done():
+            return bool(ticket.result())
+        return False
+
+    def _flush_shard(self, shard_id: str, now: float) -> bool:
+        """Flush one lane through whichever delivery path is configured."""
+        if self.runtime is not None:
+            entries = self.batcher.flush_encoded(shard_id)
+            if not entries:
+                return False
+            return self._submit_entries(shard_id, entries, now)
+        batch = self.batcher.flush(shard_id)
+        if not batch:
+            return False
+        return self._deliver(shard_id, batch, now)
+
     def _deliver(self, shard_id: str, batch: list[TaskResult], now: float) -> bool:
         updated = self._shards[shard_id].handle_result_batch(batch)
-        self._batches.increment()
-        self._batch_sizes.observe(len(batch))
-        lane = self._lanes[shard_id]
-        lane.batches += 1
-        lane.results += len(batch)
-        if self.cost_model is not None:
-            start = max(now, lane.busy_until)
-            service = self.cost_model.service_time(len(batch))
-            lane.busy_until = start + service
-            lane.busy_seconds += service
+        with self._bookkeeping_lock:
+            self._batches.increment()
+            self._batch_sizes.observe(len(batch))
+            lane = self._lanes[shard_id]
+            lane.batches += 1
+            lane.results += len(batch)
+            if self.cost_model is not None:
+                start = max(now, lane.busy_until)
+                service = self.cost_model.service_time(len(batch))
+                lane.busy_until = start + service
+                lane.busy_seconds += service
         return updated
 
     def _pump(self, now: float, watch: str | None = None) -> bool:
@@ -312,39 +437,53 @@ class Gateway:
         """
         watched_updated = False
         for shard_id in self.batcher.due(now):
-            batch = self.batcher.flush(shard_id)
-            if batch:
-                updated = self._deliver(shard_id, batch, now)
-                if shard_id == watch:
-                    watched_updated = updated
+            updated = self._flush_shard(shard_id, now)
+            if shard_id == watch:
+                watched_updated = updated
         if len(self._shards) > 1 and self.synchronizer.due(now):
             self.synchronize(now)
+        if self.autoscaler is not None:
+            self.autoscaler.observe(now)
         return watched_updated
 
     # ------------------------------------------------------------------
     # Synchronization and membership
     # ------------------------------------------------------------------
     def synchronize(self, now: float | None = None) -> None:
-        """Blend shard models (weighted by fresh updates) and broadcast."""
+        """Blend shard models (weighted by fresh updates) and broadcast.
+
+        With an async runtime the worker lanes are drained first: a lane
+        job folding gradients concurrently with the parameter broadcast
+        would race the models it blends.
+        """
         now = self._advance(now)
+        if self.runtime is not None:
+            self.runtime.drain()
         record = self.synchronizer.synchronize(self._shards, now)
         self._syncs.increment()
         self._divergence.observe(record.max_divergence)
 
     def flush_all(self, now: float | None = None) -> int:
-        """Force-deliver every pending micro-batch; returns results flushed."""
+        """Force-deliver every pending micro-batch; returns results flushed.
+
+        Counts results leaving the batcher; with a bounded async runtime a
+        full lane may still shed a flushed batch (tracked by the runtime's
+        rejection counters).
+        """
         now = self._advance(now)
         flushed = 0
         for shard_id in list(self._shards):
-            batch = self.batcher.flush(shard_id)
-            if batch:
-                self._deliver(shard_id, batch, now)
-                flushed += len(batch)
+            pending = self.batcher.pending(shard_id)
+            if pending:
+                self._flush_shard(shard_id, now)
+                flushed += pending
         return flushed
 
     def finalize(self, now: float | None = None) -> None:
         """End of run: drain all lanes, then converge shard models."""
         self.flush_all(now)
+        if self.runtime is not None:
+            self.runtime.drain()
         if len(self._shards) > 1:
             self.synchronize(now)
 
@@ -353,6 +492,8 @@ class Gateway:
     ) -> str:
         """Join a shard: it inherits the consensus model, then takes ~1/N keys."""
         now = self._advance(now)
+        if self.runtime is not None:
+            self.runtime.drain()  # quiesce lanes before touching models
         if shard_id is None:
             shard_id = f"shard-{len(self._shards)}"
             while shard_id in self._shards:
@@ -366,7 +507,10 @@ class Gateway:
         shard.optimizer.set_parameters(self.synchronizer.blend(self._shards))
         self._shards[shard_id] = shard
         self._lanes[shard_id] = _ShardLane()
+        self._shard_locks[shard_id] = threading.Lock()
         self.ring.add_node(shard_id)
+        if self.runtime is not None:
+            self.runtime.add_lane(shard_id)
         self.synchronizer.note_membership_change(self._shards)
         return shard_id
 
@@ -377,8 +521,13 @@ class Gateway:
         if len(self._shards) == 1:
             raise ValueError("cannot remove the last shard")
         now = self._advance(now)
+        if self.runtime is not None:
+            self.runtime.drain()  # quiesce lanes before draining the leaver
         batch = self.batcher.flush(shard_id)
         if batch:
+            # Delivered synchronously even in async mode: the leaver's
+            # learning must be in its model before the farewell sync, and
+            # a shard on its way out cannot be queue-shed.
             self._deliver(shard_id, batch, now)
         self.batcher.drop(shard_id)
         # One sync while the leaver still participates: its updates enter
@@ -386,7 +535,16 @@ class Gateway:
         self.synchronize(now)
         shard = self._shards.pop(shard_id)
         self.ring.remove_node(shard_id)
-        self._lanes.pop(shard_id)
+        lane = self._lanes.pop(shard_id)
+        self._retired.busy_until = max(self._retired.busy_until, lane.busy_until)
+        self._retired.busy_seconds += lane.busy_seconds
+        self._retired.batches += lane.batches
+        self._retired.results += lane.results
+        self._retired_clock += shard.clock
+        self._retired_results_applied += shard.results_applied
+        if self.runtime is not None:
+            self.runtime.drop_lane(shard_id)
+        self._shard_locks.pop(shard_id, None)
         self._inflight = {
             worker: owner
             for worker, owner in self._inflight.items()
@@ -394,6 +552,73 @@ class Gateway:
         }
         self.synchronizer.note_membership_change(self._shards)
         return shard
+
+    # ------------------------------------------------------------------
+    # Elastic scaling (factory-backed membership changes)
+    # ------------------------------------------------------------------
+    def scale_up(self, now: float | None = None) -> str:
+        """Stamp a new shard from the retained factory and join it.
+
+        The autoscaler's add path — also usable manually.  The new shard
+        inherits the consensus model and ~1/N of the key space exactly as
+        :meth:`add_shard` arranges.
+        """
+        if self._shard_factory is None:
+            raise ValueError(
+                "no shard factory retained: build the gateway via "
+                "from_factory/from_spec (or pass shard_factory=)"
+            )
+        shard = self._shard_factory(self._shards_built)
+        self._shards_built += 1
+        shard_id = self.add_shard(shard, now=now)
+        self._added_order.append(shard_id)
+        return shard_id
+
+    def scale_down(self, now: float | None = None) -> str:
+        """Retire the most recently added shard (LIFO keeps ring churn low).
+
+        Falls back to the lexicographically last shard when no
+        factory-added shard remains; the last shard can never be removed.
+        """
+        while self._added_order:
+            shard_id = self._added_order.pop()
+            if shard_id in self._shards:
+                break
+        else:
+            shard_id = sorted(self._shards)[-1]
+        self.remove_shard(shard_id, now=now)
+        return shard_id
+
+    def heartbeat(self, now: float | None = None) -> None:
+        """Advance virtual time without traffic (deadline flushes, sync,
+        autoscaler windows).  Time-driven callers — the fleet simulation's
+        heartbeat event — use this so an idle tier still scales down and
+        overdue micro-batches still flush."""
+        now = self._advance(now)
+        self._pump(now)
+
+    # ------------------------------------------------------------------
+    # Load signals (consumed by the elasticity controller)
+    # ------------------------------------------------------------------
+    def total_busy_seconds(self) -> float:
+        """Virtual service seconds accrued by all shard lanes so far.
+
+        Includes lanes retired by ``remove_shard``, so the autoscaler's
+        window deltas stay monotone across scale-down events.
+        """
+        return (
+            sum(lane.busy_seconds for lane in self._lanes.values())
+            + self._retired.busy_seconds
+        )
+
+    def max_backlog_s(self, now: float | None = None) -> float:
+        """Deepest lane's unfinished virtual work, in seconds."""
+        now = self._now if now is None else now
+        if not self._lanes:
+            return 0.0
+        return max(
+            0.0, max(lane.busy_until for lane in self._lanes.values()) - now
+        )
 
     # ------------------------------------------------------------------
     # Introspection (FleetServer-compatible surface + gateway extras)
@@ -430,12 +655,19 @@ class Gateway:
 
     @property
     def clock(self) -> int:
-        """Total model updates across the serving tier."""
-        return sum(shard.clock for shard in self._shards.values())
+        """Total model updates across the serving tier (monotone: updates
+        applied by since-removed shards remain counted)."""
+        return (
+            sum(shard.clock for shard in self._shards.values())
+            + self._retired_clock
+        )
 
     @property
     def results_applied(self) -> int:
-        return sum(shard.results_applied for shard in self._shards.values())
+        return (
+            sum(shard.results_applied for shard in self._shards.values())
+            + self._retired_results_applied
+        )
 
     def applied_staleness(self) -> np.ndarray:
         """Per-shard staleness of every applied gradient, concatenated."""
@@ -446,6 +678,10 @@ class Gateway:
 
     def requests_shed(self) -> int:
         return self._shed.value
+
+    def results_received(self) -> int:
+        """Gradient results that reached the gateway (pre-batching)."""
+        return self._results.value
 
     def rejection_counts(self) -> dict[RejectionReason, int]:
         """Per-reason rejection totals across the tier.
@@ -470,11 +706,17 @@ class Gateway:
         drains (queueing included); without one, until the last result
         arrived.  This is the scaling benchmark's headline number.
         """
-        delivered = sum(lane.results for lane in self._lanes.values())
+        delivered = (
+            sum(lane.results for lane in self._lanes.values())
+            + self._retired.results
+        )
         if delivered == 0 or self._first_result_time is None:
             return 0.0
         if self.cost_model is not None:
-            end = max(lane.busy_until for lane in self._lanes.values())
+            end = max(
+                max(lane.busy_until for lane in self._lanes.values()),
+                self._retired.busy_until,
+            )
         else:
             end = self._last_result_time
         elapsed = end - self._first_result_time
@@ -492,4 +734,7 @@ class Gateway:
                 f"{shard_id}: clock={shard.clock} applied={shard.results_applied} "
                 f"batches={lane.batches} busy={lane.busy_seconds:.2f}s"
             )
+        if self.autoscaler is not None and self.autoscaler.events:
+            lines.append("scaling events:")
+            lines.append(self.autoscaler.timeline())
         return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""repro.runtime — the elastic asynchronous serving runtime.
+
+This package slots between :class:`~repro.gateway.gateway.Gateway` and
+its :class:`~repro.server.server.FleetServer` shards.  The gateway stays
+the *policy* tier (routing, admission, micro-batch boundaries, shard
+synchronization); the runtime is the *mechanism* tier that decides where
+and when a flushed micro-batch actually executes:
+
+* :class:`ShardRuntime` — one serialized worker lane per shard pulling
+  flushed micro-batches off a bounded queue and running
+  decode → stage ``on_batch`` → ``submit_many`` off the caller's thread
+  (:mod:`repro.runtime.runtime`);
+* :class:`VirtualLaneExecutor` / :class:`ThreadLaneExecutor` — the two
+  execution substrates: a deterministic discrete-event mode that is
+  bit-identical to the synchronous path, and a thread pool for wall-clock
+  serving (:mod:`repro.runtime.executors`);
+* :class:`ElasticityController` — queue-driven autoscaling: watches
+  occupancy, backlog and shed rate over a sliding window and calls the
+  gateway's ``scale_up``/``scale_down`` between configurable bounds
+  (:mod:`repro.runtime.elasticity`);
+* :class:`ServiceTimeEstimator` — fits observed batch service times back
+  into an :class:`~repro.gateway.gateway.AggregationCostModel`
+  (:mod:`repro.runtime.telemetry`).
+"""
+
+from repro.runtime.elasticity import (
+    ElasticityController,
+    ElasticityPolicy,
+    ScalingEvent,
+)
+from repro.runtime.executors import (
+    BatchTicket,
+    ThreadLaneExecutor,
+    VirtualLaneExecutor,
+)
+from repro.runtime.runtime import ShardRuntime
+from repro.runtime.spec import RuntimeSpec
+from repro.runtime.telemetry import ServiceTimeEstimator
+
+__all__ = [
+    "RuntimeSpec",
+    "ShardRuntime",
+    "BatchTicket",
+    "VirtualLaneExecutor",
+    "ThreadLaneExecutor",
+    "ElasticityController",
+    "ElasticityPolicy",
+    "ScalingEvent",
+    "ServiceTimeEstimator",
+]

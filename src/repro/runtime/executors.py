@@ -1,0 +1,152 @@
+"""Execution substrates for the per-shard worker lanes.
+
+Both executors expose the same contract — ``submit(lane_id, job, ticket)``
+runs ``job`` with every job of one lane strictly serialized — so the
+runtime above them is substrate-agnostic:
+
+* :class:`VirtualLaneExecutor` runs the job inline, in submission order.
+  On a discrete-event clock there is exactly one caller and time only
+  advances between events, so inline execution *is* the semantics of a
+  single dedicated worker — and it is deterministic: the same submission
+  sequence produces bit-identical state to the synchronous path.
+* :class:`ThreadLaneExecutor` shares a ``ThreadPoolExecutor`` across
+  lanes, serializing each lane with a pending deque and an active flag:
+  any free pool thread may drain any lane, but never two threads the same
+  lane, so shard state needs no locking of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable
+from concurrent.futures import Future, ThreadPoolExecutor
+
+__all__ = ["BatchTicket", "VirtualLaneExecutor", "ThreadLaneExecutor"]
+
+
+class BatchTicket(Future):
+    """Future of one submitted micro-batch (resolved with ``updated``).
+
+    A plain :class:`concurrent.futures.Future`: virtual-mode tickets
+    resolve before ``submit`` returns, threaded tickets when the lane's
+    worker finishes the job.  ``result`` re-raises the job's exception.
+    """
+
+
+class VirtualLaneExecutor:
+    """Deterministic inline execution on the discrete-event clock."""
+
+    def submit(
+        self, lane_id: str, job: Callable[[], object], ticket: BatchTicket
+    ) -> None:
+        try:
+            value = job()
+        except BaseException as error:
+            ticket.set_exception(error)
+            raise
+        ticket.set_result(value)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Nothing pends: inline jobs completed before submit returned."""
+
+    def drop_lane(self, lane_id: str) -> None:
+        """No per-lane state to discard."""
+
+    def shutdown(self) -> None:
+        """Nothing to tear down."""
+
+
+class _Lane:
+    """One shard's serialized job stream inside the shared pool."""
+
+    def __init__(self) -> None:
+        self.pending: deque[tuple[Callable[[], object], BatchTicket]] = deque()
+        self.active = False
+
+
+class ThreadLaneExecutor:
+    """Shared thread pool with strict per-lane serialization."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-lane"
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._lanes: dict[str, _Lane] = {}
+        self._errors: list[BaseException] = []
+
+    def submit(
+        self, lane_id: str, job: Callable[[], object], ticket: BatchTicket
+    ) -> None:
+        with self._lock:
+            lane = self._lanes.setdefault(lane_id, _Lane())
+            lane.pending.append((job, ticket))
+            if not lane.active:
+                lane.active = True
+                self._pool.submit(self._drain_lane, lane_id, lane)
+
+    def _drain_lane(self, lane_id: str, lane: _Lane) -> None:
+        while True:
+            with self._lock:
+                if not lane.pending:
+                    lane.active = False
+                    self._idle.notify_all()
+                    return
+                job, ticket = lane.pending.popleft()
+            try:
+                value = job()
+            except BaseException as error:  # noqa: BLE001 — surfaced on drain
+                with self._lock:
+                    self._errors.append(error)
+                ticket.set_exception(error)
+            else:
+                ticket.set_result(value)
+
+    def pending(self, lane_id: str) -> int:
+        with self._lock:
+            lane = self._lanes.get(lane_id)
+            if lane is None:
+                return 0
+            return len(lane.pending) + (1 if lane.active else 0)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every lane is idle; re-raise accumulated job errors.
+
+        One failure re-raises as itself, several as an ``ExceptionGroup``
+        (none may be silently dropped).  Errors are consumed by the drain
+        that reports them — a transient batch failure surfaces once and
+        does not poison every later synchronize/membership/finalize drain
+        of a healthy tier.
+        """
+        with self._idle:
+            settled = self._idle.wait_for(
+                lambda: all(
+                    not lane.active and not lane.pending
+                    for lane in self._lanes.values()
+                ),
+                timeout=timeout,
+            )
+            errors = list(self._errors)
+            if settled:
+                self._errors.clear()
+        if not settled:
+            raise TimeoutError("worker lanes did not drain within timeout")
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise ExceptionGroup("worker lane job failures", errors)
+
+    def drop_lane(self, lane_id: str) -> None:
+        """Forget an idle lane (callers drain before membership changes)."""
+        with self._lock:
+            lane = self._lanes.get(lane_id)
+            if lane is not None and (lane.active or lane.pending):
+                raise RuntimeError(f"cannot drop busy lane {lane_id!r}")
+            self._lanes.pop(lane_id, None)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)

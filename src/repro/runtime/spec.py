@@ -1,0 +1,58 @@
+"""``RuntimeSpec``: the declarative knobs of the serving runtime.
+
+A spec is pure configuration — the gateway materializes it into a
+:class:`~repro.runtime.runtime.ShardRuntime` (and, when ``autoscale`` is
+set, an :class:`~repro.runtime.elasticity.ElasticityController`).  It can
+ride on a :class:`~repro.api.ServerSpec` so one frozen recipe describes
+both the per-shard pipeline and the tier that runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.elasticity import ElasticityPolicy
+
+__all__ = ["RuntimeSpec"]
+
+MODES = ("sync", "async")
+EXECUTORS = ("virtual", "threads")
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """How flushed micro-batches execute, and whether the tier self-sizes.
+
+    ``mode`` selects the delivery path: ``"sync"`` applies each batch on
+    the caller's thread exactly as a runtime-less gateway would (useful to
+    keep autoscaling without asynchrony), ``"async"`` hands it to the
+    shard's worker lane.  ``executor`` picks the substrate for async
+    delivery: ``"virtual"`` executes inline on the discrete-event clock —
+    deterministic, bit-identical to the sync path with ample queue
+    capacity — while ``"threads"`` runs lanes on a shared
+    ``ThreadPoolExecutor`` of ``workers`` threads for wall-clock serving.
+
+    ``queue_capacity`` bounds each shard lane's pending micro-batches;
+    a batch arriving to a full lane is rejected outright (its results are
+    counted, never silently dropped), so overload degrades throughput
+    instead of growing memory without bound.  ``autoscale`` attaches a
+    queue-driven :class:`ElasticityPolicy`; None keeps shard count manual.
+    """
+
+    mode: str = "async"
+    executor: str = "virtual"
+    workers: int = 2
+    queue_capacity: int = 64
+    autoscale: ElasticityPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")

@@ -83,6 +83,12 @@ class FleetSimConfig:
     # the simulation's workers compress automatically and ship the sparse
     # wire form for the *server* to decode (this flag decodes sim-side).
     sparsify_fraction: float | None = None
+    # Periodic server heartbeat: every ``heartbeat_s`` of virtual time the
+    # endpoint's ``heartbeat(now)`` is invoked (if it has one), so
+    # time-driven machinery — gateway deadline flushes, the elasticity
+    # controller's observation windows, scale-down during lulls — keeps
+    # running even when no device traffic arrives.  None disables it.
+    heartbeat_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -97,6 +103,8 @@ class FleetSimConfig:
             raise ValueError("eval_every_updates must be positive")
         if self.sparsify_fraction is not None and not 0.0 < self.sparsify_fraction <= 1.0:
             raise ValueError("sparsify_fraction must be in (0, 1]")
+        if self.heartbeat_s is not None and self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
 
 
 @dataclass
@@ -381,6 +389,16 @@ class FleetSimulation:
         self.result.eval_steps.append(self.server.clock)
         self.result.eval_accuracy.append(accuracy)
 
+    def _on_heartbeat(self) -> None:
+        """Tick the endpoint's time-driven machinery without traffic."""
+        if self.loop.now >= self.config.horizon_s:
+            return
+        heartbeat = getattr(self.server, "heartbeat", None)
+        if callable(heartbeat):
+            heartbeat(now=self.loop.now)
+        assert self.config.heartbeat_s is not None
+        self.loop.schedule(self.config.heartbeat_s, self._on_heartbeat)
+
     # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
@@ -390,6 +408,8 @@ class FleetSimulation:
             # Stagger initial log-ins uniformly over one think time.
             delay = float(self._rng.uniform(0.0, self.config.mean_think_time_s))
             self.loop.schedule(delay, lambda uid=user_id: self._on_request(uid))
+        if self.config.heartbeat_s is not None:
+            self.loop.schedule(self.config.heartbeat_s, self._on_heartbeat)
         self.loop.run_until(self.config.horizon_s)
         # Drain in-flight completions past the horizon (no new requests are
         # issued there; _on_request returns early beyond the horizon).
