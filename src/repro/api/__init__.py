@@ -15,6 +15,7 @@ from repro.api.builder import (
     apply_stage_specs,
     parse_stage_spec,
 )
+from repro.gateway.scheduling import RoutingSpec
 from repro.runtime import ElasticityPolicy, RuntimeSpec
 from repro.server.stages import (
     ABRoutingStage,
@@ -33,6 +34,7 @@ __all__ = [
     "ServerSpec",
     "RuntimeSpec",
     "ElasticityPolicy",
+    "RoutingSpec",
     "parse_stage_spec",
     "apply_stage_specs",
     "STAGE_SPEC_HELP",

@@ -26,6 +26,7 @@ surface through ``--stage`` flags parsed by :func:`parse_stage_spec`.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import itertools
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -141,6 +142,7 @@ class FleetBuilder:
         self._slo = SLO(time_seconds=3.0)
         self._stage_factories: list[tuple[str, Callable[[], object]]] = []
         self._runtime: RuntimeSpec | None = None
+        self._routing = None
 
     # ------------------------------------------------------------------
     # Model / optimizer / profiler / SLO
@@ -311,6 +313,25 @@ class FleetBuilder:
         self._runtime = spec if spec is not None else RuntimeSpec(**kwargs)
         return self
 
+    def routing(self, spec=None, **kwargs) -> "FleetBuilder":
+        """Attach a device-placement recipe to the spec.
+
+        Pass a ready :class:`~repro.gateway.scheduling.RoutingSpec`, or
+        keyword knobs (``policy``, ``straggler_factor``, ``hysteresis``,
+        ``min_dwell_s``, ``max_rebalance_fraction``, ``candidates``,
+        ``seed``, ...) to build one.  The recipe rides on the spec's
+        :class:`RuntimeSpec` — a sync-mode one is created when
+        :meth:`runtime` was never called — so ``Gateway.from_spec``
+        builds the configured router; ``build()`` ignores it (a single
+        server routes nothing).
+        """
+        from repro.gateway.scheduling import RoutingSpec
+
+        if spec is not None and kwargs:
+            raise ValueError("pass a RoutingSpec or knobs, not both")
+        self._routing = spec if spec is not None else RoutingSpec(**kwargs)
+        return self
+
     # ------------------------------------------------------------------
     # Custom stages
     # ------------------------------------------------------------------
@@ -360,12 +381,21 @@ class FleetBuilder:
 
     def spec(self) -> ServerSpec:
         """Freeze the recipe (later builder mutations do not affect it)."""
+        runtime = self._runtime
+        if self._routing is not None:
+            # Routing rides on the runtime spec; placement alone does not
+            # imply async delivery, so the synthesized spec is sync-mode.
+            runtime = (
+                dataclasses.replace(runtime, routing=self._routing)
+                if runtime is not None
+                else RuntimeSpec(mode="sync", routing=self._routing)
+            )
         return ServerSpec(
             optimizer_factory=self._make_optimizer_factory(),
             profiler_factory=self._profiler_factory,
             slo=self._slo,
             stage_factories=tuple(self._stage_factories),
-            runtime=self._runtime,
+            runtime=runtime,
         )
 
     def build(self) -> FleetServer:

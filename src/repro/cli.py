@@ -10,6 +10,7 @@ Usage::
     python -m repro fleet-sim --users 20 --hours 1
     python -m repro gateway-sim --shards 4 --batch-size 4
     python -m repro gateway-sim --runtime async --autoscale --max-shards 8
+    python -m repro gateway-sim --routing deadline --straggler-factor 1.5
     python -m repro freshness --users 16
 
 Every command prints a compact textual report; the benchmark suite in
@@ -259,6 +260,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         ElasticityPolicy,
         Gateway,
         GatewayConfig,
+        RoutingSpec,
         RuntimeSpec,
     )
     from repro.server.telemetry import MetricsRegistry
@@ -272,8 +274,17 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     # retunes the bucket to rate × shards on every scaling event);
     # without it, the flag stays the tier-wide rate it always was.
     admission_rate = args.admission_rate
+    routing = (
+        RoutingSpec(
+            policy="deadline",
+            straggler_factor=args.straggler_factor,
+            seed=args.seed,
+        )
+        if args.routing == "deadline"
+        else None
+    )
     runtime = None
-    if args.runtime == "async" or args.autoscale:
+    if args.runtime == "async" or args.autoscale or routing is not None:
         policy = None
         if args.autoscale:
             policy = ElasticityPolicy(
@@ -290,6 +301,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
             executor="virtual",
             queue_capacity=args.queue_capacity,
             autoscale=policy,
+            routing=routing,
         )
     gateway = Gateway.from_spec(
         args.shards, spec,
@@ -318,6 +330,17 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
           f"final accuracy {result.final_accuracy():.3f}")
     print(f"serving-tier throughput {gateway.virtual_throughput():.2f} results/s "
           f"(virtual), upload compression {gateway.batcher.compression_ratio():.1f}x")
+    print(f"routing: {gateway.router.describe()}")
+    print("per-shard staleness tails:")
+    for shard_id in sorted(gateway.shards):
+        staleness = gateway.shards[shard_id].applied_staleness()
+        if staleness.size:
+            print(f"  {shard_id}: n={staleness.size} "
+                  f"p50={np.percentile(staleness, 50):.1f} "
+                  f"p95={np.percentile(staleness, 95):.1f} "
+                  f"max={staleness.max():.0f}")
+        else:
+            print(f"  {shard_id}: no gradients applied")
     print(gateway.report())
     if gateway.autoscaler is not None:
         # The scaling-event timeline itself is part of gateway.report().
@@ -433,6 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="autoscaler observation window (virtual s)")
     gateway.add_argument("--queue-capacity", type=int, default=64,
                          help="pending micro-batches per shard lane (async)")
+    gateway.add_argument("--routing", choices=["hash", "deadline"],
+                         default="hash",
+                         help="device placement: consistent hash only, or "
+                              "steer predicted stragglers to quiet shards")
+    gateway.add_argument("--straggler-factor", type=float, default=1.5,
+                         help="latency/deadline ratio above which a device "
+                              "is steered (with --routing deadline)")
     gateway.add_argument("--stage", action="append", default=None,
                          metavar="SPEC", help=STAGE_SPEC_HELP)
     gateway.add_argument("--seed", type=int, default=0)

@@ -9,6 +9,12 @@ from repro.gateway.batching import (
 )
 from repro.gateway.gateway import AggregationCostModel, Gateway, GatewayConfig
 from repro.gateway.hashing import ConsistentHashRing
+from repro.gateway.scheduling import (
+    DeadlineAwareRouter,
+    HashRouter,
+    Router,
+    RoutingSpec,
+)
 from repro.gateway.sync import ShardSynchronizer, SyncRecord
 from repro.runtime import ElasticityPolicy, RuntimeSpec
 
@@ -18,6 +24,10 @@ __all__ = [
     "AggregationCostModel",
     "RuntimeSpec",
     "ElasticityPolicy",
+    "RoutingSpec",
+    "Router",
+    "HashRouter",
+    "DeadlineAwareRouter",
     "ConsistentHashRing",
     "MicroBatcher",
     "EncodedResult",

@@ -4,10 +4,12 @@
 protocol of a single :class:`~repro.server.server.FleetServer` — devices
 cannot tell the difference — but behind it:
 
-* **routing** — a consistent-hash ring pins each device id to one shard,
-  so per-device profiler history and pull leases stay shard-local, while
-  shard add/remove moves only ~1/N of the fleet
-  (:mod:`repro.gateway.hashing`);
+* **routing** — a pluggable :class:`~repro.gateway.scheduling.Router`
+  places devices on shards.  The default is the classic consistent-hash
+  ring (per-device profiler history and pull leases stay shard-local,
+  shard add/remove moves only ~1/N of the fleet); the deadline-aware
+  router additionally steers predicted stragglers to lightly-loaded
+  shards (:mod:`repro.gateway.scheduling`);
 * **micro-batching** — incoming gradients are codec-encoded and coalesced
   per shard, flushed by size or deadline, and applied through the batched
   hot path ``FleetServer.handle_result_batch`` — one aggregation step per
@@ -34,6 +36,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import math
 import threading
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -42,7 +45,7 @@ import numpy as np
 
 from repro.gateway.backpressure import TokenBucket
 from repro.gateway.batching import MicroBatcher
-from repro.gateway.hashing import ConsistentHashRing
+from repro.gateway.scheduling import HashRouter, Router
 from repro.gateway.sync import ShardSynchronizer
 from repro.runtime import ElasticityController, RuntimeSpec, ShardRuntime
 from repro.server.codec import VectorCodec
@@ -108,6 +111,13 @@ class AggregationCostModel:
         return self.per_flush_s + self.per_result_s * batch_size
 
 
+# Time constant of the per-lane service-accrual EWMA that feeds routing
+# decisions: the load score remembers roughly this many seconds of recent
+# service, so it ranks shards by *rate* instead of by the flickering
+# instantaneous backlog of a lightly-utilized lane.
+_LOAD_EWMA_TAU_S = 30.0
+
+
 @dataclass
 class _ShardLane:
     """Serial service lane of one shard (virtual-time occupancy)."""
@@ -116,6 +126,17 @@ class _ShardLane:
     busy_seconds: float = 0.0
     batches: int = 0
     results: int = 0
+    # Exponentially-decayed seconds of recent service (routing signal).
+    load_ewma: float = 0.0
+    load_at: float = 0.0
+
+    def observe_service(self, service: float, now: float) -> None:
+        self.load_ewma = self.recent_load(now) + service
+        self.load_at = max(self.load_at, now)
+
+    def recent_load(self, now: float) -> float:
+        elapsed = max(0.0, now - self.load_at)
+        return self.load_ewma * math.exp(-elapsed / _LOAD_EWMA_TAU_S)
 
 
 class Gateway:
@@ -128,6 +149,7 @@ class Gateway:
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
         shard_factory: Callable[[int], FleetServer] | None = None,
+        router: Router | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -138,9 +160,19 @@ class Gateway:
         else:
             self._shards = {f"shard-{i}": shard for i, shard in enumerate(shards)}
 
-        self.ring = ConsistentHashRing(replicas=self.config.hash_replicas)
+        # Placement policy: an explicit router wins, then the runtime
+        # spec's routing recipe, then the classic consistent-hash ring.
+        if router is None:
+            routing = getattr(runtime, "routing", None)
+            router = (
+                routing.build(self.config.hash_replicas)
+                if routing is not None
+                else HashRouter(replicas=self.config.hash_replicas)
+            )
+        self.router = router
+        self.router.bind(self)
         for shard_id in self._shards:
-            self.ring.add_node(shard_id)
+            self.router.add_shard(shard_id)
 
         self.codec = VectorCodec(precision=self.config.codec_precision)
         self.batcher = MicroBatcher(
@@ -212,6 +244,9 @@ class Gateway:
             shard_id: threading.Lock() for shard_id in self._shards
         }
         self._inflight: dict[int, str] = {}
+        # Assignment timestamps: the measured request→result round trip
+        # is the router's observed-latency signal.
+        self._request_at: dict[int, float] = {}
         self._now = 0.0
         self._first_result_time: float | None = None
         self._last_result_time = 0.0
@@ -252,6 +287,7 @@ class Gateway:
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
+        router: Router | None = None,
     ) -> "Gateway":
         """Build N identically-configured shards from a factory.
 
@@ -267,6 +303,7 @@ class Gateway:
             cost_model=cost_model,
             runtime=runtime,
             shard_factory=shard_factory,
+            router=router,
         )
 
     @classmethod
@@ -277,6 +314,7 @@ class Gateway:
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
+        router: Router | None = None,
     ) -> "Gateway":
         """Build N shards from a :class:`repro.api.ServerSpec`.
 
@@ -284,13 +322,14 @@ class Gateway:
         state-independent servers, so this is ``from_factory`` with the
         builder's product (duck-typed to avoid a gateway→api dependency).
         A spec built with ``FleetBuilder.runtime(...)`` carries its own
-        :class:`RuntimeSpec`; an explicit ``runtime`` argument overrides it.
+        :class:`RuntimeSpec` (including any ``FleetBuilder.routing``
+        recipe); an explicit ``runtime``/``router`` argument overrides it.
         """
         if runtime is None:
             runtime = getattr(spec, "runtime", None)
         return cls.from_factory(
             num_shards, spec, config=config, cost_model=cost_model,
-            runtime=runtime,
+            runtime=runtime, router=router,
         )
 
     # ------------------------------------------------------------------
@@ -315,8 +354,13 @@ class Gateway:
     # Device-facing protocol (drop-in for FleetServer)
     # ------------------------------------------------------------------
     def shard_for(self, worker_id: int) -> str:
-        """Routing decision for a device id (stable across calls)."""
-        return self.ring.node_for(worker_id)
+        """The shard currently serving a device id — a pure query.
+
+        Routing *decisions* (steering, dwell resets) happen only on the
+        request path; introspection through this accessor never mutates
+        router state, so enumerating the fleet is side-effect-free.
+        """
+        return self.router.placement_of(worker_id)
 
     def handle_request(
         self, request: TaskRequest, now: float | None = None
@@ -330,12 +374,21 @@ class Gateway:
             return TaskRejection(
                 reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
             )
-        shard_id = self.shard_for(request.worker_id)
+        shard_id = self.router.route(request.worker_id, now)
         with self._shard_guard(shard_id):
             response = self._shards[shard_id].handle_request(request)
         if isinstance(response, TaskAssignment):
             self._assigned.increment()
             self._inflight[request.worker_id] = shard_id
+            self._request_at[request.worker_id] = now
+            # The shard annotated I-Prof's deadline prediction for this
+            # device; the router may steer the NEXT request on it.
+            self.router.observe_prediction(
+                request.worker_id,
+                response.annotations.get("profiler.predicted_time_s"),
+                response.annotations.get("profiler.deadline_s"),
+                now,
+            )
         return response
 
     def handle_result(self, result: TaskResult, now: float | None = None) -> bool:
@@ -350,6 +403,9 @@ class Gateway:
         if self._first_result_time is None:
             self._first_result_time = now
         self._last_result_time = now
+        issued_at = self._request_at.pop(result.worker_id, None)
+        if issued_at is not None:
+            self.router.observe_latency(result.worker_id, now - issued_at, now)
 
         shard_id = self._inflight.pop(result.worker_id, None)
         if shard_id is None or shard_id not in self._shards:
@@ -427,6 +483,7 @@ class Gateway:
                 service = self.cost_model.service_time(len(batch))
                 lane.busy_until = start + service
                 lane.busy_seconds += service
+                lane.observe_service(service, now)
         return updated
 
     def _pump(self, now: float, watch: str | None = None) -> bool:
@@ -508,7 +565,7 @@ class Gateway:
         self._shards[shard_id] = shard
         self._lanes[shard_id] = _ShardLane()
         self._shard_locks[shard_id] = threading.Lock()
-        self.ring.add_node(shard_id)
+        self.router.add_shard(shard_id, now)
         if self.runtime is not None:
             self.runtime.add_lane(shard_id)
         self.synchronizer.note_membership_change(self._shards)
@@ -534,7 +591,7 @@ class Gateway:
         # the consensus, so removing it afterwards loses nothing.
         self.synchronize(now)
         shard = self._shards.pop(shard_id)
-        self.ring.remove_node(shard_id)
+        self.router.remove_shard(shard_id, now)
         lane = self._lanes.pop(shard_id)
         self._retired.busy_until = max(self._retired.busy_until, lane.busy_until)
         self._retired.busy_seconds += lane.busy_seconds
@@ -620,12 +677,49 @@ class Gateway:
             0.0, max(lane.busy_until for lane in self._lanes.values()) - now
         )
 
+    def shard_load(self, shard_id: str, now: float | None = None) -> float:
+        """Live load of one shard, in seconds of work (routing signal).
+
+        Takes the larger of the lane's recently-accrued service time (an
+        EWMA, so the score ranks shards by service *rate* even when
+        queues drain between arrivals) and its unfinished backlog — the
+        runtime's queue model when lanes are async (queue depth × the
+        :class:`~repro.runtime.telemetry.ServiceTimeEstimator` mean on
+        the threads executor), the gateway's own occupancy model
+        otherwise.  ``max`` rather than a sum because a just-delivered
+        batch appears in BOTH terms until its occupancy drains; summing
+        would score it twice.  Under light load the EWMA dominates (a
+        drained queue still ranks by rate); under overload the backlog
+        dominates (the EWMA saturates at rate × its time constant while
+        queues grow without bound).  Seconds of recently-shed work are
+        added on top — shed batches are in neither term.  Without a cost
+        model or runtime every term is 0.0 and routers fall back to
+        their own placement counters.
+        """
+        if shard_id not in self._lanes:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        now = self._now if now is None else now
+        lane = self._lanes[shard_id]
+        recent = lane.recent_load(now)
+        if self.runtime is not None:
+            backlog = self.runtime.backlog_s(shard_id, now)
+            shed = self.runtime.recent_shed_s(shard_id, now)
+        else:
+            backlog = max(0.0, lane.busy_until - now)
+            shed = 0.0
+        return max(recent, backlog) + shed
+
     # ------------------------------------------------------------------
     # Introspection (FleetServer-compatible surface + gateway extras)
     # ------------------------------------------------------------------
     @property
     def shards(self) -> dict[str, FleetServer]:
         return dict(self._shards)
+
+    @property
+    def ring(self):
+        """The router's consistent-hash ring (home placement)."""
+        return self.router.ring
 
     @property
     def num_shards(self) -> int:

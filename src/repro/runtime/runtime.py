@@ -52,9 +52,13 @@ class _LaneState:
     The formula mirrors the gateway's ``_ShardLane`` throughput accounting
     by design — the runtime applies it at *admission* (before the job
     runs, so capacity checks can shed), the gateway at *delivery*.
+    ``rejects`` remembers the most recent capacity sheds as
+    ``(time, batch_size)`` pairs — a bounded trace the router reads as a
+    per-shard "recently overloaded" pressure signal.
     """
 
     finishes: deque = field(default_factory=deque)
+    rejects: deque = field(default_factory=lambda: deque(maxlen=128))
 
     def busy_until(self, now: float) -> float:
         return self.finishes[-1] if self.finishes else now
@@ -148,6 +152,29 @@ class ShardRuntime:
             return max(0.0, lane.busy_until(now) - now)
         return self.executor.pending(shard_id) * self.estimator.mean_service_s()
 
+    def recent_shed_s(
+        self, shard_id: str, now: float, window_s: float = 60.0
+    ) -> float:
+        """Seconds of service the lane shed in the trailing window.
+
+        Each capacity rejection is priced at the cost model's service
+        time (the estimator's observed mean without one), so a lane that
+        recently turned work away scores as loaded even after its queue
+        drained — the router's "recent shed rate" signal.
+        """
+        lane = self._lanes.get(shard_id)
+        if lane is None or not lane.rejects:
+            return 0.0
+        total = 0.0
+        for time, batch_size in lane.rejects:
+            if now - time > window_s:
+                continue
+            if self.cost_model is not None:
+                total += self.cost_model.service_time(batch_size)
+            else:
+                total += self.estimator.mean_service_s()
+        return total
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -170,6 +197,7 @@ class ShardRuntime:
         if depth >= self.spec.queue_capacity:
             self._rejected_batches.increment()
             self._rejected_results.increment(batch_size)
+            lane.rejects.append((now, batch_size))
             return None
         self._depth_summary.observe(depth)
 

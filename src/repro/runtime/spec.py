@@ -10,8 +10,12 @@ both the per-shard pipeline and the tier that runs it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.runtime.elasticity import ElasticityPolicy
+
+if TYPE_CHECKING:  # import-time cycle: gateway imports repro.runtime
+    from repro.gateway.scheduling import RoutingSpec
 
 __all__ = ["RuntimeSpec"]
 
@@ -37,6 +41,11 @@ class RuntimeSpec:
     counted, never silently dropped), so overload degrades throughput
     instead of growing memory without bound.  ``autoscale`` attaches a
     queue-driven :class:`ElasticityPolicy`; None keeps shard count manual.
+    ``routing`` attaches a device-placement recipe
+    (:class:`~repro.gateway.scheduling.RoutingSpec`); None keeps the
+    consistent-hash default.  Routing is orthogonal to delivery —
+    ``RuntimeSpec(mode="sync", routing=...)`` configures placement while
+    batches still apply on the caller's thread.
     """
 
     mode: str = "async"
@@ -44,6 +53,7 @@ class RuntimeSpec:
     workers: int = 2
     queue_capacity: int = 64
     autoscale: ElasticityPolicy | None = None
+    routing: RoutingSpec | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -56,3 +66,9 @@ class RuntimeSpec:
             raise ValueError("workers must be positive")
         if self.queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
+        # Duck-checked (a module-level RoutingSpec import would cycle
+        # through repro.gateway, which imports repro.runtime).
+        if self.routing is not None and not callable(
+            getattr(self.routing, "build", None)
+        ):
+            raise TypeError("routing must be a RoutingSpec (or expose build())")

@@ -158,12 +158,24 @@ class FleetServer:
 
         parameters, pull_step = self.optimizer.pull()
         self.assignments_issued += 1
+        annotations = dict(ctx.annotations)
+        # I-Prof's deadline prediction rides on the assignment: the
+        # worker sees what the server expects of it, and a gateway in
+        # front of this shard feeds it to straggler-aware routing.
+        if decision.predicted_time_s is not None:
+            annotations.setdefault(
+                "profiler.predicted_time_s", decision.predicted_time_s
+            )
+            if self.slo.time_seconds is not None:
+                annotations.setdefault(
+                    "profiler.deadline_s", self.slo.time_seconds
+                )
         return TaskAssignment(
             parameters=parameters,
             pull_step=pull_step,
             batch_size=ctx.batch_size,
             similarity=ctx.similarity,
-            annotations=dict(ctx.annotations),
+            annotations=annotations,
         )
 
     # ------------------------------------------------------------------

@@ -415,6 +415,99 @@ class TestThroughputAccounting:
         assert drive(1, 8) > drive(1, 1)
 
 
+class TestShardRetirement:
+    """Devices routed off a retired shard: deterministic landing, no
+    stranded micro-batches (remove_shard/scale_down regression tests)."""
+
+    def test_remove_shard_reroutes_devices_deterministically(self):
+        def survivors(gateway):
+            gateway.remove_shard("shard-1", now=1.0)
+            return {worker: gateway.shard_for(worker) for worker in range(200)}
+
+        first = _gateway(3, batch_size=1)
+        before = {worker: first.shard_for(worker) for worker in range(200)}
+        after = survivors(first)
+        displaced = [w for w in range(200) if before[w] == "shard-1"]
+        assert displaced
+        for worker in range(200):
+            assert after[worker] in first.shards
+            if worker not in displaced:
+                # Unaffected devices keep their shard (lease affinity).
+                assert after[worker] == before[worker]
+        # A second identically-built gateway lands every displaced device
+        # on the same survivor.
+        assert survivors(_gateway(3, batch_size=1)) == after
+
+    def test_remove_shard_drains_pending_lane_into_the_model(self):
+        gateway = _gateway(3, batch_size=100, batch_deadline_s=1e9,
+                           sync_every_s=1e9)
+        rng = np.random.default_rng(11)
+        victims = [w for w in range(40) if gateway.shard_for(w) == "shard-1"]
+        assert victims
+        for worker in victims:
+            gateway.handle_result(_result(worker, rng.normal(size=DIM)), now=0.0)
+        assert gateway.batcher.pending("shard-1") == len(victims)
+        applied_before = gateway.results_applied
+        retired = gateway.remove_shard("shard-1", now=1.0)
+        # The leaver's pending micro-batch was delivered, not dropped —
+        # and its applied work stays in the tier-wide counters.
+        assert retired.results_applied == len(victims)
+        assert gateway.results_applied == applied_before + len(victims)
+        assert gateway.batcher.pending("shard-1") == 0
+
+    def test_scale_down_drains_lanes_and_reroutes(self):
+        gateway = Gateway.from_factory(
+            2,
+            lambda i: _fedavg_shard(),
+            GatewayConfig(batch_size=100, batch_deadline_s=1e9, sync_every_s=1e9),
+        )
+        added = gateway.scale_up(now=0.0)
+        rng = np.random.default_rng(12)
+        movers = [w for w in range(60) if gateway.shard_for(w) == added]
+        assert movers
+        for worker in movers:
+            gateway.handle_result(_result(worker, rng.normal(size=DIM)), now=1.0)
+        assert gateway.batcher.pending(added) == len(movers)
+        removed = gateway.scale_down(now=2.0)
+        assert removed == added  # LIFO retirement
+        assert gateway.results_applied == len(movers)  # lane drained
+        # Displaced devices land deterministically on live shards, and
+        # their next results apply there.
+        landings = {worker: gateway.shard_for(worker) for worker in movers}
+        assert set(landings.values()) <= set(gateway.shards)
+        worker = movers[0]
+        target = landings[worker]
+        before = gateway.shards[target].results_applied
+        gateway.handle_result(_result(worker, rng.normal(size=DIM)), now=3.0)
+        gateway.flush_all(now=3.5)
+        assert gateway.shards[target].results_applied == before + 1
+
+    def test_scale_down_with_async_runtime_keeps_lanes_consistent(self):
+        from repro.gateway import RuntimeSpec
+
+        gateway = Gateway.from_factory(
+            3,
+            lambda i: _fedavg_shard(),
+            GatewayConfig(batch_size=4, batch_deadline_s=1e9, sync_every_s=1e9),
+            runtime=RuntimeSpec(mode="async", executor="virtual"),
+        )
+        rng = np.random.default_rng(13)
+        for worker in range(24):
+            gateway.handle_result(_result(worker, rng.normal(size=DIM)), now=0.0)
+        pending_total = gateway.batcher.total_pending()
+        removed = gateway.scale_down(now=1.0)
+        # The retired lane is gone everywhere: batcher, runtime, locks.
+        assert gateway.batcher.pending(removed) == 0
+        assert gateway.runtime.queue_depth(removed, now=2.0) == 0
+        assert removed not in gateway._lanes
+        # Nothing the leaver held was lost.
+        assert gateway.results_applied >= pending_total - (
+            gateway.batcher.total_pending()
+        )
+        gateway.finalize(now=3.0)
+        assert gateway.results_applied == 24
+
+
 class TestLaneLifecycle:
     """Micro-batcher lanes must not outlive their shard (the leak fix)."""
 
