@@ -1,0 +1,133 @@
+"""Extension bench — tracing overhead on the gateway's result hot path.
+
+The observability PR puts a sampling decision (one splitmix64 mix + one
+compare) on EVERY upload and a trace context on the sampled ones.  This
+bench drives the same upload stream through two identically-configured
+sync gateways — tracing off, and tracing at the library default sample
+rate (1/64) — and asserts the traced configuration sustains at least
+95% of the untraced ``handle_result`` throughput.
+
+Methodology: the two configurations are measured in interleaved repeats
+(off, on, off, on, ...) and compared best-of-N, which cancels clock
+drift and one-off scheduler stalls; within a repeat both see the
+identical pre-built result stream, so the only delta is the tracer.
+
+Set ``OBS_SMOKE=1`` for a reduced-size run with a slack bar (CI smoke:
+proves the plumbing, not the number, on noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import make_fedavg
+from repro.devices.device import DeviceFeatures
+from repro.gateway import (
+    AggregationCostModel,
+    Gateway,
+    GatewayConfig,
+    ObservabilitySpec,
+)
+from repro.profiler import IProf, SLO
+from repro.server import FleetServer
+from repro.server.protocol import TaskResult
+
+from conftest import fmt_row
+
+_SMOKE = bool(os.environ.get("OBS_SMOKE"))
+DIM = 256 if _SMOKE else 1_024
+NUM_LABELS = 10
+UPLOADS = 2_000 if _SMOKE else 8_000
+WORKERS = 64
+REPEATS = 3 if _SMOKE else 5
+# The acceptance bar: default-rate tracing keeps >= 95% of the untraced
+# throughput.  Smoke mode only proves the harness runs end to end, so its
+# bar is slack for shared CI runners.
+MIN_RELATIVE_THROUGHPUT = 0.85 if _SMOKE else 0.95
+SAMPLE_RATE = 1.0 / 64.0
+
+
+def _features() -> DeviceFeatures:
+    return DeviceFeatures(
+        available_memory_mb=1024.0,
+        total_memory_mb=3072.0,
+        temperature_c=30.0,
+        sum_max_freq_ghz=8.0,
+        energy_per_cpu_second=2e-4,
+    )
+
+
+def _stream() -> list[TaskResult]:
+    rng = np.random.default_rng(12)
+    features = _features()
+    return [
+        TaskResult(
+            worker_id=i % WORKERS,
+            device_model="Galaxy S7",
+            features=features,
+            pull_step=0,
+            gradient=rng.normal(size=DIM),
+            label_counts=np.ones(NUM_LABELS),
+            batch_size=8,
+            computation_time_s=1.0,
+            energy_percent=0.01,
+        )
+        for i in range(UPLOADS)
+    ]
+
+
+def _gateway(traced: bool) -> Gateway:
+    return Gateway.from_factory(
+        1,
+        lambda i: FleetServer(
+            make_fedavg(np.zeros(DIM), learning_rate=0.05),
+            IProf(),
+            SLO(time_seconds=3.0),
+        ),
+        GatewayConfig(batch_size=8, batch_deadline_s=1e9, sync_every_s=1e9),
+        cost_model=AggregationCostModel(per_flush_s=0.01, per_result_s=0.001),
+        observability=(
+            ObservabilitySpec(sample_rate=SAMPLE_RATE) if traced else None
+        ),
+    )
+
+
+def _drive(traced: bool, stream: list[TaskResult]) -> float:
+    """Sustained handle_result throughput (uploads per wall second)."""
+    gateway = _gateway(traced)
+    start = time.perf_counter()
+    for i, result in enumerate(stream):
+        gateway.handle_result(result, now=i * 1e-4)
+    elapsed = time.perf_counter() - start
+    if traced:
+        assert gateway.tracer.uploads_seen == UPLOADS
+        assert gateway.tracer.started > 0, "default rate sampled nothing"
+    return len(stream) / elapsed
+
+
+def test_tracing_overhead_under_five_percent(report):
+    stream = _stream()
+    _drive(False, stream)  # warm caches/JIT-free but import-heavy paths
+    off_rates, on_rates = [], []
+    for _ in range(REPEATS):
+        off_rates.append(_drive(False, stream))
+        on_rates.append(_drive(True, stream))
+    best_off, best_on = max(off_rates), max(on_rates)
+    relative = best_on / best_off
+
+    report(
+        f"tracing overhead, {UPLOADS} uploads x {DIM}-dim gradients "
+        f"(sample rate {SAMPLE_RATE:g}, best of {REPEATS})",
+        fmt_row("  throughput off (uploads/s)", off_rates, precision=0),
+        fmt_row("  throughput on  (uploads/s)", on_rates, precision=0),
+        f"  relative throughput (on/off)       {relative:.4f} "
+        f"(bar >= {MIN_RELATIVE_THROUGHPUT})",
+    )
+
+    assert relative >= MIN_RELATIVE_THROUGHPUT, (
+        f"tracing at sample rate {SAMPLE_RATE:g} kept only {relative:.1%} "
+        f"of untraced throughput (need >= {MIN_RELATIVE_THROUGHPUT:.0%})"
+    )

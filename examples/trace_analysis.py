@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Offline staleness attribution from an exported observability journal.
+
+An update's *staleness* — how many model steps ran between its pull and
+its apply — is bought with wall time spent somewhere in the serving
+tier.  This example loads a JSONL journal written by
+
+    python -m repro gateway-sim --trace --journal run.jsonl [...]
+
+and attributes the traced uploads' latency (the raw material of
+staleness) to its sources: per span (micro-batch wait vs lane queue vs
+apply), per shard, and per latency quartile — uploads in the slowest
+quartile show *where* their extra seconds went, which is exactly the
+question a staleness regression raises.  The tier's own decisions
+(sheds, steers, scaling, sync rounds) are tallied alongside, since they
+are the usual suspects.
+
+Run:  python examples/trace_analysis.py run.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+
+import numpy as np
+
+from repro.observability import journal_summary, load_jsonl
+
+
+def span_seconds(trace: dict) -> dict[str, float]:
+    return {span["name"]: float(span["duration"]) for span in trace["spans"]}
+
+
+def attribution_table(traces: list[dict]) -> str:
+    """Per-quartile, per-span attribution of end-to-end upload latency."""
+    totals = np.array([t["total_s"] for t in traces], dtype=np.float64)
+    order = np.argsort(totals)
+    quartiles = np.array_split(order, 4)
+    span_names: list[str] = []
+    for trace in traces:
+        for span in trace["spans"]:
+            if span["name"] not in span_names:
+                span_names.append(span["name"])
+
+    lines = [
+        "latency attribution by quartile (mean seconds per upload):",
+        "  " + f"{'quartile':<14}" + "".join(f"{n:>14}" for n in span_names)
+        + f"{'total':>12}",
+    ]
+    labels = ("fastest 25%", "q2", "q3", "slowest 25%")
+    for label, indices in zip(labels, quartiles):
+        if indices.size == 0:
+            continue
+        sums = defaultdict(float)
+        for i in indices:
+            for name, seconds in span_seconds(traces[int(i)]).items():
+                sums[name] += seconds
+        row = "".join(
+            f"{sums.get(name, 0.0) / indices.size:>14.4g}"
+            for name in span_names
+        )
+        lines.append(
+            f"  {label:<14}{row}{totals[indices].mean():>12.4g}"
+        )
+    return "\n".join(lines)
+
+
+def per_shard_table(traces: list[dict]) -> str:
+    by_shard: dict[str, list[dict]] = defaultdict(list)
+    for trace in traces:
+        by_shard[trace.get("shard_id", "?")].append(trace)
+    lines = ["per-shard upload latency (queue wait is staleness-in-waiting):"]
+    for shard in sorted(by_shard):
+        rows = by_shard[shard]
+        totals = np.array([t["total_s"] for t in rows])
+        queued = np.array([
+            sum(
+                s["duration"] for s in t["spans"]
+                if s["name"].startswith("queue.")
+            )
+            for t in rows
+        ])
+        lines.append(
+            f"  {shard:<10} n={len(rows):<5} "
+            f"mean={totals.mean():.4g}s p95={np.percentile(totals, 95):.4g}s "
+            f"queued={queued.mean():.4g}s "
+            f"({queued.sum() / max(totals.sum(), 1e-12):.0%} of latency)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    records = load_jsonl(sys.argv[1])
+    traces = [r for r in records if r.get("kind") == "trace"]
+    events = [r for r in records if r.get("kind") != "trace"]
+    print(f"{len(records)} records: {len(traces)} traces, {len(events)} events")
+    if traces:
+        print()
+        print(attribution_table(traces))
+        print()
+        print(per_shard_table(traces))
+    print()
+    print(journal_summary(events))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("devices", "list the simulated device catalog"),
         ("fleet-sim", "end-to-end middleware simulation on a virtual clock"),
         ("gateway-sim", "fleet simulation through the sharded serving gateway"),
+        ("trace-report", "critical-path/causes report from a JSONL journal"),
         ("freshness", "Standard vs Online FL data-freshness gap (Fig. 1)"),
     ]
     for name, desc in rows:
@@ -260,6 +261,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         ElasticityPolicy,
         Gateway,
         GatewayConfig,
+        ObservabilitySpec,
         RoutingSpec,
         RuntimeSpec,
     )
@@ -303,6 +305,11 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
             autoscale=policy,
             routing=routing,
         )
+    observability = (
+        ObservabilitySpec(sample_rate=args.trace_sample, seed=args.seed)
+        if args.trace
+        else None
+    )
     gateway = Gateway.from_spec(
         args.shards, spec,
         GatewayConfig(
@@ -313,6 +320,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         ),
         cost_model=AggregationCostModel(),
         runtime=runtime,
+        observability=observability,
     )
     simulation = FleetSimulation(
         server=gateway, model=model, dataset=dataset, partition=partition,
@@ -347,6 +355,52 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         print(f"autoscaler: {gateway.num_shards} shards at end, "
               f"{len(gateway.autoscaler.events)} scaling events")
     _print_pipeline_summary(gateway)
+
+    if args.trace:
+        from repro.observability import critical_path_table, journal_summary
+
+        traces = [t.to_dict() for t in gateway.tracer.collector.traces]
+        print(f"tracing: {gateway.tracer.started} sampled of "
+              f"{gateway.tracer.uploads_seen} uploads "
+              f"(rate {gateway.tracer.spec.sample_rate:g}), "
+              f"{gateway.tracer.dropped} dropped by full lanes")
+        print(critical_path_table(traces))
+        print(journal_summary(
+            gateway.journal.to_dicts(), gateway.journal.counts_by_kind()
+        ))
+    if args.journal is not None:
+        traces = (
+            [t.to_dict() for t in gateway.tracer.collector.traces]
+            if gateway.tracer is not None
+            else []
+        )
+        written = gateway.journal.export_jsonl(args.journal, extra=traces)
+        print(f"journal: {written} records -> {args.journal}")
+    if args.metrics_format == "prom":
+        from repro.observability import render_prometheus
+
+        print(render_prometheus(gateway.metrics), end="")
+    elif args.metrics_format == "json":
+        import json
+
+        from repro.observability import registry_snapshot
+
+        print(json.dumps(registry_snapshot(gateway.metrics), indent=2))
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        critical_path_table,
+        journal_summary,
+        load_jsonl,
+    )
+
+    records = load_jsonl(args.path)
+    traces = [r for r in records if r.get("kind") == "trace"]
+    events = [r for r in records if r.get("kind") != "trace"]
+    print(critical_path_table(traces))
+    print(journal_summary(events))
     return 0
 
 
@@ -465,7 +519,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "is steered (with --routing deadline)")
     gateway.add_argument("--stage", action="append", default=None,
                          metavar="SPEC", help=STAGE_SPEC_HELP)
+    gateway.add_argument("--trace", action="store_true",
+                         help="trace uploads end to end and print the "
+                              "critical-path breakdown")
+    gateway.add_argument("--trace-sample", type=float, default=1.0,
+                         help="fraction of uploads traced with --trace "
+                              "(library default is 1/64; the CLI defaults "
+                              "to 1.0 so short runs report fully)")
+    gateway.add_argument("--journal", default=None, metavar="PATH",
+                         help="export the event journal (plus any traces) "
+                              "as JSONL for `repro trace-report`")
+    gateway.add_argument("--metrics-format", choices=["text", "prom", "json"],
+                         default="text",
+                         help="also dump the metrics registry as Prometheus "
+                              "text exposition or a JSON snapshot")
     gateway.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "trace-report",
+        help="critical-path and decision-cause report from a JSONL journal",
+    )
+    report.add_argument("path", help="journal file written by "
+                                     "`gateway-sim --journal PATH`")
 
     freshness = sub.add_parser(
         "freshness", help="Standard vs Online FL freshness gap (Fig. 1)"
@@ -484,6 +559,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "fleet-sim": _cmd_fleet_sim,
     "gateway-sim": _cmd_gateway_sim,
+    "trace-report": _cmd_trace_report,
     "freshness": _cmd_freshness,
 }
 

@@ -16,12 +16,14 @@ from repro.gateway.scheduling import (
     RoutingSpec,
 )
 from repro.gateway.sync import ShardSynchronizer, SyncRecord
+from repro.observability import ObservabilitySpec
 from repro.runtime import ElasticityPolicy, RuntimeSpec
 
 __all__ = [
     "Gateway",
     "GatewayConfig",
     "AggregationCostModel",
+    "ObservabilitySpec",
     "RuntimeSpec",
     "ElasticityPolicy",
     "RoutingSpec",

@@ -17,6 +17,7 @@ observable per batch.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -166,6 +167,14 @@ class MicroBatcher:
         """Decode a flushed batch (see :meth:`flush` for the layout)."""
         if not entries:
             return []
+        # Traced uploads charge the WHOLE batch's decode to their own
+        # critical path — each of them waited for all of it.
+        traced = [
+            entry.metadata.trace
+            for entry in entries
+            if entry.metadata.trace is not None
+        ]
+        started = time.perf_counter() if traced else 0.0
         blobs = [entry.blob for entry in entries]
         uniform = all(
             isinstance(blob, EncodedBlob) and blob.length == blobs[0].length
@@ -174,14 +183,20 @@ class MicroBatcher:
         if not uniform:
             # Mixed sparse/dense lane: decode entry by entry (the sparse
             # payloads travel as-is for the shard's decode stage).
-            return [decode_result(entry, self.codec) for entry in entries]
-        matrix = np.empty((len(entries), blobs[0].length), dtype=np.float64)
-        for row, blob in enumerate(blobs):
-            matrix[row] = self.codec.decode(blob)
-        return [
-            dataclasses.replace(entry.metadata, gradient=matrix[row])
-            for row, entry in enumerate(entries)
-        ]
+            results = [decode_result(entry, self.codec) for entry in entries]
+        else:
+            matrix = np.empty((len(entries), blobs[0].length), dtype=np.float64)
+            for row, blob in enumerate(blobs):
+                matrix[row] = self.codec.decode(blob)
+            results = [
+                dataclasses.replace(entry.metadata, gradient=matrix[row])
+                for row, entry in enumerate(entries)
+            ]
+        if traced:
+            elapsed = time.perf_counter() - started
+            for ctx in traced:
+                ctx.add_phase("decode", elapsed)
+        return results
 
     def drop(self, shard_id: str) -> None:
         """Discard a shard's lane without decoding its pending entries.

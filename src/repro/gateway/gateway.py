@@ -38,6 +38,7 @@ import contextlib
 import dataclasses
 import math
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -47,6 +48,7 @@ from repro.gateway.backpressure import TokenBucket
 from repro.gateway.batching import MicroBatcher
 from repro.gateway.scheduling import HashRouter, Router
 from repro.gateway.sync import ShardSynchronizer
+from repro.observability import EventJournal, ObservabilitySpec, UploadTracer
 from repro.runtime import ElasticityController, RuntimeSpec, ShardRuntime
 from repro.server.codec import VectorCodec
 from repro.server.protocol import (
@@ -150,6 +152,7 @@ class Gateway:
         runtime: RuntimeSpec | None = None,
         shard_factory: Callable[[int], FleetServer] | None = None,
         router: Router | None = None,
+        observability: ObservabilitySpec | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -159,6 +162,31 @@ class Gateway:
             self._shards: dict[str, FleetServer] = dict(shards)
         else:
             self._shards = {f"shard-{i}": shard for i, shard in enumerate(shards)}
+
+        # Worker-lane threading shapes both the locking below and the
+        # tracer's clock domain, so it is decided first.
+        self._threaded = (
+            runtime is not None
+            and runtime.mode == "async"
+            and runtime.executor == "threads"
+        )
+        # Observability: the decision journal is always on (bounded and
+        # cheap — decisions are rare next to uploads); per-upload tracing
+        # is opt-in through the spec.  Built before the router binds so
+        # routing decisions can journal from the first request.
+        self.observability = observability
+        self.journal = EventJournal(
+            capacity=observability.journal_capacity
+            if observability is not None
+            else 8192
+        )
+        self.tracer = (
+            UploadTracer(
+                observability, clock="wall" if self._threaded else "virtual"
+            )
+            if observability is not None
+            else None
+        )
 
         # Placement policy: an explicit router wins, then the runtime
         # spec's routing recipe, then the classic consistent-hash ring.
@@ -215,6 +243,11 @@ class Gateway:
         self._divergence = self.metrics.summary(
             "gateway.sync_divergence", "max L2 shard drift at sync time"
         )
+        # Tier-wide per-reason rejection breakdown, read live at report
+        # time (shard controller reasons merged with backpressure sheds).
+        self.metrics.attach_rejections(
+            "gateway.rejections", self.rejection_counts
+        )
 
         self._lanes: dict[str, _ShardLane] = {
             shard_id: _ShardLane() for shard_id in self._shards
@@ -235,11 +268,6 @@ class Gateway:
         # serves handle_request (model pull, similarity, profiler reads)
         # for that shard concurrently with its lane job — these locks
         # serialize the two.  No-ops outside the threaded executor.
-        self._threaded = (
-            runtime is not None
-            and runtime.mode == "async"
-            and runtime.executor == "threads"
-        )
         self._shard_locks: dict[str, threading.Lock] = {
             shard_id: threading.Lock() for shard_id in self._shards
         }
@@ -263,7 +291,10 @@ class Gateway:
         if runtime is not None:
             if runtime.mode == "async":
                 self.runtime = ShardRuntime(
-                    runtime, metrics=self.metrics, cost_model=self.cost_model
+                    runtime,
+                    metrics=self.metrics,
+                    cost_model=self.cost_model,
+                    journal=self.journal,
                 )
                 for shard_id in self._shards:
                     self.runtime.add_lane(shard_id)
@@ -288,6 +319,7 @@ class Gateway:
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
         router: Router | None = None,
+        observability: ObservabilitySpec | None = None,
     ) -> "Gateway":
         """Build N identically-configured shards from a factory.
 
@@ -304,6 +336,7 @@ class Gateway:
             runtime=runtime,
             shard_factory=shard_factory,
             router=router,
+            observability=observability,
         )
 
     @classmethod
@@ -315,6 +348,7 @@ class Gateway:
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
         router: Router | None = None,
+        observability: ObservabilitySpec | None = None,
     ) -> "Gateway":
         """Build N shards from a :class:`repro.api.ServerSpec`.
 
@@ -329,7 +363,7 @@ class Gateway:
             runtime = getattr(spec, "runtime", None)
         return cls.from_factory(
             num_shards, spec, config=config, cost_model=cost_model,
-            runtime=runtime, router=router,
+            runtime=runtime, router=router, observability=observability,
         )
 
     # ------------------------------------------------------------------
@@ -371,6 +405,13 @@ class Gateway:
         self._requests.increment()
         if self.bucket is not None and not self.bucket.try_acquire(now):
             self._shed.increment()
+            self.journal.admission_shed(
+                now,
+                request.worker_id,
+                tokens=self.bucket.tokens,
+                rate_per_s=self.bucket.rate_per_s,
+                capacity=self.bucket.capacity,
+            )
             return TaskRejection(
                 reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
             )
@@ -418,6 +459,11 @@ class Gateway:
             if result.pull_step > clock:
                 result = dataclasses.replace(result, pull_step=clock)
 
+        if self.tracer is not None:
+            ctx = self.tracer.begin(result.worker_id, now)
+            if ctx is not None:
+                result = dataclasses.replace(result, trace=ctx)
+
         if self.runtime is None:
             batch = self.batcher.add(shard_id, result, now)
             updated = self._deliver(shard_id, batch, now) if batch else False
@@ -447,14 +493,33 @@ class Gateway:
         A full lane rejects the batch (counted by the runtime).
         """
         assert self.runtime is not None
+        wall = self.tracer is not None and self.tracer.clock == "wall"
+        if wall:
+            flushed = time.perf_counter()
+            for entry in entries:
+                if entry.metadata.trace is not None:
+                    entry.metadata.trace.stamp("flushed", flushed)
 
         def job() -> bool:
+            if wall:
+                started = time.perf_counter()
+                for entry in entries:
+                    if entry.metadata.trace is not None:
+                        entry.metadata.trace.stamp("job_start", started)
             batch = self.batcher.decode_entries(entries)
             with self._shard_guard(shard_id):
                 return self._deliver(shard_id, batch, now)
 
         ticket = self.runtime.submit(shard_id, len(entries), job, now)
-        if ticket is not None and ticket.done():
+        if ticket is None:
+            # Lane-full shed: traced uploads in the dropped batch never
+            # finish — count them so sampled-vs-finished stays auditable.
+            if self.tracer is not None:
+                for entry in entries:
+                    if entry.metadata.trace is not None:
+                        self.tracer.drop(entry.metadata.trace)
+            return False
+        if ticket.done():
             return bool(ticket.result())
         return False
 
@@ -472,6 +537,9 @@ class Gateway:
 
     def _deliver(self, shard_id: str, batch: list[TaskResult], now: float) -> bool:
         updated = self._shards[shard_id].handle_result_batch(batch)
+        # Without a cost model delivery is instantaneous in virtual time:
+        # the lane frees at `now` and the apply span is empty.
+        start, service = now, 0.0
         with self._bookkeeping_lock:
             self._batches.increment()
             self._batch_sizes.observe(len(batch))
@@ -484,6 +552,19 @@ class Gateway:
                 lane.busy_until = start + service
                 lane.busy_seconds += service
                 lane.observe_service(service, now)
+        if self.tracer is not None:
+            # Finish every traced upload in the batch — including those a
+            # stage absorbed: their critical path still ended here.
+            for result in batch:
+                if result.trace is not None:
+                    self.tracer.finish(
+                        result.trace,
+                        shard_id=shard_id,
+                        batch_size=len(batch),
+                        flushed=now,
+                        lane_start=start,
+                        lane_end=start + service,
+                    )
         return updated
 
     def _pump(self, now: float, watch: str | None = None) -> bool:
@@ -519,6 +600,9 @@ class Gateway:
         record = self.synchronizer.synchronize(self._shards, now)
         self._syncs.increment()
         self._divergence.observe(record.max_divergence)
+        self.journal.sync_round(
+            now, record.max_divergence, len(self._shards), record.weights
+        )
 
     def flush_all(self, now: float | None = None) -> int:
         """Force-deliver every pending micro-batch; returns results flushed.

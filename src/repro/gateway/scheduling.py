@@ -198,6 +198,13 @@ class DeadlineAwareRouter(Router):
         self._steered_count: dict[str, int] = {}
         self._epoch = 0
         self.reassignments = 0
+        # The bound gateway's event journal (when it has one): every
+        # steer/move/release lands there with the scores that drove it.
+        self._journal = None
+
+    def bind(self, gateway) -> None:
+        super().bind(gateway)
+        self._journal = getattr(gateway, "journal", None)
 
     # ------------------------------------------------------------------
     # Straggler signal
@@ -298,7 +305,7 @@ class DeadlineAwareRouter(Router):
             # its hash home (lease clamping makes the hop safe).
             if now - self._steered_at[worker_id] < self.spec.min_dwell_s:
                 return current
-            self._release(worker_id)
+            self._release(worker_id, now, reason="recovered")
             return home
         if current is not None:
             if now - self._steered_at[worker_id] < self.spec.min_dwell_s:
@@ -309,7 +316,7 @@ class DeadlineAwareRouter(Router):
             if pick != current and self._load(
                 current, now, moving=worker_id
             ) > (self.spec.hysteresis * self._load(pick, now, moving=worker_id)):
-                self._move(worker_id, pick)
+                self._move(worker_id, pick, now, reason="dwell_rebalance")
             return self._steered[worker_id]
         # Fresh straggler: least-loaded candidate (which may be home —
         # recorded anyway so the pick is sticky and counted).
@@ -320,22 +327,72 @@ class DeadlineAwareRouter(Router):
         """Pure query: the sticky steer if one exists, else the hash home."""
         return self._steered.get(worker_id) or self.ring.node_for(worker_id)
 
-    def _steer(self, worker_id: int, shard_id: str, now: float) -> None:
+    def _steer(
+        self,
+        worker_id: int,
+        shard_id: str,
+        now: float,
+        reason: str = "fresh_straggler",
+    ) -> None:
         self._steered[worker_id] = shard_id
         self._steered_at[worker_id] = now
         self._steered_count[shard_id] = self._steered_count.get(shard_id, 0) + 1
+        self._emit(
+            now, worker_id, "steer", reason,
+            self.ring.node_for(worker_id), shard_id,
+        )
 
-    def _move(self, worker_id: int, shard_id: str) -> None:
+    def _move(
+        self,
+        worker_id: int,
+        shard_id: str,
+        now: float = 0.0,
+        reason: str = "rebalance",
+    ) -> None:
         previous = self._steered[worker_id]
         self._steered_count[previous] -= 1
         self._steered[worker_id] = shard_id
         self._steered_count[shard_id] = self._steered_count.get(shard_id, 0) + 1
         self.reassignments += 1
+        self._emit(now, worker_id, "move", reason, previous, shard_id)
 
-    def _release(self, worker_id: int) -> None:
+    def _release(
+        self, worker_id: int, now: float = 0.0, reason: str | None = None
+    ) -> None:
         shard_id = self._steered.pop(worker_id)
         self._steered_at.pop(worker_id, None)
         self._steered_count[shard_id] -= 1
+        if reason is not None:
+            self._emit(
+                now, worker_id, "release", reason,
+                shard_id, self.ring.node_for(worker_id),
+            )
+
+    def _emit(
+        self,
+        now: float,
+        worker_id: int,
+        action: str,
+        reason: str,
+        from_shard: str,
+        to_shard: str,
+    ) -> None:
+        """Journal one placement decision with the evidence behind it."""
+        if self._journal is None:
+            return
+        self._journal.steer(
+            now, worker_id, action, reason,
+            from_shard=from_shard, to_shard=to_shard,
+            latency_ratio=self.latency_ratio(worker_id),
+            from_load=self._safe_load(from_shard, now, worker_id),
+            to_load=self._safe_load(to_shard, now, worker_id),
+        )
+
+    def _safe_load(self, shard_id: str, now: float, worker_id: int) -> float:
+        try:
+            return self._load(shard_id, now, moving=worker_id)
+        except KeyError:
+            return 0.0  # shard already left the tier (forced-move source)
 
     # ------------------------------------------------------------------
     # Membership: bounded reassignment
@@ -354,7 +411,9 @@ class DeadlineAwareRouter(Router):
             for worker in displaced:
                 self._release(worker)
             for worker in displaced:
-                self._steer(worker, self._pick(worker, now), now)
+                self._steer(
+                    worker, self._pick(worker, now), now, reason="shard_removed"
+                )
                 self.reassignments += 1
             return
         # A join: at most max_rebalance_fraction of the steered population
@@ -376,7 +435,7 @@ class DeadlineAwareRouter(Router):
             if pick != current and self._load(current, now, moving=worker) > (
                 self.spec.hysteresis * self._load(pick, now, moving=worker)
             ):
-                self._move(worker, pick)
+                self._move(worker, pick, now, reason="join_rebalance")
                 self._steered_at[worker] = now
                 budget -= 1
 

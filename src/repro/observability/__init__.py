@@ -1,0 +1,67 @@
+"""Observability: upload tracing, the event journal, and metric exporters.
+
+The attribution substrate of the serving tier.  Three pieces:
+
+* :mod:`repro.observability.tracing` — per-upload trace contexts sampled
+  at gateway admission and carried on the protocol envelope through
+  batching, queueing and the stage chain, finishing as span timelines in
+  a bounded collector;
+* :mod:`repro.observability.journal` — typed, append-bounded records of
+  the tier's decisions (admission sheds, steering, scaling, sync rounds,
+  lane sheds) with JSONL export;
+* :mod:`repro.observability.exporters` / ``report`` — Prometheus-style
+  text exposition and JSON snapshots of a
+  :class:`~repro.server.telemetry.MetricsRegistry`, and the critical-path
+  / top-causes tables behind ``repro trace-report``.
+
+This package depends only on the telemetry module and the standard
+library, so every layer of the stack (gateway, runtime, router,
+simulation) can feed it without import cycles.
+"""
+
+from repro.observability.exporters import (
+    registry_snapshot,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.observability.journal import (
+    AdmissionShedRecord,
+    EvalRecord,
+    EventJournal,
+    LaneShedRecord,
+    ScaleRecord,
+    SteerRecord,
+    SyncRoundRecord,
+    load_jsonl,
+)
+from repro.observability.report import critical_path_table, journal_summary
+from repro.observability.tracing import (
+    FinishedTrace,
+    ObservabilitySpec,
+    Span,
+    SpanCollector,
+    TraceContext,
+    UploadTracer,
+)
+
+__all__ = [
+    "ObservabilitySpec",
+    "TraceContext",
+    "Span",
+    "FinishedTrace",
+    "SpanCollector",
+    "UploadTracer",
+    "EventJournal",
+    "AdmissionShedRecord",
+    "SteerRecord",
+    "ScaleRecord",
+    "SyncRoundRecord",
+    "LaneShedRecord",
+    "EvalRecord",
+    "load_jsonl",
+    "render_prometheus",
+    "registry_snapshot",
+    "sanitize_metric_name",
+    "critical_path_table",
+    "journal_summary",
+]

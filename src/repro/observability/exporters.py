@@ -1,0 +1,170 @@
+"""Unified export of a :class:`~repro.server.telemetry.MetricsRegistry`.
+
+Two machine-readable renderings of the whole registry:
+
+* :func:`render_prometheus` — text exposition in the Prometheus style:
+  counters as ``name_total``, gauges verbatim, summaries as ``quantile``
+  labels plus ``_sum``/``_count``, histograms as cumulative
+  ``_bucket{le=...}`` series, and attached rejection breakdowns as
+  reason-labelled counters.  Names are sanitized to the exposition
+  charset (dots become underscores);
+* :func:`registry_snapshot` — a JSON-ready nested dict with the same
+  content, used by the CLI and the benchmark artifacts (empty
+  distributions render as ``None`` rather than NaN so the output stays
+  strict JSON).
+
+Both walk the registry through its public accessors only, so any
+registry in the repo — gateway, pipeline stage, runtime — exports the
+same way.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus", "registry_snapshot", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SUMMARY_QUANTILES = (50.0, 90.0, 99.0)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name onto the Prometheus exposition charset."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _reason_key(reason) -> str:
+    return getattr(reason, "value", str(reason))
+
+
+def render_prometheus(registry) -> str:
+    """Text exposition of every metric (and rejection breakdown)."""
+    lines: list[str] = []
+
+    for name in sorted(registry.counters):
+        counter = registry.counters[name]
+        metric = sanitize_metric_name(name)
+        if counter.description:
+            lines.append(f"# HELP {metric}_total {counter.description}")
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {counter.value}")
+
+    for name in sorted(registry.gauges):
+        gauge = registry.gauges[name]
+        metric = sanitize_metric_name(name)
+        if gauge.description:
+            lines.append(f"# HELP {metric} {gauge.description}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauge.value:.10g}")
+
+    for name in sorted(registry.summaries):
+        summary = registry.summaries[name]
+        metric = sanitize_metric_name(name)
+        if summary.description:
+            lines.append(f"# HELP {metric} {summary.description}")
+        lines.append(f"# TYPE {metric} summary")
+        if summary.count:
+            for q, value in zip(
+                _SUMMARY_QUANTILES, summary.quantiles(_SUMMARY_QUANTILES)
+            ):
+                lines.append(
+                    f'{metric}{{quantile="{q / 100.0:g}"}} {value:.10g}'
+                )
+            lines.append(f"{metric}_sum {summary.sum():.10g}")
+        lines.append(f"{metric}_count {summary.count}")
+
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
+        metric = sanitize_metric_name(name)
+        if histogram.description:
+            lines.append(f"# HELP {metric} {histogram.description}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        counts = histogram.bucket_counts
+        for bound, count in zip(histogram.bounds, counts[:-1]):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += int(counts[-1])
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {histogram.sum():.10g}")
+        lines.append(f"{metric}_count {histogram.count}")
+
+    breakdowns = registry.rejection_breakdowns()
+    for name in sorted(breakdowns):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric}_total counter")
+        counts = breakdowns[name]
+        for reason in sorted(counts, key=_reason_key):
+            lines.append(
+                f'{metric}_total{{reason="{_reason_key(reason)}"}} '
+                f"{counts[reason]}"
+            )
+        if not counts:
+            lines.append(f"{metric}_total 0")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_snapshot(registry) -> dict:
+    """JSON-ready nested dict of the whole registry."""
+    summaries = {}
+    for name, summary in registry.summaries.items():
+        if summary.count:
+            p50, p90, p99 = (
+                float(v) for v in summary.quantiles(_SUMMARY_QUANTILES)
+            )
+            summaries[name] = {
+                "count": summary.count,
+                "mean": summary.mean(),
+                "p50": p50,
+                "p90": p90,
+                "p99": p99,
+                "max": summary.max(),
+                "sum": summary.sum(),
+            }
+        else:
+            summaries[name] = {
+                "count": 0,
+                "mean": None,
+                "p50": None,
+                "p90": None,
+                "p99": None,
+                "max": None,
+                "sum": 0.0,
+            }
+
+    histograms = {}
+    for name, histogram in registry.histograms.items():
+        counts = histogram.bucket_counts
+        empty = histogram.count == 0
+        histograms[name] = {
+            "count": histogram.count,
+            "sum": histogram.sum(),
+            "mean": None if empty else histogram.mean(),
+            "p50": None if empty else histogram.percentile(50),
+            "p90": None if empty else histogram.percentile(90),
+            "p99": None if empty else histogram.percentile(99),
+            "max": None if empty else histogram.max(),
+            "buckets": [
+                {"le": float(bound), "count": int(count)}
+                for bound, count in zip(histogram.bounds, counts[:-1])
+            ]
+            + [{"le": None, "count": int(counts[-1])}],
+        }
+
+    return {
+        "counters": {
+            name: counter.value for name, counter in registry.counters.items()
+        },
+        "gauges": {name: gauge.value for name, gauge in registry.gauges.items()},
+        "summaries": summaries,
+        "histograms": histograms,
+        "rejections": {
+            name: {_reason_key(reason): count for reason, count in counts.items()}
+            for name, counts in registry.rejection_breakdowns().items()
+        },
+    }

@@ -1,0 +1,284 @@
+"""Structured event journal: the serving tier's decision record.
+
+Every consequential decision the tier makes today — shedding a request at
+the token bucket, steering a straggler, scaling the shard count, blending
+shard models — either vanished or lived in a subsystem-private list.  The
+journal gives them one typed, append-bounded home: each record is a frozen
+dataclass with a ``kind`` tag and a flat ``to_dict()`` so the whole stream
+exports as JSONL for offline analysis (``repro trace-report``).
+
+The journal is a ring: the most recent ``capacity`` records are retained,
+but per-kind counts are monotone, so "how many sheds happened" survives
+eviction even when the shed records themselves rotated out.  ``record``
+is thread-safe — runtime lane threads journal lane sheds concurrently
+with the gateway caller's admission sheds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "AdmissionShedRecord",
+    "SteerRecord",
+    "ScaleRecord",
+    "SyncRoundRecord",
+    "LaneShedRecord",
+    "EvalRecord",
+    "EventJournal",
+    "load_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionShedRecord:
+    """The token bucket refused a request, with the bucket state at refusal."""
+
+    kind = "admission_shed"
+    time: float
+    worker_id: int
+    tokens: float
+    rate_per_s: float
+    capacity: float
+
+
+@dataclass(frozen=True)
+class SteerRecord:
+    """One routing decision of the deadline-aware router.
+
+    ``action`` is ``steer`` (fresh straggler leaves its hash home),
+    ``move`` (a sticky placement relocated) or ``release`` (a recovered
+    device returned home); ``reason`` is the trigger; the loads are the
+    router's scores at decision time — the evidence behind the choice.
+    """
+
+    kind = "steer"
+    time: float
+    worker_id: int
+    action: str
+    reason: str
+    from_shard: str
+    to_shard: str
+    latency_ratio: float
+    from_load: float
+    to_load: float
+
+
+@dataclass(frozen=True)
+class ScaleRecord:
+    """An elasticity membership change with its triggering window stats."""
+
+    kind = "scale"
+    time: float
+    action: str  # "add" | "remove"
+    shard_ids: tuple[str, ...]
+    num_shards: int
+    reason: str
+    occupancy: float
+    shed_rate: float
+    backlog_s: float
+    queue_depth: float
+
+
+@dataclass(frozen=True)
+class SyncRoundRecord:
+    """One cross-shard synchronization round."""
+
+    kind = "sync"
+    time: float
+    max_divergence: float
+    num_shards: int
+    weights: dict
+
+
+@dataclass(frozen=True)
+class LaneShedRecord:
+    """A full runtime lane dropped a flushed micro-batch."""
+
+    kind = "lane_shed"
+    time: float
+    shard_id: str
+    batch_size: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """A periodic accuracy evaluation of the consensus model."""
+
+    kind = "eval"
+    time: float
+    accuracy: float
+    model_updates: int
+
+
+class EventJournal:
+    """Append-bounded, thread-safe ring of typed tier events."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._events: deque = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event) -> None:
+        """Append one typed record (anything with ``kind`` and fields)."""
+        with self._lock:
+            self._events.append(event)
+            self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+            self._recorded += 1
+
+    def admission_shed(
+        self,
+        time: float,
+        worker_id: int,
+        tokens: float,
+        rate_per_s: float,
+        capacity: float,
+    ) -> None:
+        self.record(
+            AdmissionShedRecord(
+                time=time,
+                worker_id=worker_id,
+                tokens=tokens,
+                rate_per_s=rate_per_s,
+                capacity=capacity,
+            )
+        )
+
+    def steer(
+        self,
+        time: float,
+        worker_id: int,
+        action: str,
+        reason: str,
+        from_shard: str,
+        to_shard: str,
+        latency_ratio: float,
+        from_load: float,
+        to_load: float,
+    ) -> None:
+        self.record(
+            SteerRecord(
+                time=time,
+                worker_id=worker_id,
+                action=action,
+                reason=reason,
+                from_shard=from_shard,
+                to_shard=to_shard,
+                latency_ratio=latency_ratio,
+                from_load=from_load,
+                to_load=to_load,
+            )
+        )
+
+    def scaling(self, event) -> None:
+        """Fold an :class:`~repro.runtime.elasticity.ScalingEvent` in."""
+        self.record(
+            ScaleRecord(
+                time=event.time,
+                action=event.action,
+                shard_ids=tuple(event.shard_ids),
+                num_shards=event.num_shards,
+                reason=event.reason,
+                occupancy=event.occupancy,
+                shed_rate=event.shed_rate,
+                backlog_s=event.backlog_s,
+                queue_depth=event.queue_depth,
+            )
+        )
+
+    def sync_round(
+        self, time: float, max_divergence: float, num_shards: int, weights: dict
+    ) -> None:
+        self.record(
+            SyncRoundRecord(
+                time=time,
+                max_divergence=max_divergence,
+                num_shards=num_shards,
+                weights=dict(weights),
+            )
+        )
+
+    def lane_shed(
+        self, time: float, shard_id: str, batch_size: int, queue_depth: int
+    ) -> None:
+        self.record(
+            LaneShedRecord(
+                time=time,
+                shard_id=shard_id,
+                batch_size=batch_size,
+                queue_depth=queue_depth,
+            )
+        )
+
+    def evaluation(self, time: float, accuracy: float, model_updates: int) -> None:
+        self.record(
+            EvalRecord(time=time, accuracy=accuracy, model_updates=model_updates)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection + export
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list:
+        """The retained records, oldest first (a copy)."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Records ever journaled (not capped by the ring)."""
+        return self._recorded
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Monotone per-kind totals (survive ring eviction)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def to_dicts(self) -> list[dict]:
+        return [
+            {"kind": event.kind, **asdict(event)} for event in self.events
+        ]
+
+    def export_jsonl(self, path, extra: Iterable[dict] = ()) -> int:
+        """Write retained events (plus ``extra`` dicts, e.g. finished
+        traces) as one JSON object per line; returns lines written."""
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.to_dicts():
+                handle.write(json.dumps(record, default=_jsonable) + "\n")
+                written += 1
+            for record in extra:
+                handle.write(json.dumps(record, default=_jsonable) + "\n")
+                written += 1
+        return written
+
+
+def _jsonable(value):
+    """JSON fallback: enums → their value, tuples/sets → lists."""
+    if hasattr(value, "value"):
+        return value.value
+    if isinstance(value, (tuple, set)):
+        return list(value)
+    return str(value)
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read a journal (or journal+traces) JSONL file back into dicts."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

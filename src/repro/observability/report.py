@@ -1,0 +1,142 @@
+"""Human-readable attribution reports over traces and journal events.
+
+Both functions consume plain dicts — the shapes produced by
+:meth:`FinishedTrace.to_dict` and :meth:`EventJournal.to_dicts` — so they
+serve the live CLI path (``gateway-sim --trace``) and the offline one
+(``trace-report`` over a JSONL file) identically.
+
+:func:`critical_path_table` answers *where uploads spend their time*: per
+span name, the share of total traced latency, with an end-to-end latency
+distribution and a coverage check (span seconds / end-to-end seconds —
+1.00 means the spans tile the timeline exactly, the property the tracer
+guarantees by construction).
+
+:func:`journal_summary` answers *why the tier did what it did*: top
+steering and scaling causes, shed counts, sync divergence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+import numpy as np
+
+__all__ = ["critical_path_table", "journal_summary"]
+
+
+def critical_path_table(traces: list[dict]) -> str:
+    """Per-span breakdown of where traced uploads spent their latency."""
+    if not traces:
+        return "no traces collected"
+    totals = np.array([t["total_s"] for t in traces], dtype=np.float64)
+    per_span: dict[str, list[float]] = {}
+    span_seconds = 0.0
+    for trace in traces:
+        for span in trace["spans"]:
+            duration = float(span["duration"])
+            per_span.setdefault(span["name"], []).append(duration)
+            span_seconds += duration
+    clocks = {t.get("clock", "virtual") for t in traces}
+    unit = "/".join(sorted(clocks))
+
+    lines = [
+        f"critical path over {len(traces)} traced uploads ({unit} clock):",
+        f"  end-to-end latency: mean={totals.mean():.4g}s "
+        f"p50={np.percentile(totals, 50):.4g}s "
+        f"p95={np.percentile(totals, 95):.4g}s max={totals.max():.4g}s",
+        f"  {'span':<16} {'n':>6} {'mean_s':>10} {'p95_s':>10} {'share':>7}",
+    ]
+    grand_total = float(totals.sum())
+    # Order by where the time actually went, biggest sink first.
+    ranked = sorted(
+        per_span.items(), key=lambda item: -float(np.sum(item[1]))
+    )
+    for name, durations in ranked:
+        values = np.asarray(durations, dtype=np.float64)
+        share = float(values.sum()) / grand_total if grand_total > 0 else 0.0
+        lines.append(
+            f"  {name:<16} {values.size:>6} {values.mean():>10.4g} "
+            f"{np.percentile(values, 95):>10.4g} {share:>6.1%}"
+        )
+    coverage = span_seconds / grand_total if grand_total > 0 else 1.0
+    lines.append(f"  span coverage of end-to-end latency: {coverage:.3f}")
+
+    cpu: dict[str, list[float]] = {}
+    for trace in traces:
+        for phase in trace.get("cpu_phases", ()):
+            cpu.setdefault(phase["name"], []).append(float(phase["duration"]))
+    if cpu:
+        lines.append(
+            "  wall-clock cpu inside virtual spans (informational):"
+        )
+        for name in sorted(cpu):
+            values = np.asarray(cpu[name], dtype=np.float64)
+            lines.append(
+                f"    {name:<16} n={values.size} mean={values.mean():.3g}s"
+            )
+    return "\n".join(lines)
+
+
+def journal_summary(
+    events: list[dict], counts_by_kind: dict | None = None
+) -> str:
+    """Top causes behind the tier's steering/scaling/shedding decisions."""
+    tally = TallyCounter(event.get("kind", "?") for event in events)
+    if counts_by_kind:
+        # Monotone totals beat the retained ring when provided (the ring
+        # may have evicted early events).
+        tally = TallyCounter(counts_by_kind)
+    if not tally:
+        return "journal: no events recorded"
+    lines = [
+        "journal: "
+        + " ".join(f"{kind}={count}" for kind, count in sorted(tally.items()))
+    ]
+
+    steers = [e for e in events if e.get("kind") == "steer"]
+    if steers:
+        causes = TallyCounter(
+            (e.get("action", "?"), e.get("reason", "?")) for e in steers
+        )
+        top = ", ".join(
+            f"{action}/{reason}×{count}"
+            for (action, reason), count in causes.most_common(5)
+        )
+        lines.append(f"  top steering causes: {top}")
+
+    scales = [e for e in events if e.get("kind") == "scale"]
+    if scales:
+        causes = TallyCounter(
+            (e.get("action", "?"), e.get("reason", "?")) for e in scales
+        )
+        top = ", ".join(
+            f"{action} [{reason}]×{count}"
+            for (action, reason), count in causes.most_common(5)
+        )
+        lines.append(f"  top scaling causes: {top}")
+
+    sheds = [e for e in events if e.get("kind") == "admission_shed"]
+    if sheds:
+        tokens = np.array([e.get("tokens", 0.0) for e in sheds])
+        lines.append(
+            f"  admission sheds: {len(sheds)} "
+            f"(mean bucket tokens at shed {tokens.mean():.2f})"
+        )
+
+    lane_sheds = [e for e in events if e.get("kind") == "lane_shed"]
+    if lane_sheds:
+        by_shard = TallyCounter(e.get("shard_id", "?") for e in lane_sheds)
+        top = ", ".join(
+            f"{shard}×{count}" for shard, count in by_shard.most_common(4)
+        )
+        lines.append(f"  lane sheds by shard: {top}")
+
+    syncs = [e for e in events if e.get("kind") == "sync"]
+    if syncs:
+        divergence = np.array([e.get("max_divergence", 0.0) for e in syncs])
+        lines.append(
+            f"  sync rounds: {len(syncs)} "
+            f"(mean divergence {divergence.mean():.4g}, "
+            f"max {divergence.max():.4g})"
+        )
+    return "\n".join(lines)

@@ -259,19 +259,21 @@ class ElasticityController:
         queue_depth: float,
     ) -> None:
         self._last_event_time = now
-        self.events.append(
-            ScalingEvent(
-                time=now,
-                action=action,
-                shard_ids=shard_ids,
-                num_shards=self.gateway.num_shards,
-                reason=reason,
-                occupancy=occupancy,
-                shed_rate=shed_rate,
-                backlog_s=backlog_s,
-                queue_depth=queue_depth,
-            )
+        event = ScalingEvent(
+            time=now,
+            action=action,
+            shard_ids=shard_ids,
+            num_shards=self.gateway.num_shards,
+            reason=reason,
+            occupancy=occupancy,
+            shed_rate=shed_rate,
+            backlog_s=backlog_s,
+            queue_depth=queue_depth,
         )
+        self.events.append(event)
+        journal = getattr(self.gateway, "journal", None)
+        if journal is not None:
+            journal.scaling(event)
         self._retune_admission(now)
 
     def _retune_admission(self, now: float) -> None:

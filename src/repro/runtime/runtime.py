@@ -67,9 +67,14 @@ class _LaneState:
 class ShardRuntime:
     """Bounded queues + serialized worker lanes for every shard."""
 
-    def __init__(self, spec: RuntimeSpec, metrics, cost_model=None) -> None:
+    def __init__(
+        self, spec: RuntimeSpec, metrics, cost_model=None, journal=None
+    ) -> None:
         self.spec = spec
         self.cost_model = cost_model
+        # Optional event journal (the gateway's): capacity sheds are
+        # decisions worth attributing, not just counting.
+        self._journal = journal
         self.estimator = ServiceTimeEstimator()
         self._virtual = spec.executor == "virtual"
         self.executor = (
@@ -198,6 +203,8 @@ class ShardRuntime:
             self._rejected_batches.increment()
             self._rejected_results.increment(batch_size)
             lane.rejects.append((now, batch_size))
+            if self._journal is not None:
+                self._journal.lane_shed(now, shard_id, batch_size, depth)
             return None
         self._depth_summary.observe(depth)
 

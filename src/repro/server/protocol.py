@@ -78,7 +78,15 @@ class TaskRejection:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Step 5: gradient plus the on-device measurements I-Prof learns from."""
+    """Step 5: gradient plus the on-device measurements I-Prof learns from.
+
+    ``trace`` is the upload's sampled
+    :class:`~repro.observability.tracing.TraceContext` (None for the
+    overwhelming majority of uploads): it rides the envelope through
+    batching, queueing and the stage chain so every hop stamps the same
+    context, and is excluded from equality/repr — tracing must never
+    change protocol semantics.
+    """
 
     worker_id: int
     device_model: str
@@ -89,3 +97,4 @@ class TaskResult:
     batch_size: int
     computation_time_s: float
     energy_percent: float
+    trace: object | None = field(default=None, compare=False, repr=False)

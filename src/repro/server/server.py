@@ -14,6 +14,8 @@ is kept as a thin deprecated shim (the controller is wrapped into an
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.adasgd import GradientUpdate, StalenessAwareServer, stack_gradients
@@ -221,12 +223,31 @@ class FleetServer:
         if not results:
             return False
         self._validate_uploads(results)
+        traces = [result.trace for result in results if result.trace is not None]
         updates = [self._report_and_convert(result) for result in results]
+        if not traces:
+            for stage in self.result_stages:
+                updates = stage.on_batch(updates, self)
+                if not updates:
+                    return False
+            return self._deliver(updates, batched=True)
+        # Traced batch: meter each stage and the final fold.  Every trace
+        # in the batch is charged the whole batch's stage time — each
+        # upload waited for all of it (see the tracing module).
         for stage in self.result_stages:
+            started = time.perf_counter()
             updates = stage.on_batch(updates, self)
+            elapsed = time.perf_counter() - started
+            for ctx in traces:
+                ctx.add_phase(f"stage:{stage.name}", elapsed)
             if not updates:
                 return False
-        return self._deliver(updates, batched=True)
+        started = time.perf_counter()
+        delivered = self._deliver(updates, batched=True)
+        elapsed = time.perf_counter() - started
+        for ctx in traces:
+            ctx.add_phase("fold", elapsed)
+        return delivered
 
     def _deliver(self, updates: list[GradientUpdate], batched: bool = False) -> bool:
         """Validate post-stage updates and hand them to the optimizer.

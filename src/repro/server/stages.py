@@ -403,6 +403,15 @@ class TelemetryStage(RequestStage, ResultStage):
         self._staleness = self.registry.summary(
             "pipeline.staleness", "staleness of updates at arrival"
         )
+        # Same signal as a fixed-bucket histogram: O(1) per observation
+        # on the apply path and exact bucket counts for the Prometheus
+        # exposition (the summary keeps the windowed quantiles the
+        # existing reports read).
+        self._staleness_hist = self.registry.histogram(
+            "pipeline.staleness_hist",
+            "staleness of updates at arrival (bucketed)",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
         self._gradient_norm = self.registry.summary(
             "pipeline.gradient_norm", "L2 norm of arriving gradients"
         )
@@ -416,7 +425,10 @@ class TelemetryStage(RequestStage, ResultStage):
         self._results.increment()
         clock = getattr(server, "clock", None)
         if clock is not None:
-            self._staleness.observe(float(clock - update.pull_step))
+            staleness = float(clock - update.pull_step)
+            self._staleness.observe(staleness)
+            if staleness >= 0:
+                self._staleness_hist.observe(staleness)
         if isinstance(update.gradient, np.ndarray):
             norm = float(np.linalg.norm(update.gradient))
             if np.isfinite(norm):
@@ -436,6 +448,7 @@ class TelemetryStage(RequestStage, ResultStage):
                 count=len(updates),
             )
             self._staleness.observe_many(staleness)
+            self._staleness_hist.observe_many(staleness[staleness >= 0])
         dense = [
             u.gradient
             for u in updates

@@ -388,6 +388,11 @@ class FleetSimulation:
         self.result.eval_times_s.append(self.loop.now)
         self.result.eval_steps.append(self.server.clock)
         self.result.eval_accuracy.append(accuracy)
+        # A gateway endpoint journals the evaluation so offline analysis
+        # can line accuracy up against scaling/steering events in time.
+        journal = getattr(self.server, "journal", None)
+        if journal is not None:
+            journal.evaluation(self.loop.now, float(accuracy), int(self.server.clock))
 
     def _on_heartbeat(self) -> None:
         """Tick the endpoint's time-driven machinery without traffic."""

@@ -83,6 +83,39 @@ class TestNewCommands:
         assert fleet.users == 20 and fleet.hours == 0.5
         fresh = parser.parse_args(["freshness"])
         assert fresh.users == 16
+        gateway = parser.parse_args(["gateway-sim"])
+        assert gateway.trace is False
+        assert gateway.trace_sample == 1.0
+        assert gateway.journal is None
+
+    def test_gateway_sim_trace_and_report_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        assert main([
+            "gateway-sim", "--shards", "2", "--users", "4", "--hours", "0.05",
+            "--trace", "--journal", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over" in out
+        assert "span coverage of end-to-end latency: 1.000" in out
+        assert path.exists()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over" in out
+        assert "queue.batcher" in out
+
+    def test_gateway_sim_metrics_formats(self, capsys):
+        assert main([
+            "gateway-sim", "--users", "4", "--hours", "0.05",
+            "--metrics-format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gateway_results_total counter" in out
+        assert main([
+            "gateway-sim", "--users", "4", "--hours", "0.05",
+            "--metrics-format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"counters"' in out
 
 
 class TestStageFlags:

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.server.telemetry import Counter, Gauge, MetricsRegistry, Summary
+from repro.server.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
 
 
 class TestCounter:
@@ -159,3 +167,190 @@ class TestRejectionStats:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             self._stats(capacity=0)
+
+    def test_attach_rejections_surfaces_in_report(self):
+        from repro.server.protocol import RejectionReason
+
+        registry = MetricsRegistry()
+        stats = self._stats()
+        registry.attach_rejections("gateway.rejections", stats)
+        assert "none" in registry.report()
+        stats.record(self._rejection(RejectionReason.OVERLOADED))
+        stats.record(self._rejection(RejectionReason.OVERLOADED))
+        report = registry.report()
+        assert "gateway.rejections" in report
+        assert "overloaded=2" in report
+        breakdowns = registry.rejection_breakdowns()
+        assert breakdowns["gateway.rejections"][RejectionReason.OVERLOADED] == 2
+
+    def test_attach_rejections_accepts_callable_rejects_junk(self):
+        registry = MetricsRegistry()
+        registry.attach_rejections("live", lambda: {"overloaded": 3})
+        assert registry.rejection_breakdowns()["live"] == {"overloaded": 3}
+        with pytest.raises(TypeError):
+            registry.attach_rejections("bad", object())
+
+
+class TestThreadSafety:
+    def test_counter_hammered_from_eight_threads(self):
+        counter = Counter("hot")
+        increments_per_thread = 20_000
+
+        def hammer():
+            for _ in range(increments_per_thread):
+                counter.increment()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8 * increments_per_thread
+
+    def test_gauge_and_summary_concurrent_updates(self):
+        gauge = Gauge("depth")
+        summary = Summary("latency")
+        per_thread = 2_000
+
+        def work(k: int):
+            for i in range(per_thread):
+                gauge.add(1.0)
+                summary.observe(float(k * per_thread + i))
+
+        threads = [threading.Thread(target=work, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == 4 * per_thread
+        assert summary.count == 4 * per_thread
+
+    def test_histogram_concurrent_observe(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        per_thread = 5_000
+
+        def work():
+            for i in range(per_thread):
+                hist.observe(float(i % 5))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 4 * per_thread
+
+    def test_registry_factories_race_to_one_object(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def grab():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestSummaryCache:
+    def test_materialization_cached_between_observes(self):
+        summary = Summary("latency")
+        summary.observe(1.0)
+        summary.observe(2.0)
+        first = summary._materialized()
+        again = summary._materialized()
+        assert first is again  # cached, not rebuilt per query
+        summary.observe(3.0)
+        rebuilt = summary._materialized()
+        assert rebuilt is not first
+        assert rebuilt.tolist() == [1.0, 2.0, 3.0]
+
+    def test_quantiles_single_pass_matches_percentile(self):
+        summary = Summary("latency")
+        summary.observe_many(np.arange(1.0, 101.0))
+        qs = summary.quantiles((50.0, 90.0, 99.0))
+        assert qs[0] == pytest.approx(summary.percentile(50))
+        assert qs[1] == pytest.approx(summary.percentile(90))
+        assert qs[2] == pytest.approx(summary.percentile(99))
+
+    def test_observe_many_invalidates_cache(self):
+        summary = Summary("latency")
+        summary.observe(10.0)
+        assert summary.max() == 10.0
+        summary.observe_many(np.array([20.0, 30.0]))
+        assert summary.max() == 30.0
+        assert summary.sum() == pytest.approx(60.0)
+
+
+class TestHistogram:
+    def test_bucket_placement_and_overflow(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        # side="left": a value equal to a bound belongs to that bucket.
+        assert hist.bucket_counts.tolist() == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.min() == 0.5
+        assert hist.max() == 9.0
+        assert hist.sum() == pytest.approx(15.0)
+        assert hist.mean() == pytest.approx(3.0)
+
+    def test_observe_many_matches_scalar_observe(self):
+        values = np.random.default_rng(0).uniform(0.0, 10.0, size=500)
+        one = Histogram("a", buckets=(1.0, 2.0, 4.0, 8.0))
+        many = Histogram("b", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in values:
+            one.observe(float(value))
+        many.observe_many(values)
+        assert one.bucket_counts.tolist() == many.bucket_counts.tolist()
+        assert one.sum() == pytest.approx(many.sum())
+        assert one.min() == many.min() and one.max() == many.max()
+
+    def test_percentiles_monotone_and_clamped(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        hist.observe_many(np.random.default_rng(1).uniform(0.5, 6.0, 2_000))
+        ps = [hist.percentile(q) for q in (0, 10, 50, 90, 100)]
+        assert ps == sorted(ps)
+        assert ps[0] >= hist.min()
+        assert ps[-1] <= hist.max()
+
+    def test_percentile_tracks_exact_extremes(self):
+        hist = Histogram("h", buckets=(10.0,))
+        hist.observe(3.0)
+        hist.observe(7.0)
+        # Both fall in bucket [.., 10]; interpolation is clamped to the
+        # observed [3, 7], never reporting the bucket edge 10.
+        assert 3.0 <= hist.percentile(50) <= 7.0
+        assert hist.percentile(100) <= 7.0
+
+    def test_empty_histogram_is_nan(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert np.isnan(hist.percentile(50))
+        assert np.isnan(hist.mean())
+        assert np.isnan(hist.max())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, float("inf")))
+        hist = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.observe(float("nan"))
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_registry_histogram_factory_and_report(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_hist", buckets=(1.0, 2.0))
+        assert registry.histogram("latency_hist") is hist
+        with pytest.raises(ValueError, match="another kind"):
+            registry.counter("latency_hist")
+        hist.observe(0.5)
+        report = registry.report()
+        assert "latency_hist" in report and "[histogram]" in report
