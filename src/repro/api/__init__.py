@@ -15,6 +15,7 @@ from repro.api.builder import (
     apply_stage_specs,
     parse_stage_spec,
 )
+from repro.durability import DurabilitySpec
 from repro.gateway.scheduling import RoutingSpec
 from repro.runtime import ElasticityPolicy, RuntimeSpec
 from repro.server.stages import (
@@ -35,6 +36,7 @@ __all__ = [
     "RuntimeSpec",
     "ElasticityPolicy",
     "RoutingSpec",
+    "DurabilitySpec",
     "parse_stage_spec",
     "apply_stage_specs",
     "STAGE_SPEC_HELP",

@@ -40,6 +40,7 @@ from repro.core.adasgd import (
     make_fedavg,
     make_ssgd,
 )
+from repro.durability import DurabilitySpec
 from repro.profiler.iprof import IProf, SLO
 from repro.runtime import RuntimeSpec
 from repro.server.ab_testing import ABThresholdTuner
@@ -89,6 +90,10 @@ class ServerSpec:
     # autoscaling): ignored by ``build()`` — a single server has no tier —
     # and picked up by ``Gateway.from_spec``.
     runtime: RuntimeSpec | None = None
+    # Tier-level durability recipe (per-shard WAL + checkpoints + the
+    # failure detector behind gateway failover): same contract — ignored
+    # by ``build()``, consumed by ``Gateway.from_spec``.
+    durability: DurabilitySpec | None = None
 
     def build(self, index: int = 0) -> FleetServer:
         """One fresh, fully independent server (``index`` is cosmetic)."""
@@ -143,6 +148,7 @@ class FleetBuilder:
         self._stage_factories: list[tuple[str, Callable[[], object]]] = []
         self._runtime: RuntimeSpec | None = None
         self._routing = None
+        self._durability: DurabilitySpec | None = None
 
     # ------------------------------------------------------------------
     # Model / optimizer / profiler / SLO
@@ -313,6 +319,22 @@ class FleetBuilder:
         self._runtime = spec if spec is not None else RuntimeSpec(**kwargs)
         return self
 
+    def durability(self, spec: DurabilitySpec | None = None, **kwargs) -> "FleetBuilder":
+        """Attach a shard-durability recipe to the spec.
+
+        Pass a ready :class:`~repro.durability.spec.DurabilitySpec`, or
+        keyword knobs (``root_dir``, ``checkpoint_every_updates``,
+        ``fsync``, ``detector_timeout_s``, ``auto_failover``,
+        ``journal_path``, ...) to build one.  ``Gateway.from_spec`` then
+        arms every shard with a write-ahead log and checkpoint store and
+        the failure detector that drives failover; ``build()`` ignores
+        it (a single server has no tier to fail over within).
+        """
+        if spec is not None and kwargs:
+            raise ValueError("pass a DurabilitySpec or knobs, not both")
+        self._durability = spec if spec is not None else DurabilitySpec(**kwargs)
+        return self
+
     def routing(self, spec=None, **kwargs) -> "FleetBuilder":
         """Attach a device-placement recipe to the spec.
 
@@ -396,6 +418,7 @@ class FleetBuilder:
             slo=self._slo,
             stage_factories=tuple(self._stage_factories),
             runtime=runtime,
+            durability=self._durability,
         )
 
     def build(self) -> FleetServer:

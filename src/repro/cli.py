@@ -310,6 +310,20 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         if args.trace
         else None
     )
+    durability = None
+    if args.durability or args.wal_dir is not None or args.crash_shard_at is not None:
+        import tempfile
+        from pathlib import Path
+
+        from repro.durability import DurabilitySpec
+
+        root = args.wal_dir or tempfile.mkdtemp(prefix="repro-durability-")
+        durability = DurabilitySpec(
+            root_dir=root,
+            checkpoint_every_updates=args.checkpoint_every,
+            detector_timeout_s=args.detector_timeout,
+            journal_path=Path(root) / "journal.jsonl",
+        )
     gateway = Gateway.from_spec(
         args.shards, spec,
         GatewayConfig(
@@ -321,14 +335,22 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         cost_model=AggregationCostModel(),
         runtime=runtime,
         observability=observability,
+        durability=durability,
     )
+    heartbeat_s = args.autoscale_window / 2 if args.autoscale else None
+    if args.crash_shard_at is not None:
+        # Detection needs time to keep ticking while the dead shard's
+        # devices go quiet: heartbeat at half the detector timeout.
+        detect_tick = args.detector_timeout / 2
+        heartbeat_s = min(heartbeat_s, detect_tick) if heartbeat_s else detect_tick
     simulation = FleetSimulation(
         server=gateway, model=model, dataset=dataset, partition=partition,
         rng=rng,
         config=FleetSimConfig(
             horizon_s=args.hours * 3600.0,
             mean_think_time_s=args.think_time,
-            heartbeat_s=args.autoscale_window / 2 if args.autoscale else None,
+            heartbeat_s=heartbeat_s,
+            crash_shard_at_s=args.crash_shard_at,
         ),
     )
     result = simulation.run()
@@ -354,6 +376,14 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         # The scaling-event timeline itself is part of gateway.report().
         print(f"autoscaler: {gateway.num_shards} shards at end, "
               f"{len(gateway.autoscaler.events)} scaling events")
+    if gateway.durability is not None:
+        kinds = gateway.journal.counts_by_kind()
+        print(f"durability: root {gateway.durability.root}, "
+              f"{gateway.durability.checkpoints_written} checkpoints, "
+              f"{gateway.durability.restores} restores "
+              f"(crashes {kinds.get('shard_crash', 0)}, "
+              f"failovers {kinds.get('failover_done', 0)}); "
+              f"inspect with: repro wal-inspect {gateway.durability.root}")
     _print_pipeline_summary(gateway)
 
     if args.trace:
@@ -401,6 +431,49 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     events = [r for r in records if r.get("kind") != "trace"]
     print(critical_path_table(traces))
     print(journal_summary(events))
+    return 0
+
+
+def _cmd_wal_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.durability import checkpoint_summary, wal_summary
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"not a directory: {root}")
+        return 1
+    # Accept either a durability root (one subdirectory per shard) or a
+    # single shard's directory (wal/ + checkpoints/ directly inside).
+    if (root / "wal").is_dir() or (root / "checkpoints").is_dir():
+        shard_dirs = [root]
+    else:
+        shard_dirs = sorted(
+            child for child in root.iterdir()
+            if (child / "wal").is_dir() or (child / "checkpoints").is_dir()
+        )
+    if not shard_dirs:
+        print(f"no shard durability directories under {root}")
+        return 1
+    for shard_dir in shard_dirs:
+        print(f"{shard_dir.name}:")
+        wal = wal_summary(shard_dir / "wal")
+        status = "intact" if wal["intact"] else "TORN TAIL"
+        print(f"  wal: {len(wal['segments'])} segments, {wal['records']} records "
+              f"({wal['apply_records']} apply / {wal['param_records']} params), "
+              f"{wal['results_logged']} results logged, "
+              f"last clock {wal['last_clock']}, {status}")
+        for segment in wal["segments"]:
+            print(f"    {segment['file']}: {segment['bytes']} bytes, "
+                  f"{segment['records']} records "
+                  f"(seq {segment['first_seq']}..{segment['last_seq']})")
+        ckpt = checkpoint_summary(shard_dir / "checkpoints")
+        print(f"  checkpoints: {ckpt['count']} retained, "
+              f"latest wal_seq {ckpt['latest_wal_seq']}, "
+              f"latest clock {ckpt['latest_clock']}")
+        for entry in ckpt["checkpoints"]:
+            print(f"    {entry['file']}: wal_seq={entry['wal_seq']} "
+                  f"clock={entry['clock']} t={entry['time']:.1f}s")
     return 0
 
 
@@ -533,6 +606,23 @@ def build_parser() -> argparse.ArgumentParser:
                          default="text",
                          help="also dump the metrics registry as Prometheus "
                               "text exposition or a JSON snapshot")
+    gateway.add_argument("--durability", action="store_true",
+                         help="write-ahead log + periodic checkpoints per "
+                              "shard (implied by --wal-dir/--crash-shard-at)")
+    gateway.add_argument("--wal-dir", default=None, metavar="PATH",
+                         help="durability root directory (one subdirectory "
+                              "per shard; a temp dir when omitted)")
+    gateway.add_argument("--crash-shard-at", type=float, default=None,
+                         metavar="T",
+                         help="kill one shard's in-memory state at T virtual "
+                              "seconds; the failure detector then drives "
+                              "failover from checkpoint + WAL replay")
+    gateway.add_argument("--checkpoint-every", type=int, default=100,
+                         metavar="N",
+                         help="model updates between shard checkpoints")
+    gateway.add_argument("--detector-timeout", type=float, default=60.0,
+                         help="seconds of shard silence before the failure "
+                              "detector declares it dead")
     gateway.add_argument("--seed", type=int, default=0)
 
     report = sub.add_parser(
@@ -541,6 +631,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="journal file written by "
                                      "`gateway-sim --journal PATH`")
+
+    wal = sub.add_parser(
+        "wal-inspect",
+        help="summarize a durability directory (WAL segments + checkpoints)",
+    )
+    wal.add_argument("path", help="durability root written by `gateway-sim "
+                                  "--wal-dir PATH` (or one shard's directory)")
 
     freshness = sub.add_parser(
         "freshness", help="Standard vs Online FL freshness gap (Fig. 1)"
@@ -560,6 +657,7 @@ _COMMANDS = {
     "fleet-sim": _cmd_fleet_sim,
     "gateway-sim": _cmd_gateway_sim,
     "trace-report": _cmd_trace_report,
+    "wal-inspect": _cmd_wal_inspect,
     "freshness": _cmd_freshness,
 }
 

@@ -499,6 +499,10 @@ class StalenessAwareServer:
         # runs: exact rows within the window, reservoir tail beyond it.
         self.applied = AppliedLog(window=applied_log_window)
         self.rejected_count = 0
+        # Optional write-ahead log (repro.durability): set_parameters
+        # overwrites must be journaled alongside applied deliveries or a
+        # replayed shard would miss sync broadcasts and join blends.
+        self.wal = None
 
     # ------------------------------------------------------------------
     # Worker-facing API
@@ -536,6 +540,8 @@ class StalenessAwareServer:
         parameters = np.asarray(parameters, dtype=np.float64)
         if parameters.shape != self._params.shape:
             raise ValueError("parameter vector shape does not match the model")
+        if self.wal is not None:
+            self.wal.log_parameters(parameters, clock=self._clock)
         self._params = parameters.copy()
 
     def dampening_strategy(self) -> DampeningStrategy:

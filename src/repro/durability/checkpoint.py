@@ -1,0 +1,325 @@
+"""Periodic shard checkpoints with a WAL-offset manifest.
+
+A checkpoint is a complete bit-exact snapshot of one shard's mutable
+aggregation state — the canonical parameter vector plus everything the
+Eq-3 fold reads or writes: the logical clock, the optimizer's step count
+and momentum buffer (LR schedules and momentum would silently diverge
+otherwise), the staleness ring feeding the adaptive Λ, the LD_global
+label counts, any partial aggregation window sitting in the submit
+buffer, the applied-gradient log (live window + spill reservoir,
+including the reservoir RNG state), and the serving counters.  Restoring
+a snapshot and replaying the WAL tail recorded after it reproduces the
+uninterrupted run exactly (:mod:`repro.durability.restore`).
+
+Archives ride :func:`repro.nn.serialization.save_state` (versioned npz);
+the ``manifest.json`` next to them links each checkpoint file to the WAL
+sequence it covers, and is replaced atomically (tmp + ``os.replace``) so
+a crash mid-checkpoint can never leave a manifest pointing at a torn
+archive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.adasgd import GradientUpdate
+from repro.nn.serialization import load_state, save_state
+
+__all__ = [
+    "CheckpointStore",
+    "snapshot_state",
+    "load_state_into",
+    "checkpoint_summary",
+]
+
+
+def _pack_updates(updates, prefix: str, arrays: dict, meta: dict) -> None:
+    """Serialize a list of GradientUpdates (the partial submit buffer)."""
+    count = len(updates)
+    meta[f"{prefix}_count"] = count
+    if count == 0:
+        return
+    dim = updates[0].gradient.size
+    gradients = np.empty((count, dim), dtype=np.float64)
+    pull_steps = np.empty(count, dtype=np.int64)
+    worker_ids = np.empty(count, dtype=np.float64)
+    batch_sizes = np.empty(count, dtype=np.int64)
+    has_counts = np.zeros(count, dtype=bool)
+    num_labels = 0
+    for row, update in enumerate(updates):
+        gradients[row] = update.gradient
+        pull_steps[row] = update.pull_step
+        worker_ids[row] = np.nan if update.worker_id is None else update.worker_id
+        batch_sizes[row] = update.batch_size
+        if update.label_counts is not None:
+            has_counts[row] = True
+            num_labels = int(np.asarray(update.label_counts).size)
+    label_counts = np.zeros((count, num_labels), dtype=np.float64)
+    for row, update in enumerate(updates):
+        if update.label_counts is not None:
+            label_counts[row] = update.label_counts
+    arrays[f"{prefix}_gradients"] = gradients
+    arrays[f"{prefix}_pull_steps"] = pull_steps
+    arrays[f"{prefix}_worker_ids"] = worker_ids
+    arrays[f"{prefix}_batch_sizes"] = batch_sizes
+    arrays[f"{prefix}_has_counts"] = has_counts
+    arrays[f"{prefix}_label_counts"] = label_counts
+
+
+def _unpack_updates(prefix: str, arrays: dict, meta: dict) -> list[GradientUpdate]:
+    count = int(meta.get(f"{prefix}_count", 0))
+    if count == 0:
+        return []
+    gradients = arrays[f"{prefix}_gradients"]
+    pull_steps = arrays[f"{prefix}_pull_steps"]
+    worker_ids = arrays[f"{prefix}_worker_ids"]
+    batch_sizes = arrays[f"{prefix}_batch_sizes"]
+    has_counts = arrays[f"{prefix}_has_counts"]
+    label_counts = arrays[f"{prefix}_label_counts"]
+    out = []
+    for row in range(count):
+        worker = worker_ids[row]
+        out.append(
+            GradientUpdate(
+                gradient=gradients[row].copy(),
+                pull_step=int(pull_steps[row]),
+                label_counts=(
+                    label_counts[row].copy() if has_counts[row] else None
+                ),
+                batch_size=int(batch_sizes[row]),
+                worker_id=None if np.isnan(worker) else int(worker),
+            )
+        )
+    return out
+
+
+def snapshot_state(server) -> tuple[dict[str, np.ndarray], dict]:
+    """Capture a FleetServer's mutable aggregation state, bit for bit.
+
+    Configuration (dampening curve, aggregation_k, learning-rate schedule,
+    stage chains) is NOT captured — the shard factory rebuilds it; only
+    state that evolves as gradients fold is.  The I-Prof profiler and the
+    rejection ring are deliberately excluded: they are re-learnable
+    telemetry, not aggregation state, and do not affect model bits.
+    """
+    opt = server.optimizer  # StalenessAwareServer
+    sgd = opt._optimizer  # VectorSGD
+    tracker = opt.staleness_tracker
+    applied = opt.applied
+    arrays: dict[str, np.ndarray] = {
+        "params": opt._params,
+        "staleness_ring": tracker._ring,
+    }
+    meta: dict = {
+        "clock": opt._clock,
+        "opt_rejected": opt.rejected_count,
+        "sgd_step_count": sgd.step_count,
+        "tracker_total": tracker._total,
+        "tracker_cursor": tracker._cursor,
+        "results_applied": server.results_applied,
+        "assignments_issued": server.assignments_issued,
+    }
+    if sgd._velocity is not None:
+        arrays["sgd_velocity"] = sgd._velocity
+    if opt.similarity_tracker is not None:
+        arrays["label_counts"] = opt.similarity_tracker.counts
+    _pack_updates(opt._buffer, "buffer", arrays, meta)
+
+    live = slice(applied._start, applied._size)
+    arrays["applied_step"] = applied._step[live]
+    arrays["applied_staleness"] = applied._staleness[live]
+    arrays["applied_similarity"] = applied._similarity[live]
+    arrays["applied_dampening"] = applied._dampening[live]
+    arrays["applied_weight"] = applied._weight[live]
+    arrays["applied_worker_id"] = applied._worker_id[live]
+    meta["applied_spilled"] = applied._spilled
+    if applied._spill is not None:
+        spill = applied._spill
+        arrays["spill_rows"] = spill._rows
+        meta["spill_filled"] = spill._filled
+        meta["spill_seen"] = spill._seen
+        meta["spill_rng_state"] = spill._rng.bit_generator.state
+    return arrays, meta
+
+
+def load_state_into(server, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Overwrite a factory-fresh FleetServer's state with a snapshot.
+
+    The target must be built from the same factory as the snapshot source
+    (same parameter dimension, staleness window, log window, similarity
+    on/off) — snapshots carry state, not configuration.
+    """
+    opt = server.optimizer
+    sgd = opt._optimizer
+    tracker = opt.staleness_tracker
+    applied = opt.applied
+
+    params = np.asarray(arrays["params"], dtype=np.float64)
+    if params.shape != opt._params.shape:
+        raise ValueError("snapshot parameter shape does not match the shard")
+    opt._params = params.copy()
+    opt._clock = int(meta["clock"])
+    opt.rejected_count = int(meta["opt_rejected"])
+    sgd.step_count = int(meta["sgd_step_count"])
+    sgd._velocity = (
+        np.asarray(arrays["sgd_velocity"], dtype=np.float64).copy()
+        if "sgd_velocity" in arrays
+        else None
+    )
+
+    ring = np.asarray(arrays["staleness_ring"], dtype=np.float64)
+    if ring.shape != tracker._ring.shape:
+        raise ValueError("snapshot staleness window does not match the shard")
+    tracker._ring = ring.copy()
+    tracker._total = int(meta["tracker_total"])
+    tracker._cursor = int(meta["tracker_cursor"])
+
+    if "label_counts" in arrays:
+        if opt.similarity_tracker is None:
+            raise ValueError("snapshot has similarity state but shard has none")
+        opt.similarity_tracker.counts = np.asarray(
+            arrays["label_counts"], dtype=np.float64
+        ).copy()
+    opt._buffer = _unpack_updates("buffer", arrays, meta)
+
+    live = int(np.asarray(arrays["applied_step"]).size)
+    applied._start = 0
+    applied._size = 0
+    applied._reserve(live)
+    applied._step[:live] = arrays["applied_step"]
+    applied._staleness[:live] = arrays["applied_staleness"]
+    applied._similarity[:live] = arrays["applied_similarity"]
+    applied._dampening[:live] = arrays["applied_dampening"]
+    applied._weight[:live] = arrays["applied_weight"]
+    applied._worker_id[:live] = arrays["applied_worker_id"]
+    applied._size = live
+    applied._spilled = int(meta.get("applied_spilled", 0))
+    if applied._spill is not None and "spill_rows" in arrays:
+        spill = applied._spill
+        rows = np.asarray(arrays["spill_rows"], dtype=np.float64)
+        if rows.shape != spill._rows.shape:
+            raise ValueError("snapshot spill reservoir does not match the shard")
+        spill._rows = rows.copy()
+        spill._filled = int(meta["spill_filled"])
+        spill._seen = int(meta["spill_seen"])
+        spill._rng.bit_generator.state = meta["spill_rng_state"]
+
+    server.results_applied = int(meta["results_applied"])
+    server.assignments_issued = int(meta["assignments_issued"])
+
+
+class CheckpointStore:
+    """Numbered checkpoint archives + an atomically-replaced manifest.
+
+    Layout::
+
+        <directory>/ckpt-00000003.npz
+        <directory>/manifest.json   # {"checkpoints": [{file, wal_seq, clock, time}, ...]}
+
+    ``wal_seq`` is the WAL sequence the checkpoint covers: records with
+    ``seq >= wal_seq`` are the replay tail.  Old archives beyond
+    ``keep`` are pruned after each save, newest last in the manifest.
+    """
+
+    def __init__(self, directory: str | Path, *, keep: int = 3) -> None:
+        if keep <= 0:
+            raise ValueError("keep must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._manifest_path = self.directory / "manifest.json"
+
+    def manifest(self) -> list[dict]:
+        if not self._manifest_path.exists():
+            return []
+        return json.loads(self._manifest_path.read_text())["checkpoints"]
+
+    def _write_manifest(self, entries: list[dict]) -> None:
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps({"checkpoints": entries}, indent=1))
+        os.replace(tmp, self._manifest_path)
+
+    def save(self, server, *, wal_seq: int, now: float = 0.0) -> Path:
+        """Snapshot ``server`` as the next numbered checkpoint."""
+        arrays, meta = snapshot_state(server)
+        return self.save_snapshot(
+            arrays, meta, wal_seq=wal_seq, clock=int(server.clock), now=now
+        )
+
+    def save_snapshot(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+        *,
+        wal_seq: int,
+        clock: int,
+        now: float = 0.0,
+    ) -> Path:
+        """Persist an already-taken :func:`snapshot_state` snapshot.
+
+        Splitting capture from persistence lets the caller snapshot on
+        the delivery path (where the shard is quiescent) and write the
+        archive elsewhere — e.g. the manager's background saver thread.
+        The caller owns the snapshot's buffers: pass copies if the
+        source server keeps evolving.
+        """
+        entries = self.manifest()
+        index = (
+            int(Path(entries[-1]["file"]).stem.split("-")[1]) + 1 if entries else 0
+        )
+        meta["wal_seq"] = int(wal_seq)
+        name = f"ckpt-{index:08d}.npz"
+        path = self.directory / name
+        # Uncompressed: periodic snapshots ride the delivery path, and
+        # deflating float state costs milliseconds to save almost nothing.
+        save_state(path, arrays, meta, compress=False)
+        entries.append(
+            {
+                "file": name,
+                "wal_seq": int(wal_seq),
+                "clock": int(clock),
+                "time": float(now),
+            }
+        )
+        pruned, entries = entries[: -self.keep], entries[-self.keep :]
+        self._write_manifest(entries)
+        for stale in pruned:
+            stale_path = self.directory / stale["file"]
+            if stale_path.exists():
+                stale_path.unlink()
+        return path
+
+    def latest(self) -> dict | None:
+        """Newest manifest entry, or None when no checkpoint exists."""
+        entries = self.manifest()
+        return entries[-1] if entries else None
+
+    def load_latest_into(self, server) -> int:
+        """Restore the newest checkpoint into ``server``; returns wal_seq.
+
+        Returns 0 (replay the WAL from the beginning) when the store is
+        empty — a shard that crashed before its first checkpoint.
+        """
+        entry = self.latest()
+        if entry is None:
+            return 0
+        arrays, meta = load_state(self.directory / entry["file"])
+        load_state_into(server, arrays, meta)
+        return int(meta["wal_seq"])
+
+
+def checkpoint_summary(directory: str | Path) -> dict:
+    """Manifest summary of one checkpoint directory (``repro wal-inspect``)."""
+    store = CheckpointStore(directory) if Path(directory).is_dir() else None
+    entries = store.manifest() if store else []
+    return {
+        "directory": str(directory),
+        "checkpoints": entries,
+        "count": len(entries),
+        "latest_wal_seq": entries[-1]["wal_seq"] if entries else None,
+        "latest_clock": entries[-1]["clock"] if entries else None,
+    }

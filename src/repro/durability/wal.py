@@ -1,0 +1,494 @@
+"""Write-ahead applied-log: CRC-framed binary segments with rotation.
+
+Every delivery the server folds into its model is logged *before* the
+fold (`FleetServer._deliver` calls :meth:`WriteAheadLog.log_apply`), and
+every external parameter overwrite — a gateway sync broadcast, a join
+blend — is logged as a ``params`` record
+(:meth:`WriteAheadLog.log_parameters`).  Replaying the records against a
+fresh shard built from the same factory reproduces the optimizer state
+bit for bit (see :mod:`repro.durability.restore`): gradients are stored
+as raw float64 bytes, so no quantization sneaks in between the live fold
+and the replayed one.
+
+**Record framing.**  A segment file starts with a 4-byte magic; each
+record is::
+
+    u32 payload_length | u32 crc32(payload) | payload
+
+and the payload is a fixed 28-byte binary header followed by the body::
+
+    u8 kind | u8 flags | u16 count | u32 dim | u32 num_labels
+    | i64 seq | i64 clock | body
+
+where ``kind`` is 1 (apply) or 2 (params), flag bit 0 is the delivery's
+``batched`` flag, and flag bit 1 says the body is zlib-compressed
+(``compression_level > 0``, for archival density; the default is raw —
+float64 gradient mantissas are incompressible, and the WAL sits on the
+``handle_result_batch`` fold path).  The body packs the record's arrays
+back to back as raw little-endian bytes.  A torn tail (the process died
+mid-append) fails either the length read or the CRC and reading simply
+stops there — every fully framed record before it is intact by
+construction, because records are only ever appended.  Reopening a
+directory truncates any torn tail to its intact prefix: readers stop at
+the first torn record, so a torn byte range left in place would hide
+every record appended after recovery from the *next* recovery.
+
+**Rotation.**  When the open segment exceeds ``segment_max_bytes`` the
+next record starts a new file named after its first sequence number
+(``wal-00000042.seg``), so readers recover global order from file names
+alone and checkpoint-driven truncation can drop whole prefix segments.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.adasgd import GradientUpdate
+
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "read_records",
+    "wal_summary",
+]
+
+_MAGIC = b"FWAL"
+_FRAME = struct.Struct("<II")  # payload length, crc32
+# kind, flags, count, dim, num_labels, seq, clock — the whole record
+# header in one fixed 28-byte pack, no serialization pass on append.
+_HEADER = struct.Struct("<BBHIIqq")
+_KIND_APPLY = 1
+_KIND_PARAMS = 2
+_FLAG_BATCHED = 1
+_FLAG_ZLIB = 2
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+def _writev_all(fd: int, buffers: tuple, total: int) -> None:
+    """Write every buffer to ``fd``, finishing a partial writev if any.
+
+    Regular-file writev is effectively all-or-nothing on Linux, but the
+    contract only promises *some* bytes — fall back to a plain tail
+    write for the remainder rather than leave a torn record behind.
+    """
+    written = os.writev(fd, buffers)
+    if written == total:
+        return
+    rest = memoryview(b"".join(bytes(part) for part in buffers))[written:]
+    while rest:
+        rest = rest[os.write(fd, rest) :]
+
+
+def _segment_name(seq: int) -> str:
+    return f"wal-{seq:08d}.seg"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded record: an applied delivery or a parameter overwrite.
+
+    ``kind`` is ``"apply"`` or ``"params"``.  Apply records carry the
+    delivery exactly as the server saw it — the ``(B, D)`` gradient
+    matrix plus per-row lease clocks, worker ids, batch sizes and label
+    histograms — and the ``batched`` flag that selects the delivery
+    dispatch on replay.  Params records carry the overwritten vector.
+    """
+
+    kind: str
+    seq: int
+    clock: int
+    batched: bool = False
+    gradients: np.ndarray | None = None
+    pull_steps: np.ndarray | None = None
+    worker_ids: np.ndarray | None = None
+    batch_sizes: np.ndarray | None = None
+    label_counts: np.ndarray | None = None
+    has_counts: np.ndarray | None = None
+    parameters: np.ndarray | None = None
+
+    def updates(self) -> list[GradientUpdate]:
+        """Reconstruct the delivery as ``GradientUpdate`` rows.
+
+        Gradients are *views* of the stored matrix, so the replay path's
+        ``stack_gradients`` recognizes the common base and folds the
+        exact same ``(B, D)`` buffer the live path folded.
+        """
+        if self.kind != "apply":
+            raise ValueError("only apply records carry updates")
+        assert self.gradients is not None
+        out: list[GradientUpdate] = []
+        for row in range(self.gradients.shape[0]):
+            worker = self.worker_ids[row]
+            counts = None
+            if self.label_counts is not None and self.has_counts[row]:
+                counts = self.label_counts[row]
+            out.append(
+                GradientUpdate(
+                    gradient=self.gradients[row],
+                    pull_step=int(self.pull_steps[row]),
+                    label_counts=counts,
+                    batch_size=int(self.batch_sizes[row]),
+                    worker_id=None if np.isnan(worker) else int(worker),
+                )
+            )
+        return out
+
+
+class WriteAheadLog:
+    """Appender for one shard's WAL directory.
+
+    Opening an existing directory resumes after the last intact record
+    (``next_seq`` continues the global sequence), so a restored shard
+    reattaches the same log and keeps appending — recovery does not fork
+    history.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        fsync: bool = False,
+        compression_level: int = 0,
+    ) -> None:
+        if segment_max_bytes <= 0:
+            raise ValueError("segment_max_bytes must be positive")
+        if not 0 <= compression_level <= 9:
+            raise ValueError("compression_level must be in [0, 9]")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync = fsync
+        self.compression_level = compression_level
+        self._handle = None
+        self._segment_path: Path | None = None
+        self._segment_size = 0
+        self.records_written = 0
+        self._truncate_torn_tail()
+        self.next_seq = 0
+        for record in read_records(self.directory):
+            self.next_seq = record.seq + 1
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def log_apply(
+        self,
+        updates: list[GradientUpdate],
+        *,
+        clock: int,
+        batched: bool,
+    ) -> int:
+        """Record one delivery (before the fold); returns its sequence."""
+        count = len(updates)
+        dim = int(updates[0].gradient.size)
+        num_labels = 0
+        missing_counts = 0
+        for update in updates:
+            if update.label_counts is None:
+                missing_counts += 1
+            elif not num_labels:
+                num_labels = int(np.asarray(update.label_counts).size)
+        # The gradient rows go to the segment straight from each update's
+        # own buffer — their concatenation is byte-identical to the
+        # (count, dim) matrix the reader decodes, so the hot path never
+        # materializes that matrix.  Scalar columns build through list
+        # comprehensions: np.array over a list runs the conversion in C,
+        # where per-row ndarray assignment pays a dispatch per element.
+        gradient_rows = tuple(
+            np.ascontiguousarray(u.gradient, dtype=np.float64).data
+            for u in updates
+        )
+        if any(row.nbytes != dim * 8 for row in gradient_rows):
+            raise ValueError("updates in one record must share a dimension")
+        pull_steps = np.array([u.pull_step for u in updates], dtype=np.int64)
+        worker_ids = np.array(
+            [np.nan if u.worker_id is None else float(u.worker_id) for u in updates],
+            dtype=np.float64,
+        )
+        batch_sizes = np.array([u.batch_size for u in updates], dtype=np.int64)
+        if num_labels and not missing_counts:
+            # Every row has a histogram (the common case): stream each
+            # row's own buffer, byte-identical to the dense matrix below.
+            has_counts_bytes = b"\x01" * count
+            count_rows = tuple(
+                np.ascontiguousarray(u.label_counts, dtype=np.float64).data
+                for u in updates
+            )
+            if any(row.nbytes != num_labels * 8 for row in count_rows):
+                raise ValueError("label histograms must share num_labels")
+        else:
+            has_counts = np.zeros(count, dtype=bool)
+            label_counts = np.zeros((count, num_labels), dtype=np.float64)
+            for row, update in enumerate(updates):
+                if update.label_counts is not None:
+                    has_counts[row] = True
+                    label_counts[row] = update.label_counts
+            has_counts_bytes = has_counts.data
+            count_rows = (label_counts.data,)
+        flags = _FLAG_BATCHED if batched else 0
+        body_len = count * (dim * 8 + 25 + num_labels * 8)
+        return self._append(
+            _KIND_APPLY,
+            flags,
+            count,
+            dim,
+            num_labels,
+            clock,
+            gradient_rows
+            + (pull_steps.data, worker_ids.data, batch_sizes.data,
+               has_counts_bytes)
+            + count_rows,
+            body_len,
+        )
+
+    def log_parameters(self, parameters: np.ndarray, *, clock: int) -> int:
+        """Record an external parameter overwrite (sync broadcast, blend)."""
+        parameters = np.ascontiguousarray(parameters, dtype=np.float64)
+        return self._append(
+            _KIND_PARAMS,
+            0,
+            0,
+            int(parameters.size),
+            0,
+            clock,
+            (parameters.data,),
+            parameters.nbytes,
+        )
+
+    def _append(
+        self,
+        kind: int,
+        flags: int,
+        count: int,
+        dim: int,
+        num_labels: int,
+        clock: int,
+        parts: tuple,
+        body_len: int,
+    ) -> int:
+        if self.compression_level:
+            flags |= _FLAG_ZLIB
+            parts = (zlib.compress(b"".join(parts), self.compression_level),)
+            body_len = len(parts[0])
+        prefix = _HEADER.pack(
+            kind, flags, count, dim, num_labels, self.next_seq, int(clock)
+        )
+        length = _HEADER.size + body_len
+        # CRC accumulates across the body parts — identical to the CRC of
+        # their concatenation, without ever materializing it.
+        crc = zlib.crc32(prefix)
+        for part in parts:
+            crc = zlib.crc32(part, crc)
+        handle = self._segment_for(length + _FRAME.size)
+        # The buffered stream only ever holds the segment magic — flush
+        # it through before writing the record at the fd level.
+        handle.flush()
+        # One writev per record: the frame, header, and each body part go
+        # to the kernel straight from their own buffers, with no payload
+        # concatenation pass on the hot path.  A record in the kernel
+        # survives a *process* crash; fsync additionally survives a
+        # machine crash.
+        _writev_all(
+            handle.fileno(),
+            (_FRAME.pack(length, crc) + prefix,) + parts,
+            length + _FRAME.size,
+        )
+        self._segment_size += length + _FRAME.size
+        if self.fsync:
+            os.fsync(handle.fileno())
+        seq = self.next_seq
+        self.next_seq += 1
+        self.records_written += 1
+        return seq
+
+    def _segment_for(self, record_bytes: int):
+        if self._handle is not None:
+            # Tracked in Python rather than ``tell()``-ed: the segment is
+            # append-only and single-writer, so the counter cannot drift.
+            if self._segment_size + record_bytes <= self.segment_max_bytes:
+                return self._handle
+            self._handle.close()
+            self._handle = None
+        self._segment_path = self.directory / _segment_name(self.next_seq)
+        self._handle = open(self._segment_path, "ab")
+        self._segment_size = self._handle.tell()
+        if self._segment_size == 0:
+            self._handle.write(_MAGIC)
+            self._segment_size = len(_MAGIC)
+        return self._handle
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _truncate_torn_tail(self) -> None:
+        """Cut a crash's half-written record out of the on-disk log.
+
+        Appends after recovery land in a fresh segment, but readers stop
+        at the first torn record — a torn byte range left behind would
+        permanently hide everything appended after it.  Truncating the
+        torn segment to its intact prefix (and dropping any segments
+        past the tear) restores the invariant that every byte on disk is
+        a fully framed record.
+        """
+        paths = sorted(self.directory.glob(_SEGMENT_GLOB))
+        for index, path in enumerate(paths):
+            records: list[WalRecord] = []
+            intact, end = _read_segment(path, records)
+            if intact:
+                continue
+            if end >= len(_MAGIC):
+                with open(path, "r+b") as handle:
+                    handle.truncate(end)
+            else:
+                path.unlink()  # not even a valid magic: not a segment
+            for stale in paths[index + 1 :]:
+                stale.unlink()
+            break
+
+    def sync(self) -> None:
+        """Flush (and fsync) the open segment."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+
+def _read_segment(path: Path, out: list[WalRecord]) -> tuple[bool, int]:
+    """Decode one segment into ``out``.
+
+    Returns ``(intact, offset)`` where ``offset`` is the end of the
+    intact record prefix — the truncation point when ``intact`` is
+    False (a torn or corrupt tail stopped the read there).
+    """
+    data = path.read_bytes()
+    if len(data) < len(_MAGIC) or data[: len(_MAGIC)] != _MAGIC:
+        return False, 0
+    offset = len(_MAGIC)
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return False, offset  # torn tail: the append never completed
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return False, offset  # corrupt tail: stop at the last intact record
+        out.append(_decode_payload(payload))
+        offset = end
+    return offset == len(data), offset
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    kind, flags, count, dim, num_labels, seq, clock = _HEADER.unpack_from(
+        payload, 0
+    )
+    body = payload[_HEADER.size :]
+    if flags & _FLAG_ZLIB:
+        body = zlib.decompress(body)
+    if kind == _KIND_PARAMS:
+        parameters = np.frombuffer(body, dtype=np.float64, count=dim)
+        return WalRecord(
+            kind="params",
+            seq=seq,
+            clock=clock,
+            parameters=parameters,
+        )
+    offset = 0
+
+    def take(dtype, n):
+        nonlocal offset
+        arr = np.frombuffer(body, dtype=dtype, count=n, offset=offset)
+        offset += arr.nbytes
+        return arr
+
+    gradients = take(np.float64, count * dim).reshape(count, dim).copy()
+    pull_steps = take(np.int64, count)
+    worker_ids = take(np.float64, count)
+    batch_sizes = take(np.int64, count)
+    has_counts = take(np.bool_, count)
+    label_counts = (
+        take(np.float64, count * num_labels).reshape(count, num_labels)
+        if num_labels
+        else None
+    )
+    return WalRecord(
+        kind="apply",
+        seq=seq,
+        clock=clock,
+        batched=bool(flags & _FLAG_BATCHED),
+        gradients=gradients,
+        pull_steps=pull_steps,
+        worker_ids=worker_ids,
+        batch_sizes=batch_sizes,
+        label_counts=label_counts,
+        has_counts=has_counts,
+    )
+
+
+def read_records(
+    directory: str | Path, start_seq: int = 0
+) -> list[WalRecord]:
+    """Decode every intact record with ``seq >= start_seq``, in order.
+
+    Reading stops at the first torn or corrupt record (crash artifact);
+    everything before it is returned.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    records: list[WalRecord] = []
+    for path in sorted(directory.glob(_SEGMENT_GLOB)):
+        intact, _ = _read_segment(path, records)
+        if not intact:
+            break
+    return [record for record in records if record.seq >= start_seq]
+
+
+def wal_summary(directory: str | Path) -> dict:
+    """Segment-level summary of one WAL directory (``repro wal-inspect``)."""
+    directory = Path(directory)
+    segments = []
+    records: list[WalRecord] = []
+    intact = True
+    for path in sorted(directory.glob(_SEGMENT_GLOB)):
+        before = len(records)
+        intact, _ = _read_segment(path, records)
+        segment_records = records[before:]
+        segments.append(
+            {
+                "file": path.name,
+                "bytes": path.stat().st_size,
+                "records": len(segment_records),
+                "first_seq": segment_records[0].seq if segment_records else None,
+                "last_seq": segment_records[-1].seq if segment_records else None,
+                "intact": intact,
+            }
+        )
+        if not intact:
+            break
+    applied = sum(1 for r in records if r.kind == "apply")
+    results = sum(
+        r.gradients.shape[0] for r in records if r.kind == "apply"
+    )
+    return {
+        "directory": str(directory),
+        "segments": segments,
+        "records": len(records),
+        "apply_records": applied,
+        "param_records": len(records) - applied,
+        "results_logged": results,
+        "last_clock": records[-1].clock if records else None,
+        "intact": intact,
+    }

@@ -23,7 +23,16 @@ cannot tell the difference — but behind it:
   worker lanes behind bounded queues instead of the caller's thread, and
   a queue-driven elasticity controller resizes the tier between
   configurable bounds (:mod:`repro.runtime`; pass a
-  :class:`~repro.runtime.spec.RuntimeSpec`).
+  :class:`~repro.runtime.spec.RuntimeSpec`);
+* **durability + failover** (optional) — every shard's deliveries are
+  write-ahead logged and periodically checkpointed; a heartbeat failure
+  detector declares silent shards dead and ``failover`` rebuilds them
+  from checkpoint + WAL replay onto a factory-fresh server under the
+  SAME shard id — the ring is untouched, outstanding leases stay valid
+  because the replayed clock equals the crash-time clock, and results
+  accepted during the outage are retained and redelivered
+  (:mod:`repro.durability`; pass a
+  :class:`~repro.durability.spec.DurabilitySpec`).
 
 All timing is virtual: callers pass ``now`` from their event loop (the
 fleet simulation passes ``loop.now``); deadline flushes and syncs fire
@@ -44,8 +53,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.durability import DurabilityManager, DurabilitySpec, FailureDetector
 from repro.gateway.backpressure import TokenBucket
-from repro.gateway.batching import MicroBatcher
+from repro.gateway.batching import MicroBatcher, encode_result
 from repro.gateway.scheduling import HashRouter, Router
 from repro.gateway.sync import ShardSynchronizer
 from repro.observability import EventJournal, ObservabilitySpec, UploadTracer
@@ -153,6 +163,7 @@ class Gateway:
         shard_factory: Callable[[int], FleetServer] | None = None,
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
+        durability: DurabilitySpec | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -227,6 +238,10 @@ class Gateway:
         )
         self._assigned = self.metrics.counter(
             "gateway.assignments", "requests that received a task"
+        )
+        self._unavailable = self.metrics.counter(
+            "gateway.requests_unavailable",
+            "requests refused because their shard was crashed",
         )
         self._results = self.metrics.counter(
             "gateway.results", "gradient results accepted"
@@ -307,6 +322,43 @@ class Gateway:
                     )
                 self.autoscaler = ElasticityController(runtime.autoscale, self)
 
+        # Durability: per-shard WAL + checkpoints, a heartbeat failure
+        # detector, and crash-window bookkeeping.  ``_crashed`` maps a
+        # dead shard id to its crash time; ``_crash_pending`` retains the
+        # encoded results the gateway accepted for it during the outage
+        # (acked uploads are never lost — they redeliver at failover);
+        # ``_crashed_counters`` carries the gateway-observed (clock,
+        # results_applied) of the dead shard so the tier-wide monotone
+        # counters don't dip while it is down.
+        self.durability_spec = durability
+        self.durability: DurabilityManager | None = None
+        self.detector: FailureDetector | None = None
+        self._crashed: dict[str, float] = {}
+        self._crash_pending: dict[str, list] = {}
+        self._crashed_counters: dict[str, tuple[int, int]] = {}
+        self._recovery_hist = None
+        self._next_probe_s = float("-inf")
+        if durability is not None:
+            self.durability = DurabilityManager(durability)
+            self.detector = FailureDetector(durability.detector_timeout_s)
+            # Tier-wide liveness probes are quantized to a small fraction
+            # of the timeout: running them on every pump would tax the
+            # hot path for no extra detection fidelity (silence is only
+            # meaningful on the timeout's scale, not per upload).
+            self._probe_interval_s = durability.detector_timeout_s / 64.0
+            self._recovery_hist = self.metrics.histogram(
+                "gateway.failover_recovery_s",
+                "virtual seconds from shard crash to restored shard",
+                buckets=(0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0),
+            )
+            if durability.journal_path is not None:
+                self.journal.stream_to(
+                    durability.journal_path, fsync=durability.fsync
+                )
+            for shard_id, shard in self._shards.items():
+                self.durability.attach(shard_id, shard, now=self._now)
+                self.detector.register(shard_id, self._now)
+
     # ------------------------------------------------------------------
     # Factory
     # ------------------------------------------------------------------
@@ -320,12 +372,13 @@ class Gateway:
         runtime: RuntimeSpec | None = None,
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
+        durability: DurabilitySpec | None = None,
     ) -> "Gateway":
         """Build N identically-configured shards from a factory.
 
         The factory is retained: it is what lets the elasticity
         controller (``runtime.autoscale``) stamp out additional shards at
-        scale-up time.
+        scale-up time — and what ``failover`` rebuilds crashed shards on.
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -337,6 +390,7 @@ class Gateway:
             shard_factory=shard_factory,
             router=router,
             observability=observability,
+            durability=durability,
         )
 
     @classmethod
@@ -349,6 +403,7 @@ class Gateway:
         runtime: RuntimeSpec | None = None,
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
+        durability: DurabilitySpec | None = None,
     ) -> "Gateway":
         """Build N shards from a :class:`repro.api.ServerSpec`.
 
@@ -357,13 +412,17 @@ class Gateway:
         builder's product (duck-typed to avoid a gateway→api dependency).
         A spec built with ``FleetBuilder.runtime(...)`` carries its own
         :class:`RuntimeSpec` (including any ``FleetBuilder.routing``
-        recipe); an explicit ``runtime``/``router`` argument overrides it.
+        recipe), and one built with ``FleetBuilder.durability(...)`` its
+        own :class:`DurabilitySpec`; explicit arguments override both.
         """
         if runtime is None:
             runtime = getattr(spec, "runtime", None)
+        if durability is None:
+            durability = getattr(spec, "durability", None)
         return cls.from_factory(
             num_shards, spec, config=config, cost_model=cost_model,
             runtime=runtime, router=router, observability=observability,
+            durability=durability,
         )
 
     # ------------------------------------------------------------------
@@ -416,6 +475,13 @@ class Gateway:
                 reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
             )
         shard_id = self.router.route(request.worker_id, now)
+        if shard_id in self._crashed:
+            # The device's shard is down and not yet failed over: refuse
+            # the pull rather than hand out a lease no shard backs.
+            self._unavailable.increment()
+            return TaskRejection(
+                reason=RejectionReason.OVERLOADED, batch_size=0, similarity=0.0
+            )
         with self._shard_guard(shard_id):
             response = self._shards[shard_id].handle_request(request)
         if isinstance(response, TaskAssignment):
@@ -449,11 +515,20 @@ class Gateway:
             self.router.observe_latency(result.worker_id, now - issued_at, now)
 
         shard_id = self._inflight.pop(result.worker_id, None)
+        if shard_id in self._crashed:
+            # The owning shard is down: the result is ACCEPTED (counted
+            # above) and parked in wire form; failover redelivers it to
+            # the restored shard, so an acked upload is never lost.
+            self._stash_crashed(shard_id, result, now)
+            return self._pump(now)
         if shard_id is None or shard_id not in self._shards:
             # Rerouted result (shard removed, or lease predates the gateway):
             # the new owner's clock may be behind the issuing shard's, so
             # clamp the lease to keep staleness non-negative.
             shard_id = self.shard_for(result.worker_id)
+            if shard_id in self._crashed:
+                self._stash_crashed(shard_id, result, now)
+                return self._pump(now)
             with self._shard_guard(shard_id):
                 clock = self._shards[shard_id].clock
             if result.pull_step > clock:
@@ -523,6 +598,17 @@ class Gateway:
             return bool(ticket.result())
         return False
 
+    def _stash_crashed(self, shard_id: str, result: TaskResult, now: float) -> None:
+        """Park an accepted result for a crashed shard, in wire form.
+
+        Encoding through the codec keeps the parked copy identical to
+        what any delivered result goes through — redelivery after
+        failover decodes it exactly like a normal micro-batch flush.
+        """
+        self._crash_pending.setdefault(shard_id, []).append(
+            encode_result(result, self.codec)
+        )
+
     def _flush_shard(self, shard_id: str, now: float) -> bool:
         """Flush one lane through whichever delivery path is configured."""
         if self.runtime is not None:
@@ -536,7 +622,14 @@ class Gateway:
         return self._deliver(shard_id, batch, now)
 
     def _deliver(self, shard_id: str, batch: list[TaskResult], now: float) -> bool:
-        updated = self._shards[shard_id].handle_result_batch(batch)
+        shard = self._shards[shard_id]
+        updated = shard.handle_result_batch(batch)
+        if self.durability is not None:
+            # Cadence checkpoint on the delivery path: callers already
+            # hold the shard guard in threads mode, so the snapshot sees
+            # a quiescent shard.  A delivery is also proof of life.
+            self.durability.maybe_checkpoint(shard_id, shard, now=now)
+            self.detector.beat(shard_id, now)
         # Without a cost model delivery is instantaneous in virtual time:
         # the lane frees at `now` and the apply span is empty.
         start, service = now, 0.0
@@ -582,6 +675,27 @@ class Gateway:
             self.synchronize(now)
         if self.autoscaler is not None:
             self.autoscaler.observe(now)
+        if self.detector is not None and now >= self._next_probe_s:
+            self._next_probe_s = now + self._probe_interval_s
+            # Every live shard beats as the pump touches the tier (the
+            # beat is the probe: an idle-but-healthy shard never trips
+            # the timeout), THEN silence is judged — so only shards that
+            # genuinely stopped being live can be suspected.
+            for shard_id in self._shards:
+                self.detector.beat(shard_id, now)
+            for shard_id in self.detector.suspects(now):
+                clock, _ = self._crashed_counters.get(shard_id, (0, 0))
+                self.journal.shard_crash(
+                    now, shard_id, clock=clock, detected_by="detector"
+                )
+            if (
+                self.durability is not None
+                and self.durability.spec.auto_failover
+                and self._shard_factory is not None
+            ):
+                for shard_id in self.detector.dead():
+                    if shard_id in self._crashed:
+                        self.failover(shard_id, now)
         return watched_updated
 
     # ------------------------------------------------------------------
@@ -621,12 +735,23 @@ class Gateway:
         return flushed
 
     def finalize(self, now: float | None = None) -> None:
-        """End of run: drain all lanes, then converge shard models."""
+        """End of run: recover any dead shards, drain lanes, converge.
+
+        Crashed shards are failed over first (when a factory is
+        retained) so their durable state — and every result parked for
+        them — rejoins the tier before the final synchronization.
+        """
+        now = self._advance(now)
+        if self._crashed and self._shard_factory is not None:
+            for shard_id in sorted(self._crashed):
+                self.failover(shard_id, now)
         self.flush_all(now)
         if self.runtime is not None:
             self.runtime.drain()
         if len(self._shards) > 1:
             self.synchronize(now)
+        if self.durability is not None:
+            self.durability.sync_all()
 
     def add_shard(
         self, shard: FleetServer, shard_id: str | None = None, now: float | None = None
@@ -652,6 +777,11 @@ class Gateway:
         self.router.add_shard(shard_id, now)
         if self.runtime is not None:
             self.runtime.add_lane(shard_id)
+        if self.durability is not None:
+            # The anchor checkpoint covers the blend the joiner just
+            # inherited — recovery never depends on the factory alone.
+            self.durability.attach(shard_id, shard, now=now)
+            self.detector.register(shard_id, now)
         self.synchronizer.note_membership_change(self._shards)
         return shard_id
 
@@ -674,6 +804,12 @@ class Gateway:
         # One sync while the leaver still participates: its updates enter
         # the consensus, so removing it afterwards loses nothing.
         self.synchronize(now)
+        if self.durability is not None:
+            # Planned removal shares the crash-recovery format: WAL
+            # fsync + final checkpoint, so a retired shard's history can
+            # be inspected or restored exactly like a crashed one's.
+            self.durability.retire(shard_id, self._shards[shard_id], now=now)
+            self.detector.deregister(shard_id)
         shard = self._shards.pop(shard_id)
         self.router.remove_shard(shard_id, now)
         lane = self._lanes.pop(shard_id)
@@ -729,6 +865,105 @@ class Gateway:
             shard_id = sorted(self._shards)[-1]
         self.remove_shard(shard_id, now=now)
         return shard_id
+
+    # ------------------------------------------------------------------
+    # Crash injection + failover (durability-backed)
+    # ------------------------------------------------------------------
+    def crash_shard(self, shard_id: str, now: float | None = None) -> None:
+        """Lose a shard's in-memory state (fault injection / observed crash).
+
+        The gateway itself survives: results it already accepted for the
+        shard (pending micro-batch entries, and anything arriving during
+        the outage) are parked in wire form for redelivery at failover.
+        Micro-batches queued on the shard's runtime lane die with it —
+        the at-most-once window for work past the WAL.  The failure
+        detector is NOT told directly: the shard simply goes silent, and
+        detection happens through the heartbeat timeout like any real
+        crash.
+        """
+        now = self._advance(now)
+        if shard_id not in self._shards:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if self.durability is None:
+            raise ValueError(
+                "crash_shard needs durability: without a WAL the shard's "
+                "state would be unrecoverable"
+            )
+        if self.runtime is not None:
+            self.runtime.drain()  # entrained lane jobs finish or die now
+        server = self._shards.pop(shard_id)
+        self._crashed[shard_id] = now
+        self._crashed_counters[shard_id] = (server.clock, server.results_applied)
+        self.journal.shard_crash(
+            now, shard_id, clock=server.clock, detected_by="injection"
+        )
+        # Pending micro-batch entries live in the GATEWAY, not the shard:
+        # they were acked on arrival, so they ride out the crash parked.
+        pending = self.batcher.flush_encoded(shard_id)
+        if pending:
+            self._crash_pending.setdefault(shard_id, []).extend(pending)
+        self.batcher.drop(shard_id)
+        self.durability.drop_attachment(shard_id)
+        if self.runtime is not None:
+            self.runtime.fail_lane(shard_id)
+
+    def failover(self, shard_id: str, now: float | None = None):
+        """Rebuild a crashed shard from checkpoint + WAL replay.
+
+        The restored server takes over under the SAME shard id: the hash
+        ring never changes, outstanding leases stay valid (the replayed
+        clock equals the crash-time clock), and the deadline-aware
+        router's ``on_failover`` hook bumps the membership epoch for a
+        bounded rebalance.  Results parked during the outage are
+        redelivered before returning.  Returns the
+        :class:`~repro.durability.restore.RestoreReport`.
+        """
+        now = self._advance(now)
+        if shard_id not in self._crashed:
+            raise ValueError(f"shard {shard_id!r} is not crashed")
+        if self._shard_factory is None:
+            raise ValueError(
+                "failover needs a retained shard factory: build the "
+                "gateway via from_factory/from_spec (or pass "
+                "shard_factory=)"
+            )
+        crashed_at = self._crashed[shard_id]
+        self.journal.failover_start(
+            now, shard_id, epoch=getattr(self.router, "_epoch", 0)
+        )
+        fresh = self._shard_factory(self._shards_built)
+        self._shards_built += 1
+        report = self.durability.restore(shard_id, fresh, now=now)
+        self._shards[shard_id] = fresh
+        self._crashed.pop(shard_id)
+        self._crashed_counters.pop(shard_id, None)
+        self._lanes.setdefault(shard_id, _ShardLane())
+        self._shard_locks.setdefault(shard_id, threading.Lock())
+        if self.runtime is not None:
+            self.runtime.revive_lane(shard_id)
+        self.detector.revive(shard_id, now)
+        self.router.on_failover(shard_id, now)
+        parked = self._crash_pending.pop(shard_id, [])
+        redelivered = 0
+        if parked:
+            batch = self.batcher.decode_entries(parked)
+            with self._shard_guard(shard_id):
+                self._deliver(shard_id, batch, now)
+            redelivered = len(batch)
+        recovery_s = now - crashed_at
+        self._recovery_hist.observe(recovery_s)
+        self.journal.failover_done(
+            now,
+            shard_id,
+            epoch=getattr(self.router, "_epoch", 0),
+            recovery_s=recovery_s,
+            checkpoint_wal_seq=report.checkpoint_wal_seq,
+            replayed_records=report.replayed_records,
+            replayed_results=report.replayed_results,
+            restored_clock=report.final_clock,
+            redelivered_results=redelivered,
+        )
+        return report
 
     def heartbeat(self, now: float | None = None) -> None:
         """Advance virtual time without traffic (deadline flushes, sync,
@@ -834,10 +1069,13 @@ class Gateway:
     @property
     def clock(self) -> int:
         """Total model updates across the serving tier (monotone: updates
-        applied by since-removed shards remain counted)."""
+        applied by since-removed shards remain counted, and a crashed
+        shard's last observed clock holds its place until failover —
+        WAL replay restores exactly that clock, so the sum never dips)."""
         return (
             sum(shard.clock for shard in self._shards.values())
             + self._retired_clock
+            + sum(clock for clock, _ in self._crashed_counters.values())
         )
 
     @property
@@ -845,6 +1083,7 @@ class Gateway:
         return (
             sum(shard.results_applied for shard in self._shards.values())
             + self._retired_results_applied
+            + sum(applied for _, applied in self._crashed_counters.values())
         )
 
     def applied_staleness(self) -> np.ndarray:

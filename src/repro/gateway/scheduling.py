@@ -141,6 +141,18 @@ class Router:
         self.ring.remove_node(shard_id)
         self._on_membership(now, removed=shard_id)
 
+    def on_failover(self, shard_id: str, now: float = 0.0) -> None:
+        """A shard was restored in place after a crash.
+
+        The ring is unchanged — the restored shard answers to the same
+        id, and its replayed clock validates every outstanding lease — so
+        the base router does nothing beyond the membership hook.  The
+        deadline-aware router bumps its epoch and runs one bounded
+        rebalance pass: placements made while the shard was dark get a
+        fresh look without a reassignment storm.
+        """
+        self._on_membership(now)
+
     def _on_membership(self, now: float, removed: str | None = None) -> None:
         """Subclass hook: react to the ring changing."""
 

@@ -24,6 +24,8 @@ __all__ = [
     "save_model",
     "load_parameters",
     "load_into_model",
+    "save_state",
+    "load_state",
 ]
 
 _FORMAT_VERSION = 1
@@ -76,6 +78,57 @@ def load_parameters(path: str | Path) -> tuple[np.ndarray, str, int]:
             str(archive["fingerprint"]),
             int(archive["step"]),
         )
+
+
+def save_state(
+    path: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict | None = None,
+    *,
+    compress: bool = True,
+) -> None:
+    """Write a named-array state archive (.npz) with versioned metadata.
+
+    The generic sibling of :func:`save_model`: shard checkpoints carry more
+    than a parameter vector (optimizer velocity, staleness ring, label
+    counts, RNG state), and this keeps them in the same dependency-free npz
+    idiom with the same format-version guard.  ``meta`` must be
+    JSON-serializable.  ``compress=False`` skips the deflate pass — float
+    state barely compresses, and periodic checkpoints taken on a serving
+    hot path should not pay for bytes it does not save (:func:`load_state`
+    reads both forms).
+    """
+    path = Path(path)
+    writer = np.savez_compressed if compress else np.savez
+    writer(
+        path,
+        format_version=np.array(_FORMAT_VERSION, dtype=np.int64),
+        state_meta=np.array(json.dumps(meta or {}, sort_keys=True)),
+        **{f"state_{key}": np.asarray(value) for key, value in arrays.items()},
+    )
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read ``(arrays, meta)`` back from a :func:`save_state` archive."""
+    path = Path(path)
+    if not path.exists():
+        with_suffix = path.with_suffix(path.suffix + ".npz")
+        if not with_suffix.exists():
+            raise FileNotFoundError(f"no state archive at {path}")
+        path = with_suffix
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"state format v{version} not supported (expected v{_FORMAT_VERSION})"
+            )
+        meta = json.loads(str(archive["state_meta"]))
+        arrays = {
+            key[len("state_") :]: archive[key]
+            for key in archive.files
+            if key.startswith("state_") and key != "state_meta"
+        }
+    return arrays, meta
 
 
 def load_into_model(model: Sequential, path: str | Path) -> int:

@@ -28,8 +28,11 @@ from repro.observability.journal import (
     AdmissionShedRecord,
     EvalRecord,
     EventJournal,
+    FailoverDoneRecord,
+    FailoverStartRecord,
     LaneShedRecord,
     ScaleRecord,
+    ShardCrashRecord,
     SteerRecord,
     SyncRoundRecord,
     load_jsonl,
@@ -58,6 +61,9 @@ __all__ = [
     "SyncRoundRecord",
     "LaneShedRecord",
     "EvalRecord",
+    "ShardCrashRecord",
+    "FailoverStartRecord",
+    "FailoverDoneRecord",
     "load_jsonl",
     "render_prometheus",
     "registry_snapshot",

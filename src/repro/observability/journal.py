@@ -17,6 +17,7 @@ with the gateway caller's admission sheds.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
 from collections.abc import Iterable
@@ -29,6 +30,9 @@ __all__ = [
     "SyncRoundRecord",
     "LaneShedRecord",
     "EvalRecord",
+    "ShardCrashRecord",
+    "FailoverStartRecord",
+    "FailoverDoneRecord",
     "EventJournal",
     "load_jsonl",
 ]
@@ -116,8 +120,52 @@ class EvalRecord:
     model_updates: int
 
 
+@dataclass(frozen=True)
+class ShardCrashRecord:
+    """A shard's in-memory state was lost (crash observed or injected)."""
+
+    kind = "shard_crash"
+    time: float
+    shard_id: str
+    clock: int
+    detected_by: str  # "injection" | "detector"
+
+
+@dataclass(frozen=True)
+class FailoverStartRecord:
+    """The gateway began restoring a dead shard."""
+
+    kind = "failover_start"
+    time: float
+    shard_id: str
+    epoch: int
+
+
+@dataclass(frozen=True)
+class FailoverDoneRecord:
+    """A dead shard was rebuilt from checkpoint + WAL replay."""
+
+    kind = "failover_done"
+    time: float
+    shard_id: str
+    epoch: int
+    recovery_s: float
+    checkpoint_wal_seq: int
+    replayed_records: int
+    replayed_results: int
+    restored_clock: int
+    redelivered_results: int
+
+
 class EventJournal:
-    """Append-bounded, thread-safe ring of typed tier events."""
+    """Append-bounded, thread-safe ring of typed tier events.
+
+    Beyond the in-memory ring, :meth:`stream_to` arms a write-through
+    JSONL sink: every subsequent record is appended (and optionally
+    fsynced) to disk the moment it is journaled, so records describing a
+    failure — ``shard_crash``, ``failover_start`` — survive the crash
+    they describe instead of depending on a clean export at exit.
+    """
 
     def __init__(self, capacity: int = 8192) -> None:
         if capacity <= 0:
@@ -126,6 +174,8 @@ class EventJournal:
         self._counts: dict[str, int] = {}
         self._recorded = 0
         self._lock = threading.Lock()
+        self._stream = None
+        self._stream_fsync = False
 
     # ------------------------------------------------------------------
     # Recording
@@ -136,6 +186,38 @@ class EventJournal:
             self._events.append(event)
             self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
             self._recorded += 1
+            if self._stream is not None:
+                line = json.dumps(
+                    {"kind": event.kind, **asdict(event)}, default=_jsonable
+                )
+                self._stream.write(line + "\n")
+                self._stream.flush()
+                if self._stream_fsync:
+                    os.fsync(self._stream.fileno())
+
+    def stream_to(self, path, fsync: bool = False) -> None:
+        """Write every future record through to ``path`` as it happens.
+
+        Appends to an existing file (a restarted run extends the stream).
+        Without ``fsync`` each line is still flushed to the OS, so a
+        process crash loses nothing; fsync additionally survives a
+        machine crash at a per-record cost.
+        """
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+            self._stream = open(path, "a", encoding="utf-8")
+            self._stream_fsync = fsync
+
+    def close_stream(self) -> None:
+        """Stop write-through streaming (the ring keeps recording)."""
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
 
     def admission_shed(
         self,
@@ -226,6 +308,46 @@ class EventJournal:
             EvalRecord(time=time, accuracy=accuracy, model_updates=model_updates)
         )
 
+    def shard_crash(
+        self, time: float, shard_id: str, clock: int, detected_by: str
+    ) -> None:
+        self.record(
+            ShardCrashRecord(
+                time=time, shard_id=shard_id, clock=clock, detected_by=detected_by
+            )
+        )
+
+    def failover_start(self, time: float, shard_id: str, epoch: int) -> None:
+        self.record(
+            FailoverStartRecord(time=time, shard_id=shard_id, epoch=epoch)
+        )
+
+    def failover_done(
+        self,
+        time: float,
+        shard_id: str,
+        epoch: int,
+        recovery_s: float,
+        checkpoint_wal_seq: int,
+        replayed_records: int,
+        replayed_results: int,
+        restored_clock: int,
+        redelivered_results: int,
+    ) -> None:
+        self.record(
+            FailoverDoneRecord(
+                time=time,
+                shard_id=shard_id,
+                epoch=epoch,
+                recovery_s=recovery_s,
+                checkpoint_wal_seq=checkpoint_wal_seq,
+                replayed_records=replayed_records,
+                replayed_results=replayed_results,
+                restored_clock=restored_clock,
+                redelivered_results=redelivered_results,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Introspection + export
     # ------------------------------------------------------------------
@@ -250,17 +372,33 @@ class EventJournal:
             {"kind": event.kind, **asdict(event)} for event in self.events
         ]
 
-    def export_jsonl(self, path, extra: Iterable[dict] = ()) -> int:
+    def export_jsonl(
+        self,
+        path,
+        extra: Iterable[dict] = (),
+        append: bool = False,
+        fsync: bool = False,
+    ) -> int:
         """Write retained events (plus ``extra`` dicts, e.g. finished
-        traces) as one JSON object per line; returns lines written."""
+        traces) as one JSON object per line; returns lines written.
+
+        ``append`` adds to an existing file instead of truncating it
+        (periodic mid-run exports accumulate rather than erase), and
+        ``fsync`` forces the lines to disk before returning — an export
+        taken right before a risky operation then survives a machine
+        crash, not just a process crash.
+        """
         written = 0
-        with open(path, "w", encoding="utf-8") as handle:
+        with open(path, "a" if append else "w", encoding="utf-8") as handle:
             for record in self.to_dicts():
                 handle.write(json.dumps(record, default=_jsonable) + "\n")
                 written += 1
             for record in extra:
                 handle.write(json.dumps(record, default=_jsonable) + "\n")
                 written += 1
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
         return written
 
 

@@ -83,6 +83,7 @@ class ShardRuntime:
             else ThreadLaneExecutor(workers=spec.workers)
         )
         self._lanes: dict[str, _LaneState] = {}
+        self._dead_lanes: set[str] = set()
         # Guards telemetry shared across lane threads (counters, summary
         # deques, the estimator's running sums).  Uncontended in virtual
         # mode; in threads mode it serializes only the cheap bookkeeping,
@@ -109,10 +110,36 @@ class ShardRuntime:
     # ------------------------------------------------------------------
     def add_lane(self, shard_id: str) -> None:
         self._lanes.setdefault(shard_id, _LaneState())
+        self._dead_lanes.discard(shard_id)
 
     def drop_lane(self, shard_id: str) -> None:
         self._lanes.pop(shard_id, None)
+        self._dead_lanes.discard(shard_id)
         self.executor.drop_lane(shard_id)
+
+    # ------------------------------------------------------------------
+    # Lane liveness (crash injection + failure detection)
+    # ------------------------------------------------------------------
+    def fail_lane(self, shard_id: str) -> None:
+        """Kill a lane: queued occupancy is lost, submissions bounce.
+
+        Models a shard process crash — the in-flight micro-batches on the
+        lane die with it (at-most-once for work past the WAL), and the
+        lane stops accepting jobs until :meth:`revive_lane`.
+        """
+        self._dead_lanes.add(shard_id)
+        lane = self._lanes.get(shard_id)
+        if lane is not None:
+            lane.finishes.clear()
+        self.executor.drop_lane(shard_id)
+
+    def revive_lane(self, shard_id: str) -> None:
+        """Bring a failed lane back (failover restored its shard)."""
+        self._dead_lanes.discard(shard_id)
+        self._lanes.setdefault(shard_id, _LaneState())
+
+    def lane_alive(self, shard_id: str) -> bool:
+        return shard_id not in self._dead_lanes
 
     # ------------------------------------------------------------------
     # Queue-depth signals
@@ -197,6 +224,15 @@ class ShardRuntime:
         counted drop (queue-pressure load shedding), mirrored to the
         autoscaler through the rejection counters.
         """
+        if shard_id in self._dead_lanes:
+            # A dead lane sheds everything: the batch is counted like a
+            # capacity drop so loss accounting stays honest during the
+            # crash-to-failover window.
+            self._rejected_batches.increment()
+            self._rejected_results.increment(batch_size)
+            if self._journal is not None:
+                self._journal.lane_shed(now, shard_id, batch_size, 0)
+            return None
         lane = self._lanes.setdefault(shard_id, _LaneState())
         depth = self.queue_depth(shard_id, now)
         if depth >= self.spec.queue_capacity:

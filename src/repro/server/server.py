@@ -88,6 +88,10 @@ class FleetServer:
         self.assignments_issued = 0
         self.results_applied = 0
         self.rejection_stats = RejectionStats()
+        # Optional write-ahead log (repro.durability): every delivery is
+        # recorded in _deliver before the fold so a crashed shard can be
+        # replayed bit-exactly from its last checkpoint.
+        self.wal = None
 
     # ------------------------------------------------------------------
     # Compatibility surface
@@ -261,11 +265,17 @@ class FleetServer:
         not re-validate the same bytes.
         """
         self._validate_updates(updates)
+        if not updates:
+            return False
+        if self.wal is not None:
+            # Write-ahead: the delivery hits disk before the fold touches
+            # any optimizer state, so replay sees exactly what was applied.
+            self.wal.log_apply(
+                updates, clock=self.optimizer.clock, batched=batched
+            )
         if not batched and len(updates) == 1:
             self.results_applied += int(np.isfinite(updates[0].gradient).all())
             return self.optimizer.submit(updates[0])
-        if not updates:
-            return False
         stacked = stack_gradients([update.gradient for update in updates])
         finite = np.isfinite(stacked).all(axis=1)
         self.results_applied += int(finite.sum())

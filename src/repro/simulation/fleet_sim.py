@@ -89,6 +89,13 @@ class FleetSimConfig:
     # controller's observation windows, scale-down during lulls — keeps
     # running even when no device traffic arrives.  None disables it.
     heartbeat_s: float | None = None
+    # Fault injection: at ``crash_shard_at_s`` of virtual time the
+    # endpoint's ``crash_shard`` is invoked (a gateway with durability
+    # configured), losing that shard's in-memory state mid-run.  With
+    # ``crash_shard`` of None the lexicographically first shard dies.
+    # Recovery is the endpoint's business (failure detector + failover).
+    crash_shard_at_s: float | None = None
+    crash_shard: str | None = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -105,6 +112,10 @@ class FleetSimConfig:
             raise ValueError("sparsify_fraction must be in (0, 1]")
         if self.heartbeat_s is not None and self.heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if self.crash_shard_at_s is not None and self.crash_shard_at_s < 0:
+            raise ValueError("crash_shard_at_s must be non-negative")
+        if self.crash_shard is not None and self.crash_shard_at_s is None:
+            raise ValueError("crash_shard needs crash_shard_at_s")
 
 
 @dataclass
@@ -394,6 +405,19 @@ class FleetSimulation:
         if journal is not None:
             journal.evaluation(self.loop.now, float(accuracy), int(self.server.clock))
 
+    def _on_crash(self) -> None:
+        """Fault injection: lose one shard's in-memory state."""
+        crash = getattr(self.server, "crash_shard", None)
+        if not callable(crash):
+            raise TypeError(
+                "crash_shard_at_s needs an endpoint with crash_shard "
+                "(a Gateway built with durability)"
+            )
+        shard_id = self.config.crash_shard
+        if shard_id is None:
+            shard_id = sorted(self.server.shards)[0]
+        crash(shard_id, now=self.loop.now)
+
     def _on_heartbeat(self) -> None:
         """Tick the endpoint's time-driven machinery without traffic."""
         if self.loop.now >= self.config.horizon_s:
@@ -415,6 +439,8 @@ class FleetSimulation:
             self.loop.schedule(delay, lambda uid=user_id: self._on_request(uid))
         if self.config.heartbeat_s is not None:
             self.loop.schedule(self.config.heartbeat_s, self._on_heartbeat)
+        if self.config.crash_shard_at_s is not None:
+            self.loop.schedule_at(self.config.crash_shard_at_s, self._on_crash)
         self.loop.run_until(self.config.horizon_s)
         # Drain in-flight completions past the horizon (no new requests are
         # issued there; _on_request returns early beyond the horizon).

@@ -118,6 +118,51 @@ class TestNewCommands:
         assert '"counters"' in out
 
 
+class TestDurabilityCommands:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["gateway-sim"])
+        assert args.durability is False
+        assert args.wal_dir is None
+        assert args.crash_shard_at is None
+        assert args.checkpoint_every == 100
+
+    def test_gateway_sim_durability_and_wal_inspect(self, capsys, tmp_path):
+        root = tmp_path / "walroot"
+        assert main([
+            "gateway-sim", "--shards", "2", "--users", "4", "--hours", "0.05",
+            "--durability", "--wal-dir", str(root),
+            "--checkpoint-every", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "durability:" in out
+        assert (root / "journal.jsonl").exists()
+
+        assert main(["wal-inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "wal:" in out
+        assert "intact" in out
+        assert "ckpt-" in out
+        assert "wal_seq=" in out
+
+        # A single shard directory works too.
+        shard_dir = sorted(
+            p for p in root.iterdir() if (p / "wal").is_dir()
+        )[0]
+        assert main(["wal-inspect", str(shard_dir)]) == 0
+        assert "wal:" in capsys.readouterr().out
+
+    def test_gateway_sim_crash_failover(self, capsys, tmp_path):
+        assert main([
+            "gateway-sim", "--shards", "3", "--users", "6", "--hours", "0.1",
+            "--durability", "--wal-dir", str(tmp_path / "dur"),
+            "--crash-shard-at", "120", "--detector-timeout", "60",
+            "--checkpoint-every", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crashes 2, failovers 1" in out  # injection + detector verdict
+        assert "restores" in out
+
+
 class TestStageFlags:
     def test_fleet_sim_with_stages(self, capsys):
         assert main([
