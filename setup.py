@@ -19,4 +19,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.analysis.lint.runner:main",
+        ],
+    },
 )

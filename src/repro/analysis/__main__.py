@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the project-invariant linter."""
+
+import sys
+
+from repro.analysis.lint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

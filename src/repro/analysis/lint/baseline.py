@@ -1,0 +1,90 @@
+"""Grandfathered findings: the committed JSON baseline.
+
+A baseline entry matches findings by ``(file, rule, symbol)`` with a
+count — never by line number, so edits elsewhere in a file (imports,
+docstrings, new methods) cannot shift a grandfathered finding onto a
+"new" line and break CI.  The gate then fails only on findings *beyond*
+the baseline: new violations, or extra occurrences inside an already
+baselined symbol.
+
+``repro-lint --update-baseline`` rewrites the file from the current
+findings (sorted, stable), so review diffs show exactly which debts were
+added or paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.framework import Finding
+
+__all__ = ["Baseline", "split_new_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts keyed by (file, rule, symbol)."""
+
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Read a committed baseline; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {_VERSION})"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for row in payload.get("entries", []):
+            key = (str(row["file"]), str(row["rule"]), str(row["symbol"]))
+            entries[key] = entries.get(key, 0) + int(row.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> Baseline:
+        entries: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            entries[finding.key] = entries.get(finding.key, 0) + 1
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        rows = [
+            {"file": file, "rule": rule, "symbol": symbol, "count": count}
+            for (file, rule, symbol), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "entries": rows}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+def split_new_findings(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """(new, grandfathered) — the first ``count`` matches per key are old.
+
+    Findings arrive sorted by (file, line); consuming the budget in that
+    order keeps the reported "new" finding deterministic when a symbol
+    holds both an old and a new occurrence.
+    """
+    budget = dict(baseline.entries)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.key, 0)
+        if remaining > 0:
+            budget[finding.key] = remaining - 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,106 @@
+"""Clock discipline (RPR0xx): virtual-clock code never reads the wall.
+
+The determinism guarantees (bit-identical virtual-clock runs, PR 4/6/7)
+hold only if simulation-capable code derives every timestamp from the
+clock value handed to it — ``now`` arguments, ``server.clock``, the
+discrete-event loop — never from the host.  These rules ban wall-clock
+*timestamp* reads and real sleeps outside the allowlisted wall-clock
+modules (``LintConfig.wall_clock_modules`` or a ``# repro: wall-clock``
+module pragma).
+
+``time.perf_counter`` is deliberately NOT banned: it measures durations
+(service time, CPU phases) and is meaningless as a timestamp, so it
+cannot leak wall time into virtual-clock state.  What it measures is
+still nondeterministic — keeping it out of *state* is the lock and
+hot-path families' concern, not this one's.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintConfig,
+    Rule,
+    SourceModule,
+    register,
+    resolve_call,
+)
+
+__all__ = ["WallClockRule", "SleepRule"]
+
+#: Canonical call targets that read a wall-clock timestamp.
+WALL_CLOCK_READS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+SLEEPS = frozenset({"time.sleep"})
+
+
+def _scan_calls(
+    rule: Rule,
+    module: SourceModule,
+    config: LintConfig,
+    banned: frozenset[str],
+    message: str,
+) -> list[Finding]:
+    if config.module_allows_wall_clock(module):
+        return []
+    findings = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            target = resolve_call(module, node)
+            if target in banned:
+                findings.append(
+                    rule.finding(module, node, message.format(target=target))
+                )
+    return findings
+
+
+@register
+class WallClockRule(Rule):
+    code = "RPR001"
+    summary = (
+        "wall-clock timestamp read outside an allowlisted wall-clock module"
+    )
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        return _scan_calls(
+            self,
+            module,
+            config,
+            WALL_CLOCK_READS,
+            "wall-clock read `{target}()` in virtual-clock-capable code; "
+            "take the clock value as an argument (or allowlist the module / "
+            "add `# repro: wall-clock`)",
+        )
+
+
+@register
+class SleepRule(Rule):
+    code = "RPR002"
+    summary = "real sleep outside an allowlisted wall-clock module"
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        return _scan_calls(
+            self,
+            module,
+            config,
+            SLEEPS,
+            "`{target}()` blocks the host thread; virtual-clock code "
+            "advances time through the event loop, never by sleeping",
+        )

@@ -1,0 +1,162 @@
+"""Hot-path purity (RPR3xx): marked functions stay allocation- and IO-lean.
+
+The fold path holds two measured bars — vectorized aggregation ~9× over
+the legacy loop, WAL hot-path tax ≤5% — and both die by a thousand cuts:
+a ``json.dumps`` per record, an fsync per append, a ``np.concatenate``
+where the copy-free ``stack_gradients``/arena helpers exist.  Functions
+annotated ``# hot-path`` (on the ``def`` line or the standalone comment
+line above it) are audited for those cuts; a *deliberate* exception (the
+WAL's opt-in fsync) carries an inline ``# repro: noqa[RPR302]`` so the
+decision is visible at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintConfig,
+    Rule,
+    SourceModule,
+    dotted_name,
+    register,
+    resolve_call,
+)
+
+__all__ = [
+    "HotPathSerializationRule",
+    "HotPathBlockingRule",
+    "HotPathAllocationRule",
+]
+
+_HOT_PATH = re.compile(r"#\s*hot-path\b")
+
+#: Text/object serialization — never on a per-record path.
+SERIALIZATION_PREFIXES = ("json.", "pickle.", "marshal.")
+
+#: Blocking IO / logging on the fold path.
+BLOCKING_CALLS = frozenset({"os.fsync", "os.fdatasync", "print"})
+_LOGGER_NAMES = frozenset({"log", "logger", "logging"})
+_LOGGER_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical"}
+)
+
+#: Copy-building allocators with repo-native replacements
+#: (``stack_gradients`` base detection, preallocated rings/arenas).
+ALLOCATING_CALLS = frozenset(
+    {
+        "numpy.concatenate",
+        "numpy.vstack",
+        "numpy.hstack",
+        "numpy.append",
+        "numpy.column_stack",
+        "numpy.row_stack",
+    }
+)
+
+
+def hot_path_functions(module: SourceModule) -> list[ast.FunctionDef]:
+    functions = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _HOT_PATH.search(module.comment_on_or_above(node.lineno)):
+                functions.append(node)
+    return functions
+
+
+def _is_logging_call(module: SourceModule, call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None or "." not in name:
+        return False
+    *prefix, method = name.split(".")
+    if method not in _LOGGER_METHODS:
+        return False
+    # ``logging.info``, ``logger.info``, ``self._logger.info`` and the like.
+    return any(part.lstrip("_") in _LOGGER_NAMES for part in prefix)
+
+
+def _audit(
+    rule: Rule,
+    module: SourceModule,
+    matcher,
+    message: str,
+) -> list[Finding]:
+    findings = []
+    for function in hot_path_functions(module):
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                target = resolve_call(module, node)
+                if matcher(module, node, target):
+                    shown = target or "<call>"
+                    findings.append(
+                        rule.finding(
+                            module,
+                            node,
+                            message.format(target=shown, name=function.name),
+                        )
+                    )
+    return findings
+
+
+@register
+class HotPathSerializationRule(Rule):
+    code = "RPR301"
+    summary = "serialization (json/pickle) inside a `# hot-path` function"
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        def matcher(module, node, target):
+            return target is not None and target.startswith(
+                SERIALIZATION_PREFIXES
+            )
+
+        return _audit(
+            self,
+            module,
+            matcher,
+            "`{target}` serializes per record inside hot-path `{name}`; "
+            "move it off-path (background saver, binary framing) or drop "
+            "the hot-path marker",
+        )
+
+
+@register
+class HotPathBlockingRule(Rule):
+    code = "RPR302"
+    summary = "blocking IO or logging inside a `# hot-path` function"
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        def matcher(module, node, target):
+            if target in BLOCKING_CALLS:
+                return True
+            return _is_logging_call(module, node)
+
+        return _audit(
+            self,
+            module,
+            matcher,
+            "`{target}` blocks inside hot-path `{name}`; hot paths count "
+            "and ring-buffer, they never log or force IO inline",
+        )
+
+
+@register
+class HotPathAllocationRule(Rule):
+    code = "RPR303"
+    summary = (
+        "copy-building allocation (concatenate/vstack) in a hot-path function"
+    )
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        def matcher(module, node, target):
+            return target in ALLOCATING_CALLS
+
+        return _audit(
+            self,
+            module,
+            matcher,
+            "`{target}` rebuilds its operands inside hot-path `{name}`; use "
+            "the copy-free helpers (stack_gradients base detection, "
+            "preallocated rings) instead",
+        )

@@ -1,0 +1,104 @@
+"""RNG discipline (RPR2xx): only seeded generators flowing from specs.
+
+Reproducibility rides on every random draw coming from a seeded
+``numpy.random.Generator`` (``default_rng(seed)``) that a spec or a call
+site threads to the consumer.  Global-state randomness — the ``random``
+module's functions, ``np.random.seed``/``np.random.rand`` and friends —
+draws from an ambient stream any import or reordering can perturb, so a
+single call silently breaks run-to-run equality fleet-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintConfig,
+    Rule,
+    SourceModule,
+    register,
+    resolve_call,
+)
+
+__all__ = ["StdlibRandomRule", "NumpyGlobalRandomRule"]
+
+#: ``random.<x>`` constructors that produce an *instance* (seedable,
+#: no global state) and so stay legal.
+STDLIB_RANDOM_ALLOWED = frozenset({"random.Random", "random.SystemRandom"})
+
+#: ``numpy.random.<x>`` names that construct seeded generator machinery.
+NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+@register
+class StdlibRandomRule(Rule):
+    code = "RPR201"
+    summary = "global-state `random.*` call (use a seeded Generator instead)"
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(module, node)
+            if target is None or not target.startswith("random."):
+                continue
+            if target in STDLIB_RANDOM_ALLOWED:
+                continue
+            # Only the module's top-level functions are global state;
+            # deeper chains (random.Random(0).random()) resolved above.
+            if target.count(".") != 1:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"`{target}()` draws from the ambient global stream; "
+                    "thread a seeded `numpy.random.Generator` (or a "
+                    "`random.Random(seed)` instance) from the spec instead",
+                )
+            )
+        return findings
+
+
+@register
+class NumpyGlobalRandomRule(Rule):
+    code = "RPR202"
+    summary = (
+        "global-state `np.random.*` call (only seeded Generator/default_rng)"
+    )
+
+    def run(self, module: SourceModule, config: LintConfig) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(module, node)
+            if target is None or not target.startswith("numpy.random."):
+                continue
+            leaf = target.split(".")[2]
+            if leaf in NUMPY_RANDOM_ALLOWED:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"`{target}()` mutates numpy's hidden global RandomState; "
+                    "draw from a seeded `numpy.random.default_rng(seed)` "
+                    "generator flowing from the spec",
+                )
+            )
+        return findings

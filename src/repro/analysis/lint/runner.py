@@ -1,0 +1,206 @@
+"""CLI driver: ``python -m repro.analysis`` / the ``repro-lint`` script.
+
+Exit codes: 0 — clean (or fully baselined); 1 — new findings beyond the
+baseline; 2 — usage error.  ``--format json`` emits a machine-readable
+report (uploaded as a CI artifact); the text format prints one
+``file:line:col: CODE [symbol] message`` row per finding, new findings
+first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.lint.baseline import Baseline, split_new_findings
+from repro.analysis.lint.framework import (
+    DEFAULT_CONFIG,
+    Finding,
+    LintConfig,
+    analyze_paths,
+    rule_table,
+    with_select,
+)
+
+__all__ = ["main", "run_lint", "LintResult"]
+
+DEFAULT_PATHS = ("src", "benchmarks")
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced (the testable runner API)."""
+
+    findings: list[Finding]
+    new: list[Finding]
+    baselined: list[Finding]
+    baseline_total: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "summary": {
+                "findings": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "baseline_entries": self.baseline_total,
+            },
+            "new": [finding.to_dict() for finding in self.new],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.new:
+            lines.append(finding.render())
+        if self.baselined:
+            lines.append(
+                f"... plus {len(self.baselined)} baselined finding(s) "
+                f"(grandfathered in {DEFAULT_BASELINE})"
+            )
+        lines.append(
+            f"repro-lint: {len(self.new)} new, {len(self.baselined)} "
+            f"baselined, {len(self.findings)} total"
+        )
+        return "\n".join(lines)
+
+
+def run_lint(
+    paths: list[Path],
+    root: Path,
+    baseline: Baseline | None = None,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintResult:
+    """Analyze ``paths`` and split results against ``baseline``."""
+    findings = analyze_paths(paths, root, config)
+    baseline = baseline or Baseline()
+    new, old = split_new_findings(findings, baseline)
+    return LintResult(
+        findings=findings,
+        new=new,
+        baselined=old,
+        baseline_total=baseline.total,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-invariant linter: clock, lock, RNG and hot-path "
+            "discipline for the FLeet reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the report (in the chosen format) to this file",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON path, relative to --root (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.rules:
+        for code, summary in rule_table():
+            print(f"{code}  {summary}")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"repro-lint: --root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    paths = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            print(f"repro-lint: path {raw!r} does not exist", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    config = DEFAULT_CONFIG
+    if args.select:
+        codes = tuple(code.strip() for code in args.select.split(",") if code.strip())
+        config = with_select(config, codes)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    if args.update_baseline:
+        result = run_lint(paths, root, baseline=None, config=config)
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"repro-lint: baseline updated with {len(result.findings)} "
+            f"finding(s) at {baseline_path}"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    result = run_lint(paths, root, baseline=baseline, config=config)
+
+    rendered = (
+        json.dumps(result.to_dict(), indent=2)
+        if args.fmt == "json"
+        else result.render_text()
+    )
+    try:
+        print(rendered)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the exit code (and any
+        # --output file) still carries the verdict.
+        pass
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ import dataclasses
 import itertools
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -57,6 +58,9 @@ from repro.server.stages import (
     TelemetryStage,
 )
 from repro.server.telemetry import MetricsRegistry
+
+if TYPE_CHECKING:  # runtime import stays lazy: api must not pull gateway
+    from repro.gateway.scheduling import RoutingSpec
 
 __all__ = [
     "FleetBuilder",
@@ -335,7 +339,7 @@ class FleetBuilder:
         self._durability = spec if spec is not None else DurabilitySpec(**kwargs)
         return self
 
-    def routing(self, spec=None, **kwargs) -> "FleetBuilder":
+    def routing(self, spec: "RoutingSpec | None" = None, **kwargs) -> "FleetBuilder":
         """Attach a device-placement recipe to the spec.
 
         Pass a ready :class:`~repro.gateway.scheduling.RoutingSpec`, or
@@ -358,7 +362,9 @@ class FleetBuilder:
     # Custom stages
     # ------------------------------------------------------------------
     @staticmethod
-    def _as_factory(stage_or_factory) -> Callable[[], object]:
+    def _as_factory(
+        stage_or_factory: RequestStage | ResultStage | Callable[[], object],
+    ) -> Callable[[], object]:
         # A callable is treated as a per-build factory; a stage instance is
         # reused across builds (shared state — fine for a single server,
         # deliberate for cross-shard aggregation of custom metrics).
@@ -368,12 +374,16 @@ class FleetBuilder:
             return stage_or_factory
         raise TypeError("expected a stage instance or a zero-arg stage factory")
 
-    def request_stage(self, stage_or_factory) -> "FleetBuilder":
+    def request_stage(
+        self, stage_or_factory: RequestStage | Callable[[], RequestStage]
+    ) -> "FleetBuilder":
         """Append a custom request stage (instance or zero-arg factory)."""
         self._stage_factories.append((_REQUEST, self._as_factory(stage_or_factory)))
         return self
 
-    def result_stage(self, stage_or_factory) -> "FleetBuilder":
+    def result_stage(
+        self, stage_or_factory: ResultStage | Callable[[], ResultStage]
+    ) -> "FleetBuilder":
         """Append a custom result stage (instance or zero-arg factory)."""
         self._stage_factories.append((_RESULT, self._as_factory(stage_or_factory)))
         return self

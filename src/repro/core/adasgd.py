@@ -625,6 +625,7 @@ class StalenessAwareServer:
         self._apply_buffer()
         return True
 
+    # hot-path
     def submit_many(
         self,
         updates: list[GradientUpdate],
@@ -726,6 +727,7 @@ class StalenessAwareServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    # hot-path
     def _apply_buffer(self, stacked: np.ndarray | None = None) -> None:
         """Fold the buffered window into the model — ONE Equation-3 step.
 
@@ -804,6 +806,7 @@ class StalenessAwareServer:
         for record in records:
             self.applied.append(record)
 
+    # hot-path
     def _apply_buffer_vectorized(self, stacked: np.ndarray | None = None) -> None:
         """Batched hot path: the whole window as ``(B, D)`` numpy arrays.
 

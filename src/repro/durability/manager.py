@@ -63,7 +63,11 @@ class DurabilityManager:
         # but not yet durable.
         self._saves: queue.Queue | None = None
         self._saver: threading.Thread | None = None
-        self._saver_error: BaseException | None = None
+        # Written by the saver thread, consumed by flush_saves on the
+        # gateway thread; the queue's join() alone orders the handoff but
+        # does not make the swap-and-clear atomic.
+        self._saver_lock = threading.Lock()
+        self._saver_error: BaseException | None = None  # guarded-by: _saver_lock
 
     # ------------------------------------------------------------------
     # Background checkpoint persistence
@@ -80,7 +84,8 @@ class DurabilityManager:
                     arrays, meta, wal_seq=wal_seq, clock=clock, now=now
                 )
             except BaseException as error:  # surfaced on the next drain
-                self._saver_error = error
+                with self._saver_lock:
+                    self._saver_error = error
             finally:
                 self._saves.task_done()
 
@@ -108,8 +113,9 @@ class DurabilityManager:
         """Block until every queued checkpoint archive is on disk."""
         if self._saves is not None:
             self._saves.join()
-        if self._saver_error is not None:
+        with self._saver_lock:
             error, self._saver_error = self._saver_error, None
+        if error is not None:
             raise error
 
     # ------------------------------------------------------------------

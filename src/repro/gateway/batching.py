@@ -106,6 +106,7 @@ class MicroBatcher:
         """Queue one result; return a decoded batch if the size trigger fired."""
         return self.decode_entries(self.add_encoded(shard_id, result, now))
 
+    # hot-path
     def add_encoded(
         self, shard_id: str, result: TaskResult, now: float
     ) -> list[EncodedResult]:
@@ -163,6 +164,7 @@ class MicroBatcher:
             return []
         return lane.entries
 
+    # hot-path
     def decode_entries(self, entries: list[EncodedResult]) -> list[TaskResult]:
         """Decode a flushed batch (see :meth:`flush` for the layout)."""
         if not entries:

@@ -54,8 +54,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.durability import DurabilityManager, DurabilitySpec, FailureDetector
+from repro.durability.restore import RestoreReport
 from repro.gateway.backpressure import TokenBucket
 from repro.gateway.batching import MicroBatcher, encode_result
+from repro.gateway.hashing import ConsistentHashRing
 from repro.gateway.scheduling import HashRouter, Router
 from repro.gateway.sync import ShardSynchronizer
 from repro.observability import EventJournal, ObservabilitySpec, UploadTracer
@@ -69,6 +71,7 @@ from repro.server.protocol import (
     TaskResult,
 )
 from repro.server.server import FleetServer
+from repro.server.stages import RequestStage, ResultStage
 from repro.server.telemetry import MetricsRegistry
 
 __all__ = ["GatewayConfig", "AggregationCostModel", "Gateway"]
@@ -264,7 +267,7 @@ class Gateway:
             "gateway.rejections", self.rejection_counts
         )
 
-        self._lanes: dict[str, _ShardLane] = {
+        self._lanes: dict[str, _ShardLane] = {  # guarded-by: _bookkeeping_lock
             shard_id: _ShardLane() for shard_id in self._shards
         }
         # Aggregates retired by remove_shard: the leaver's delivered work,
@@ -272,9 +275,9 @@ class Gateway:
         # accounting after the shard leaves — an elastic tier would
         # otherwise erase history (and regress the monotone ``clock`` the
         # fleet simulation's eval trigger rides on) at every scale-down.
-        self._retired = _ShardLane()
-        self._retired_clock = 0
-        self._retired_results_applied = 0
+        self._retired = _ShardLane()  # guarded-by: _bookkeeping_lock
+        self._retired_clock = 0  # guarded-by: _bookkeeping_lock
+        self._retired_results_applied = 0  # guarded-by: _bookkeeping_lock
         # Guards _deliver's tier-wide bookkeeping: with a threaded runtime,
         # deliveries of DIFFERENT shards run on concurrent lane threads.
         self._bookkeeping_lock = threading.Lock()
@@ -397,7 +400,7 @@ class Gateway:
     def from_spec(
         cls,
         num_shards: int,
-        spec,
+        spec: Callable[[int], FleetServer],
         config: GatewayConfig | None = None,
         cost_model: AggregationCostModel | None = None,
         runtime: RuntimeSpec | None = None,
@@ -498,6 +501,7 @@ class Gateway:
             )
         return response
 
+    # hot-path
     def handle_result(self, result: TaskResult, now: float | None = None) -> bool:
         """Step 5: enqueue on the owning shard's micro-batch lane.
 
@@ -772,7 +776,8 @@ class Gateway:
             self.synchronize(now)
         shard.optimizer.set_parameters(self.synchronizer.blend(self._shards))
         self._shards[shard_id] = shard
-        self._lanes[shard_id] = _ShardLane()
+        with self._bookkeeping_lock:
+            self._lanes[shard_id] = _ShardLane()
         self._shard_locks[shard_id] = threading.Lock()
         self.router.add_shard(shard_id, now)
         if self.runtime is not None:
@@ -812,13 +817,16 @@ class Gateway:
             self.detector.deregister(shard_id)
         shard = self._shards.pop(shard_id)
         self.router.remove_shard(shard_id, now)
-        lane = self._lanes.pop(shard_id)
-        self._retired.busy_until = max(self._retired.busy_until, lane.busy_until)
-        self._retired.busy_seconds += lane.busy_seconds
-        self._retired.batches += lane.batches
-        self._retired.results += lane.results
-        self._retired_clock += shard.clock
-        self._retired_results_applied += shard.results_applied
+        with self._bookkeeping_lock:
+            lane = self._lanes.pop(shard_id)
+            self._retired.busy_until = max(
+                self._retired.busy_until, lane.busy_until
+            )
+            self._retired.busy_seconds += lane.busy_seconds
+            self._retired.batches += lane.batches
+            self._retired.results += lane.results
+            self._retired_clock += shard.clock
+            self._retired_results_applied += shard.results_applied
         if self.runtime is not None:
             self.runtime.drop_lane(shard_id)
         self._shard_locks.pop(shard_id, None)
@@ -907,7 +915,7 @@ class Gateway:
         if self.runtime is not None:
             self.runtime.fail_lane(shard_id)
 
-    def failover(self, shard_id: str, now: float | None = None):
+    def failover(self, shard_id: str, now: float | None = None) -> RestoreReport:
         """Rebuild a crashed shard from checkpoint + WAL replay.
 
         The restored server takes over under the SAME shard id: the hash
@@ -937,7 +945,8 @@ class Gateway:
         self._shards[shard_id] = fresh
         self._crashed.pop(shard_id)
         self._crashed_counters.pop(shard_id, None)
-        self._lanes.setdefault(shard_id, _ShardLane())
+        with self._bookkeeping_lock:
+            self._lanes.setdefault(shard_id, _ShardLane())
         self._shard_locks.setdefault(shard_id, threading.Lock())
         if self.runtime is not None:
             self.runtime.revive_lane(shard_id)
@@ -982,19 +991,22 @@ class Gateway:
         Includes lanes retired by ``remove_shard``, so the autoscaler's
         window deltas stay monotone across scale-down events.
         """
-        return (
-            sum(lane.busy_seconds for lane in self._lanes.values())
-            + self._retired.busy_seconds
-        )
+        with self._bookkeeping_lock:
+            return (
+                sum(lane.busy_seconds for lane in self._lanes.values())
+                + self._retired.busy_seconds
+            )
 
     def max_backlog_s(self, now: float | None = None) -> float:
         """Deepest lane's unfinished virtual work, in seconds."""
         now = self._now if now is None else now
-        if not self._lanes:
-            return 0.0
-        return max(
-            0.0, max(lane.busy_until for lane in self._lanes.values()) - now
-        )
+        with self._bookkeeping_lock:
+            if not self._lanes:
+                return 0.0
+            return max(
+                0.0,
+                max(lane.busy_until for lane in self._lanes.values()) - now,
+            )
 
     def shard_load(self, shard_id: str, now: float | None = None) -> float:
         """Live load of one shard, in seconds of work (routing signal).
@@ -1015,16 +1027,18 @@ class Gateway:
         model or runtime every term is 0.0 and routers fall back to
         their own placement counters.
         """
-        if shard_id not in self._lanes:
-            raise KeyError(f"unknown shard {shard_id!r}")
         now = self._now if now is None else now
-        lane = self._lanes[shard_id]
-        recent = lane.recent_load(now)
+        with self._bookkeeping_lock:
+            if shard_id not in self._lanes:
+                raise KeyError(f"unknown shard {shard_id!r}")
+            lane = self._lanes[shard_id]
+            recent = lane.recent_load(now)
+            busy_until = lane.busy_until
         if self.runtime is not None:
             backlog = self.runtime.backlog_s(shard_id, now)
             shed = self.runtime.recent_shed_s(shard_id, now)
         else:
-            backlog = max(0.0, lane.busy_until - now)
+            backlog = max(0.0, busy_until - now)
             shed = 0.0
         return max(recent, backlog) + shed
 
@@ -1036,7 +1050,7 @@ class Gateway:
         return dict(self._shards)
 
     @property
-    def ring(self):
+    def ring(self) -> ConsistentHashRing:
         """The router's consistent-hash ring (home placement)."""
         return self.router.ring
 
@@ -1044,7 +1058,7 @@ class Gateway:
     def num_shards(self) -> int:
         return len(self._shards)
 
-    def find_request_stage(self, stage_type: type):
+    def find_request_stage(self, stage_type: type) -> RequestStage | None:
         """First matching request stage of the first shard, or None.
 
         Shards stamped from one :class:`~repro.api.ServerSpec` are
@@ -1056,7 +1070,7 @@ class Gateway:
             return shard.find_request_stage(stage_type)
         return None
 
-    def find_result_stage(self, stage_type: type):
+    def find_result_stage(self, stage_type: type) -> ResultStage | None:
         """First matching result stage of the first shard, or None."""
         for shard in self._shards.values():
             return shard.find_result_stage(stage_type)
@@ -1072,17 +1086,21 @@ class Gateway:
         applied by since-removed shards remain counted, and a crashed
         shard's last observed clock holds its place until failover —
         WAL replay restores exactly that clock, so the sum never dips)."""
+        with self._bookkeeping_lock:
+            retired_clock = self._retired_clock
         return (
             sum(shard.clock for shard in self._shards.values())
-            + self._retired_clock
+            + retired_clock
             + sum(clock for clock, _ in self._crashed_counters.values())
         )
 
     @property
     def results_applied(self) -> int:
+        with self._bookkeeping_lock:
+            retired_applied = self._retired_results_applied
         return (
             sum(shard.results_applied for shard in self._shards.values())
-            + self._retired_results_applied
+            + retired_applied
             + sum(applied for _, applied in self._crashed_counters.values())
         )
 
@@ -1123,17 +1141,22 @@ class Gateway:
         drains (queueing included); without one, until the last result
         arrived.  This is the scaling benchmark's headline number.
         """
-        delivered = (
-            sum(lane.results for lane in self._lanes.values())
-            + self._retired.results
-        )
+        with self._bookkeeping_lock:
+            delivered = (
+                sum(lane.results for lane in self._lanes.values())
+                + self._retired.results
+            )
+            busiest = max(
+                max(
+                    (lane.busy_until for lane in self._lanes.values()),
+                    default=0.0,
+                ),
+                self._retired.busy_until,
+            )
         if delivered == 0 or self._first_result_time is None:
             return 0.0
         if self.cost_model is not None:
-            end = max(
-                max(lane.busy_until for lane in self._lanes.values()),
-                self._retired.busy_until,
-            )
+            end = busiest
         else:
             end = self._last_result_time
         elapsed = end - self._first_result_time
@@ -1146,10 +1169,12 @@ class Gateway:
         lines = [self.metrics.report()]
         for shard_id in sorted(self._shards):
             shard = self._shards[shard_id]
-            lane = self._lanes[shard_id]
+            with self._bookkeeping_lock:
+                lane = self._lanes[shard_id]
+                batches, busy = lane.batches, lane.busy_seconds
             lines.append(
                 f"{shard_id}: clock={shard.clock} applied={shard.results_applied} "
-                f"batches={lane.batches} busy={lane.busy_seconds:.2f}s"
+                f"batches={batches} busy={busy:.2f}s"
             )
         if self.autoscaler is not None and self.autoscaler.events:
             lines.append("scaling events:")

@@ -170,12 +170,12 @@ class EventJournal:
     def __init__(self, capacity: int = 8192) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self._events: deque = deque(maxlen=capacity)
-        self._counts: dict[str, int] = {}
-        self._recorded = 0
+        self._events: deque = deque(maxlen=capacity)  # guarded-by: _lock
+        self._counts: dict[str, int] = {}  # guarded-by: _lock
+        self._recorded = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._stream = None
-        self._stream_fsync = False
+        self._stream = None  # guarded-by: _lock
+        self._stream_fsync = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Recording
@@ -360,7 +360,8 @@ class EventJournal:
     @property
     def recorded(self) -> int:
         """Records ever journaled (not capped by the ring)."""
-        return self._recorded
+        with self._lock:
+            return self._recorded
 
     def counts_by_kind(self) -> dict[str, int]:
         """Monotone per-kind totals (survive ring eviction)."""

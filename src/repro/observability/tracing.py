@@ -174,9 +174,9 @@ class SpanCollector:
     def __init__(self, capacity: int = 4096) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self._traces: deque[FinishedTrace] = deque(maxlen=capacity)
+        self._traces: deque[FinishedTrace] = deque(maxlen=capacity)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._finished = 0
+        self._finished = 0  # guarded-by: _lock
 
     def add(self, trace: FinishedTrace) -> None:
         with self._lock:
@@ -191,10 +191,12 @@ class SpanCollector:
     @property
     def finished(self) -> int:
         """Traces ever finished (not capped by the ring)."""
-        return self._finished
+        with self._lock:
+            return self._finished
 
     def __len__(self) -> int:
-        return len(self._traces)
+        with self._lock:
+            return len(self._traces)
 
 
 class UploadTracer:

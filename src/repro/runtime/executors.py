@@ -76,8 +76,10 @@ class ThreadLaneExecutor:
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._lanes: dict[str, _Lane] = {}
-        self._errors: list[BaseException] = []
+        # ``_idle`` wraps ``_lock`` — holding either is holding the same
+        # mutex, so both names satisfy the guard.
+        self._lanes: dict[str, _Lane] = {}  # guarded-by: _lock, _idle
+        self._errors: list[BaseException] = []  # guarded-by: _lock, _idle
 
     def submit(
         self, lane_id: str, job: Callable[[], object], ticket: BatchTicket

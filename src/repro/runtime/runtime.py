@@ -31,6 +31,7 @@ import time
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.runtime.executors import (
     BatchTicket,
@@ -39,6 +40,11 @@ from repro.runtime.executors import (
 )
 from repro.runtime.spec import RuntimeSpec
 from repro.runtime.telemetry import ServiceTimeEstimator
+
+if TYPE_CHECKING:  # annotation-only: runtime must not import the gateway
+    from repro.gateway.gateway import AggregationCostModel
+    from repro.observability import EventJournal
+    from repro.server.telemetry import MetricsRegistry
 
 __all__ = ["ShardRuntime"]
 
@@ -68,14 +74,21 @@ class ShardRuntime:
     """Bounded queues + serialized worker lanes for every shard."""
 
     def __init__(
-        self, spec: RuntimeSpec, metrics, cost_model=None, journal=None
+        self,
+        spec: RuntimeSpec,
+        metrics: "MetricsRegistry",
+        cost_model: "AggregationCostModel | None" = None,
+        journal: "EventJournal | None" = None,
     ) -> None:
         self.spec = spec
         self.cost_model = cost_model
         # Optional event journal (the gateway's): capacity sheds are
         # decisions worth attributing, not just counting.
         self._journal = journal
-        self.estimator = ServiceTimeEstimator()
+        # The estimator's running sums are fed from lane threads (see
+        # ``timed_job``) and read on the caller's thread, so every touch
+        # happens under the telemetry lock.
+        self.estimator = ServiceTimeEstimator()  # guarded-by: _telemetry_lock
         self._virtual = spec.executor == "virtual"
         self.executor = (
             VirtualLaneExecutor()
@@ -182,7 +195,9 @@ class ShardRuntime:
             if lane is None:
                 return 0.0
             return max(0.0, lane.busy_until(now) - now)
-        return self.executor.pending(shard_id) * self.estimator.mean_service_s()
+        pending = self.executor.pending(shard_id)
+        with self._telemetry_lock:
+            return pending * self.estimator.mean_service_s()
 
     def recent_shed_s(
         self, shard_id: str, now: float, window_s: float = 60.0
@@ -198,18 +213,21 @@ class ShardRuntime:
         if lane is None or not lane.rejects:
             return 0.0
         total = 0.0
-        for time, batch_size in lane.rejects:
-            if now - time > window_s:
+        with self._telemetry_lock:
+            fallback_service_s = self.estimator.mean_service_s()
+        for shed_time, batch_size in lane.rejects:
+            if now - shed_time > window_s:
                 continue
             if self.cost_model is not None:
                 total += self.cost_model.service_time(batch_size)
             else:
-                total += self.estimator.mean_service_s()
+                total += fallback_service_s
         return total
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    # hot-path
     def submit(
         self,
         shard_id: str,

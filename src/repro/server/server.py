@@ -214,6 +214,7 @@ class FleetServer:
                 return False
         return self._deliver(carried)
 
+    # hot-path
     def handle_result_batch(self, results: list[TaskResult]) -> bool:
         """Batched step 5: one model update for a gateway micro-batch.
 
@@ -253,6 +254,7 @@ class FleetServer:
             ctx.add_phase("fold", elapsed)
         return delivered
 
+    # hot-path
     def _deliver(self, updates: list[GradientUpdate], batched: bool = False) -> bool:
         """Validate post-stage updates and hand them to the optimizer.
 

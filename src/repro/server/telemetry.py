@@ -45,9 +45,10 @@ class Counter:
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
+    # hot-path
     def increment(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only move forward")
@@ -56,7 +57,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -65,7 +67,7 @@ class Gauge:
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -82,7 +84,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Summary:
@@ -103,10 +106,11 @@ class Summary:
             raise ValueError("window must be positive")
         self.name = name
         self.description = description
-        self._values: deque[float] = deque(maxlen=window)
+        self._values: deque[float] = deque(maxlen=window)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._cache: np.ndarray | None = None
+        self._cache: np.ndarray | None = None  # guarded-by: _lock
 
+    # hot-path
     def observe(self, value: float) -> None:
         if not np.isfinite(value):
             raise ValueError("summary observations must be finite")
@@ -114,6 +118,7 @@ class Summary:
             self._values.append(float(value))
             self._cache = None
 
+    # hot-path
     def observe_many(self, values: np.ndarray) -> None:
         """Record a batch of observations in one append (hot-path helper)."""
         values = np.asarray(values, dtype=np.float64)
@@ -125,7 +130,8 @@ class Summary:
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     def _materialized(self) -> np.ndarray:
         """The window as one array, cached until the next observe."""
@@ -207,13 +213,16 @@ class Histogram:
             raise ValueError("bucket bounds must be strictly increasing")
         self.name = name
         self.description = description
+        # ``_bounds`` is immutable after construction; only the running
+        # tallies are lane-shared mutable state.
         self._bounds = bounds
-        self._counts = np.zeros(bounds.size + 1, dtype=np.int64)
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
+        self._counts = np.zeros(bounds.size + 1, dtype=np.int64)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min = float("inf")  # guarded-by: _lock
+        self._max = float("-inf")  # guarded-by: _lock
         self._lock = threading.Lock()
 
+    # hot-path
     def observe(self, value: float) -> None:
         if not np.isfinite(value):
             raise ValueError("histogram observations must be finite")
@@ -227,6 +236,7 @@ class Histogram:
             if value > self._max:
                 self._max = value
 
+    # hot-path
     def observe_many(self, values: np.ndarray) -> None:
         """Vectorized observe: one searchsorted + bincount for the batch."""
         values = np.asarray(values, dtype=np.float64)
@@ -235,7 +245,7 @@ class Histogram:
         if not np.isfinite(values).all():
             raise ValueError("histogram observations must be finite")
         indices = np.searchsorted(self._bounds, values, side="left")
-        folded = np.bincount(indices, minlength=self._counts.size)
+        folded = np.bincount(indices, minlength=self._bounds.size + 1)
         with self._lock:
             self._counts += folded
             self._sum += float(values.sum())
@@ -244,7 +254,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return int(self._counts.sum())
+        with self._lock:
+            return int(self._counts.sum())
 
     @property
     def bounds(self) -> np.ndarray:
@@ -253,22 +264,27 @@ class Histogram:
     @property
     def bucket_counts(self) -> np.ndarray:
         """Per-bucket counts; the last entry is the overflow bucket."""
-        return self._counts.copy()
+        with self._lock:
+            return self._counts.copy()
 
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def mean(self) -> float:
-        total = self.count
-        if total == 0:
-            return float("nan")
-        return self._sum / total
+        with self._lock:
+            total = int(self._counts.sum())
+            if total == 0:
+                return float("nan")
+            return self._sum / total
 
     def max(self) -> float:
-        return self._max if self.count else float("nan")
+        with self._lock:
+            return self._max if self._counts.sum() else float("nan")
 
     def min(self) -> float:
-        return self._min if self.count else float("nan")
+        with self._lock:
+            return self._min if self._counts.sum() else float("nan")
 
     def percentile(self, q: float) -> float:
         """Interpolated percentile from the bucket counts; NaN when empty."""
@@ -312,8 +328,8 @@ class RejectionStats:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.recent: deque = deque(maxlen=capacity)
-        self._counts: dict = {}
-        self._total = 0
+        self._counts: dict = {}  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def record(self, rejection) -> None:
@@ -327,16 +343,18 @@ class RejectionStats:
     @property
     def counts(self) -> dict:
         """Per-reason totals (a copy; reasons are enum members)."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     @property
     def total(self) -> int:
         """All rejections ever recorded (not capped by the ring)."""
-        return self._total
+        with self._lock:
+            return self._total
 
     def breakdown(self) -> str:
         """``reason=count`` summary line, stable order; 'none' when empty."""
-        return format_reason_counts(self._counts)
+        return format_reason_counts(self.counts)
 
 
 def format_reason_counts(counts: dict) -> str:
@@ -368,14 +386,14 @@ class MetricsRegistry:
     """Namespace of metrics with idempotent creation and a text report."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._summaries: dict[str, Summary] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: dict[str, Gauge] = {}  # guarded-by: _lock
+        self._summaries: dict[str, Summary] = {}  # guarded-by: _lock
+        self._histograms: dict[str, Histogram] = {}  # guarded-by: _lock
         # Per-reason rejection breakdowns, attached by name: the source is
         # a RejectionStats (read live) or a zero-arg callable returning a
         # {reason: count} mapping (e.g. the gateway's tier-wide merge).
-        self._rejections: dict[str, object] = {}
+        self._rejections: dict[str, object] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def counter(self, name: str, description: str = "") -> Counter:
@@ -431,6 +449,7 @@ class MetricsRegistry:
             self._check_unique(name, self._rejections)
             self._rejections[name] = source
 
+    # holds-lock: _lock
     def _check_unique(self, name: str, own_kind: dict) -> None:
         for registry in (
             self._counters,
@@ -447,24 +466,32 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     @property
     def counters(self) -> dict[str, Counter]:
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     @property
     def gauges(self) -> dict[str, Gauge]:
-        return dict(self._gauges)
+        with self._lock:
+            return dict(self._gauges)
 
     @property
     def summaries(self) -> dict[str, Summary]:
-        return dict(self._summaries)
+        with self._lock:
+            return dict(self._summaries)
 
     @property
     def histograms(self) -> dict[str, Histogram]:
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def rejection_breakdowns(self) -> dict[str, dict]:
         """Resolve every attached rejection source to live counts."""
+        with self._lock:
+            sources = dict(self._rejections)
         resolved: dict[str, dict] = {}
-        for name, source in self._rejections.items():
+        # Sources resolve OUTSIDE the registry lock: a RejectionStats
+        # takes its own lock and a callable may reach into the gateway.
+        for name, source in sources.items():
             if isinstance(source, RejectionStats):
                 resolved[name] = source.counts
             else:
@@ -477,11 +504,11 @@ class MetricsRegistry:
     def report(self) -> str:
         """Human-readable dump of every metric (CLI `repro status` style)."""
         rows: list[_MetricRow] = []
-        for counter in self._counters.values():
+        for counter in self.counters.values():
             rows.append(_MetricRow("counter", counter.name, str(counter.value)))
-        for gauge in self._gauges.values():
+        for gauge in self.gauges.values():
             rows.append(_MetricRow("gauge", gauge.name, f"{gauge.value:.6g}"))
-        for summary in self._summaries.values():
+        for summary in self.summaries.values():
             if summary.count == 0:
                 rendering = "(empty)"
             else:
@@ -492,7 +519,7 @@ class MetricsRegistry:
                     f"max={summary.max():.4g}"
                 )
             rows.append(_MetricRow("summary", summary.name, rendering))
-        for histogram in self._histograms.values():
+        for histogram in self.histograms.values():
             if histogram.count == 0:
                 rendering = "(empty)"
             else:

@@ -104,7 +104,7 @@ class TestEpochAdvance:
 
     def test_history_records_every_epoch(self):
         tuner = ABThresholdTuner()
-        for i in range(4):
+        for _ in range(4):
             tuner.advance_epoch(0.8, 0.8)
         assert [snap.epoch for snap in tuner.history] == [1, 2, 3, 4]
 

@@ -197,3 +197,429 @@ class TestCharts:
     def test_curve_table_validation(self):
         with pytest.raises(ValueError):
             curve_table(np.array([1, 2]), np.array([0.5]), "x")
+
+
+# ======================================================================
+# Project-invariant linter (repro.analysis.lint)
+# ======================================================================
+
+import json as _json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import (
+    Baseline,
+    LintConfig,
+    analyze_source,
+    run_lint,
+    split_new_findings,
+)
+from repro.analysis.lint.runner import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def codes(source, path="pkg/mod.py", select=None):
+    """Lint a dedented snippet; return the finding codes in order."""
+    config = LintConfig(select=tuple(select)) if select else LintConfig()
+    return [
+        f.rule for f in analyze_source(textwrap.dedent(source), path, config)
+    ]
+
+
+class TestClockRules:
+    # -- positive: wall-clock reads and sleeps are flagged ---------------
+    def test_time_time_flagged(self):
+        assert codes("import time\ndef f():\n    return time.time()\n") == [
+            "RPR001"
+        ]
+
+    def test_datetime_now_flagged(self):
+        src = """\
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+        """
+        assert codes(src) == ["RPR001"]
+
+    def test_aliased_monotonic_flagged(self):
+        assert codes("import time as t\ndef f():\n    return t.monotonic()\n") == [
+            "RPR001"
+        ]
+
+    def test_from_import_sleep_flagged(self):
+        assert codes("from time import sleep\ndef f():\n    sleep(0.1)\n") == [
+            "RPR002"
+        ]
+
+    # -- negative: durations, instance clocks, allowlists ----------------
+    def test_perf_counter_allowed(self):
+        assert codes("import time\ndef f():\n    return time.perf_counter()\n") == []
+
+    def test_instance_clock_allowed(self):
+        src = """\
+            class Sim:
+                def now(self):
+                    return self.clock.now()
+        """
+        assert codes(src) == []
+
+    def test_wall_clock_pragma_allowlists_module(self):
+        src = "# repro: wall-clock\nimport time\ndef f():\n    return time.time()\n"
+        assert codes(src) == []
+
+    def test_allowlisted_path_suffix(self):
+        source = "import time\ndef f():\n    return time.time()\n"
+        assert codes(source, path="src/repro/cli.py") == []
+
+
+class TestLockRules:
+    # -- positive: guarded attributes touched outside their lock ---------
+    def test_unlocked_read_flagged(self):
+        src = """\
+            import threading
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []  # guarded-by: _lock
+                def peek(self):
+                    return len(self._events)
+        """
+        assert codes(src) == ["RPR101"]
+
+    def test_unlocked_write_flagged(self):
+        src = """\
+            import threading
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0  # guarded-by: _lock
+                def bump(self):
+                    self._count += 1
+        """
+        # AugAssign touches the attribute as both read and write context.
+        assert "RPR101" in codes(src)
+
+    def test_manifest_guard_flagged(self):
+        src = """\
+            import threading
+            GUARDED_BY = {"Ring._events": "_lock"}
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+                def peek(self):
+                    return list(self._events)
+        """
+        assert codes(src) == ["RPR101"]
+
+    def test_unknown_lock_name_flagged(self):
+        src = """\
+            class Ring:
+                def __init__(self):
+                    self._events = []  # guarded-by: _mutex
+        """
+        assert codes(src) == ["RPR102"]
+
+    # -- negative: with-blocks, holds-lock helpers, aliases, __init__ ----
+    def test_with_block_access_clean(self):
+        src = """\
+            import threading
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []  # guarded-by: _lock
+                def add(self, event):
+                    with self._lock:
+                        self._events.append(event)
+        """
+        assert codes(src) == []
+
+    def test_holds_lock_helper_clean(self):
+        src = """\
+            import threading
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []  # guarded-by: _lock
+                # holds-lock: _lock
+                def _drain(self):
+                    self._events.clear()
+        """
+        assert codes(src) == []
+
+    def test_lock_alias_clean(self):
+        src = """\
+            import threading
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._idle = threading.Condition(self._lock)
+                    self._lanes = {}  # guarded-by: _lock, _idle
+                def wake(self):
+                    with self._idle:
+                        self._lanes.clear()
+        """
+        assert codes(src) == []
+
+    def test_init_exempt(self):
+        src = """\
+            import threading
+            class Ring:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []  # guarded-by: _lock
+                    self._events.append(0)
+        """
+        assert codes(src) == []
+
+
+class TestRngRules:
+    # -- positive: global-stream draws ----------------------------------
+    def test_random_random_flagged(self):
+        assert codes("import random\ndef f():\n    return random.random()\n") == [
+            "RPR201"
+        ]
+
+    def test_random_shuffle_flagged(self):
+        src = "import random\ndef f(xs):\n    random.shuffle(xs)\n"
+        assert codes(src) == ["RPR201"]
+
+    def test_np_random_rand_flagged(self):
+        src = "import numpy as np\ndef f():\n    return np.random.rand(3)\n"
+        assert codes(src) == ["RPR202"]
+
+    def test_np_random_seed_flagged(self):
+        src = "import numpy as np\ndef f():\n    np.random.seed(0)\n"
+        assert codes(src) == ["RPR202"]
+
+    # -- negative: seeded generator machinery ---------------------------
+    def test_default_rng_allowed(self):
+        src = "import numpy as np\ndef f():\n    return np.random.default_rng(7)\n"
+        assert codes(src) == []
+
+    def test_generator_method_allowed(self):
+        src = """\
+            import numpy as np
+            def f(rng):
+                return rng.normal(size=4)
+        """
+        assert codes(src) == []
+
+    def test_random_instance_allowed(self):
+        src = "import random\ndef f():\n    return random.Random(7)\n"
+        assert codes(src) == []
+
+
+class TestHotPathRules:
+    # -- positive: serialization / blocking / allocation in hot paths ----
+    def test_json_in_hot_path_flagged(self):
+        src = """\
+            import json
+            # hot-path
+            def fold(record):
+                return json.dumps(record)
+        """
+        assert codes(src) == ["RPR301"]
+
+    def test_fsync_in_hot_path_flagged(self):
+        src = """\
+            import os
+            # hot-path
+            def append(fd):
+                os.fsync(fd)
+        """
+        assert codes(src) == ["RPR302"]
+
+    def test_logging_in_hot_path_flagged(self):
+        src = """\
+            import logging
+            logger = logging.getLogger(__name__)
+            # hot-path
+            def fold(x):
+                logger.info("folding %s", x)
+        """
+        assert codes(src) == ["RPR302"]
+
+    def test_concatenate_in_hot_path_flagged(self):
+        src = """\
+            import numpy as np
+            # hot-path
+            def fold(parts):
+                return np.concatenate(parts)
+        """
+        assert codes(src) == ["RPR303"]
+
+    # -- negative: unmarked functions and clean hot paths ---------------
+    def test_unmarked_function_free(self):
+        src = "import json\ndef export(record):\n    return json.dumps(record)\n"
+        assert codes(src) == []
+
+    def test_np_stack_allowed_in_hot_path(self):
+        src = """\
+            import numpy as np
+            # hot-path
+            def fold(parts):
+                return np.stack(parts)
+        """
+        assert codes(src) == []
+
+    def test_perf_counter_allowed_in_hot_path(self):
+        src = """\
+            import time
+            # hot-path
+            def fold(x):
+                started = time.perf_counter()
+                return x, time.perf_counter() - started
+        """
+        assert codes(src) == []
+
+
+class TestSuppression:
+    def test_coded_noqa_suppresses(self):
+        src = "import time\ndef f():\n    return time.time()  # repro: noqa[RPR001]\n"
+        assert codes(src) == []
+
+    def test_blanket_noqa_suppresses(self):
+        src = "import time\ndef f():\n    return time.time()  # repro: noqa\n"
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import time\ndef f():\n    return time.time()  # repro: noqa[RPR002]\n"
+        assert codes(src) == ["RPR001"]
+
+    def test_noqa_is_line_scoped(self):
+        src = """\
+            import time
+            def f():
+                a = time.time()  # repro: noqa[RPR001]
+                return a + time.time()
+        """
+        assert codes(src) == ["RPR001"]
+
+    def test_select_restricts_rules(self):
+        src = "import time, random\ndef f():\n    time.sleep(random.random())\n"
+        assert codes(src) == ["RPR002", "RPR201"]
+        assert codes(src, select=["RPR002"]) == ["RPR002"]
+
+
+VIOLATION = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+class TestBaseline:
+    def _findings(self, source, path="pkg/mod.py"):
+        return analyze_source(textwrap.dedent(source), path)
+
+    def test_baseline_grandfathers_by_symbol_not_line(self):
+        found = self._findings(VIOLATION)
+        baseline = Baseline.from_findings(found)
+        # Shift every line down: imports added above move the finding's
+        # line number, but (file, rule, symbol) still matches.
+        shifted = "import os  # new import shifts lines\n" + VIOLATION
+        new, old = split_new_findings(self._findings(shifted), baseline)
+        assert new == []
+        assert [f.rule for f in old] == ["RPR001"]
+        assert old[0].line != found[0].line
+
+    def test_extra_occurrence_beyond_budget_is_new(self):
+        baseline = Baseline.from_findings(self._findings(VIOLATION))
+        doubled = VIOLATION + "    return time.time()\n".replace(
+            "    return", "\n\ndef stamp2():\n    return"
+        )
+        # Same symbol budget consumed once; a second symbol is new.
+        new, old = split_new_findings(self._findings(doubled), baseline)
+        assert len(old) == 1 and len(new) == 1
+        assert new[0].symbol == "stamp2"
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(self._findings(VIOLATION))
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").total == 0
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestRunner:
+    def _seed_violation(self, tmp_path):
+        tree = tmp_path / "src"
+        tree.mkdir()
+        (tree / "bad.py").write_text(VIOLATION)
+        return tree
+
+    def test_run_lint_fails_on_seeded_violation(self, tmp_path):
+        """The CI gate: a synthetic violation exits non-zero."""
+        tree = self._seed_violation(tmp_path)
+        result = run_lint([tree], tmp_path)
+        assert result.exit_code == 1
+        assert [f.rule for f in result.new] == ["RPR001"]
+        assert result.new[0].file == "src/bad.py"
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        self._seed_violation(tmp_path)
+        root = str(tmp_path)
+        assert lint_main(["src", "--root", root]) == 1
+        assert lint_main(["src", "--root", root, "--update-baseline"]) == 0
+        # Grandfathered now: same findings, exit 0.
+        assert lint_main(["src", "--root", root]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        tree = self._seed_violation(tmp_path)
+        assert lint_main(["src", "--root", str(tmp_path), "--update-baseline"]) == 0
+        baseline = Baseline.load(tmp_path / "lint-baseline.json")
+        result = run_lint([tree], tmp_path)
+        assert Baseline.from_findings(result.findings).entries == baseline.entries
+        capsys.readouterr()
+
+    def test_json_format_report(self, tmp_path, capsys):
+        self._seed_violation(tmp_path)
+        out = tmp_path / "report.json"
+        code = lint_main(
+            [
+                "src",
+                "--root",
+                str(tmp_path),
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1
+        report = _json.loads(out.read_text())
+        assert report["summary"]["new"] == 1
+        assert report["new"][0]["rule"] == "RPR001"
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        tree = tmp_path / "src"
+        tree.mkdir()
+        (tree / "broken.py").write_text("def f(:\n")
+        result = run_lint([tree], tmp_path)
+        assert [f.rule for f in result.new] == ["RPR000"]
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main(["nope", "--root", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_repo_tree_is_clean(self, capsys):
+        """The committed tree lints clean against the committed baseline."""
+        code = lint_main(["src", "benchmarks", "--root", str(REPO_ROOT)])
+        capsys.readouterr()
+        assert code == 0

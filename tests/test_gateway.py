@@ -559,7 +559,7 @@ class TestLaneLifecycle:
             batcher.add("s", _result(i, gradient), now=0.0)
         batch = batcher.flush("s")
         base = batch[0].gradient
-        for decoded, original, row in zip(batch, gradients, range(3)):
+        for decoded, original in zip(batch, gradients):
             np.testing.assert_array_equal(decoded.gradient, original)
             # Every row is a view into one (B, D) allocation.
             assert decoded.gradient.base is not None

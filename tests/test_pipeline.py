@@ -201,7 +201,7 @@ class TestVetoAndRewrite:
     def test_absorbing_stage_applies_nothing(self):
         class DropAll(ResultStage):
             def on_result(self, update, server):
-                return None
+                return None  # noqa: RET501 -- None is the absorb signal
 
         server = _builder().result_stage(DropAll()).build()
         assert server.handle_result(_result(0, np.ones(DIM))) is False

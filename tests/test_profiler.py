@@ -102,7 +102,7 @@ class TestColdStart:
         xs = rng.normal(size=(20, 2))
         model.fit(xs, xs @ np.array([1.0, 1.0]))
         # Append data from a different generating model.
-        for i in range(10):
+        for _ in range(10):
             x = rng.normal(size=2)
             model.append(x, float(x @ np.array([3.0, 3.0])))
         # After refit the model has moved toward the new slope.
