@@ -1,0 +1,141 @@
+"""Extension bench — SLO engine overhead on the gateway's result hot path.
+
+The SLO PR adds two fixed-bucket histograms on the delivery path (one
+``observe_many`` per batch for latency, one for staleness), a burn-rate
+evaluation inside the pump every ``evaluate_every_s`` of virtual time,
+and a health endpoint.  This bench drives the same upload stream through
+two identically-configured sync gateways — SLO engine off, and on with
+windows tight enough that evaluations actually run — interleaving
+periodic ``health_snapshot()`` calls on the enabled side, and asserts
+the SLO configuration sustains at least 95% of the plain
+``handle_result`` throughput.
+
+Methodology matches the tracing-overhead bench: interleaved repeats
+(off, on, off, on, ...) compared best-of-N, identical pre-built result
+stream, so the only delta is the SLO machinery.
+
+Set ``SLO_SMOKE=1`` for a reduced-size run with a slack bar (CI smoke:
+proves the plumbing, not the number, on noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import make_fedavg
+from repro.devices.device import DeviceFeatures
+from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
+from repro.observability import SLOSpec
+from repro.profiler import IProf, SLO
+from repro.server import FleetServer
+from repro.server.protocol import TaskResult
+
+from conftest import fmt_row
+
+_SMOKE = bool(os.environ.get("SLO_SMOKE"))
+DIM = 256 if _SMOKE else 1_024
+NUM_LABELS = 10
+UPLOADS = 2_000 if _SMOKE else 8_000
+WORKERS = 64
+REPEATS = 3 if _SMOKE else 5
+HEALTH_SNAPSHOTS = 8  # spread across the drive on the enabled side
+# The acceptance bar: SLO evaluation + health snapshots keep >= 95% of
+# the plain throughput.  Smoke mode only proves the harness runs end to
+# end, so its bar is slack for shared CI runners.
+MIN_RELATIVE_THROUGHPUT = 0.85 if _SMOKE else 0.95
+# Uploads arrive at now = i * 1e-4 virtual seconds; these windows make
+# the engine evaluate ~100 times over the run instead of zero.
+_SLO = SLOSpec(
+    latency_bound_s=2.0,
+    fast_window_s=0.1,
+    slow_window_s=0.4,
+    evaluate_every_s=0.01,
+)
+
+
+def _features() -> DeviceFeatures:
+    return DeviceFeatures(
+        available_memory_mb=1024.0,
+        total_memory_mb=3072.0,
+        temperature_c=30.0,
+        sum_max_freq_ghz=8.0,
+        energy_per_cpu_second=2e-4,
+    )
+
+
+def _stream() -> list[TaskResult]:
+    rng = np.random.default_rng(12)
+    features = _features()
+    return [
+        TaskResult(
+            worker_id=i % WORKERS,
+            device_model="Galaxy S7",
+            features=features,
+            pull_step=0,
+            gradient=rng.normal(size=DIM),
+            label_counts=np.ones(NUM_LABELS),
+            batch_size=8,
+            computation_time_s=1.0,
+            energy_percent=0.01,
+        )
+        for i in range(UPLOADS)
+    ]
+
+
+def _gateway(slo_on: bool) -> Gateway:
+    return Gateway.from_factory(
+        1,
+        lambda i: FleetServer(
+            make_fedavg(np.zeros(DIM), learning_rate=0.05),
+            IProf(),
+            SLO(time_seconds=3.0),
+        ),
+        GatewayConfig(batch_size=8, batch_deadline_s=1e9, sync_every_s=1e9),
+        cost_model=AggregationCostModel(per_flush_s=0.01, per_result_s=0.001),
+        slo=_SLO if slo_on else None,
+    )
+
+
+def _drive(slo_on: bool, stream: list[TaskResult]) -> float:
+    """Sustained handle_result throughput (uploads per wall second)."""
+    gateway = _gateway(slo_on)
+    snapshot_every = len(stream) // HEALTH_SNAPSHOTS
+    start = time.perf_counter()
+    for i, result in enumerate(stream):
+        gateway.handle_result(result, now=i * 1e-4)
+        if slo_on and i % snapshot_every == snapshot_every - 1:
+            gateway.health_snapshot()
+    elapsed = time.perf_counter() - start
+    if slo_on:
+        assert gateway.slo_engine.evaluations > 10, "engine never evaluated"
+        assert gateway.upload_latency_hist.count > 0, "no latency SLIs"
+    return len(stream) / elapsed
+
+
+def test_slo_overhead_under_five_percent(report):
+    stream = _stream()
+    _drive(False, stream)  # warm import-heavy paths
+    off_rates, on_rates = [], []
+    for _ in range(REPEATS):
+        off_rates.append(_drive(False, stream))
+        on_rates.append(_drive(True, stream))
+    best_off, best_on = max(off_rates), max(on_rates)
+    relative = best_on / best_off
+
+    report(
+        f"SLO engine overhead, {UPLOADS} uploads x {DIM}-dim gradients "
+        f"(evaluate every {_SLO.evaluate_every_s:g}s virtual, "
+        f"{HEALTH_SNAPSHOTS} health snapshots, best of {REPEATS})",
+        fmt_row("  throughput off (uploads/s)", off_rates, precision=0),
+        fmt_row("  throughput on  (uploads/s)", on_rates, precision=0),
+        f"  relative throughput (on/off)       {relative:.4f} "
+        f"(bar >= {MIN_RELATIVE_THROUGHPUT})",
+    )
+
+    assert relative >= MIN_RELATIVE_THROUGHPUT, (
+        f"SLO evaluation kept only {relative:.1%} of plain throughput "
+        f"(need >= {MIN_RELATIVE_THROUGHPUT:.0%})"
+    )

@@ -15,6 +15,10 @@ question a staleness regression raises.  The tier's own decisions
 (sheds, steers, scaling, sync rounds) are tallied alongside, since they
 are the usual suspects.
 
+The per-shard tables now live in the library (``repro trace-report
+--per-shard`` prints them without this script); what remains unique
+here is the quartile attribution matrix.
+
 Run:  python examples/trace_analysis.py run.jsonl
 """
 
@@ -25,7 +29,12 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.observability import journal_summary, load_jsonl
+from repro.observability import (
+    journal_summary,
+    load_jsonl,
+    per_shard_event_table,
+    per_shard_table,
+)
 
 
 def span_seconds(trace: dict) -> dict[str, float]:
@@ -66,30 +75,6 @@ def attribution_table(traces: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def per_shard_table(traces: list[dict]) -> str:
-    by_shard: dict[str, list[dict]] = defaultdict(list)
-    for trace in traces:
-        by_shard[trace.get("shard_id", "?")].append(trace)
-    lines = ["per-shard upload latency (queue wait is staleness-in-waiting):"]
-    for shard in sorted(by_shard):
-        rows = by_shard[shard]
-        totals = np.array([t["total_s"] for t in rows])
-        queued = np.array([
-            sum(
-                s["duration"] for s in t["spans"]
-                if s["name"].startswith("queue.")
-            )
-            for t in rows
-        ])
-        lines.append(
-            f"  {shard:<10} n={len(rows):<5} "
-            f"mean={totals.mean():.4g}s p95={np.percentile(totals, 95):.4g}s "
-            f"queued={queued.mean():.4g}s "
-            f"({queued.sum() / max(totals.sum(), 1e-12):.0%} of latency)"
-        )
-    return "\n".join(lines)
-
-
 def main() -> int:
     if len(sys.argv) != 2:
         print(__doc__)
@@ -105,6 +90,8 @@ def main() -> int:
         print(per_shard_table(traces))
     print()
     print(journal_summary(events))
+    print()
+    print(per_shard_event_table(events))
     return 0
 
 

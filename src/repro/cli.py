@@ -38,6 +38,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("fleet-sim", "end-to-end middleware simulation on a virtual clock"),
         ("gateway-sim", "fleet simulation through the sharded serving gateway"),
         ("trace-report", "critical-path/causes report from a JSONL journal"),
+        ("slo-report", "alert timeline + budget summary from a JSONL journal"),
         ("freshness", "Standard vs Online FL data-freshness gap (Fig. 1)"),
     ]
     for name, desc in rows:
@@ -324,6 +325,16 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
             detector_timeout_s=args.detector_timeout,
             journal_path=Path(root) / "journal.jsonl",
         )
+    slo = None
+    if args.slo or args.slo_json is not None:
+        from repro.observability import SLOSpec
+
+        slo = SLOSpec(
+            latency_bound_s=args.slo_latency_bound,
+            staleness_bound=args.slo_staleness_bound,
+            fast_window_s=args.slo_fast_window,
+            slow_window_s=args.slo_slow_window,
+        )
     gateway = Gateway.from_spec(
         args.shards, spec,
         GatewayConfig(
@@ -336,6 +347,7 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         runtime=runtime,
         observability=observability,
         durability=durability,
+        slo=slo,
     )
     heartbeat_s = args.autoscale_window / 2 if args.autoscale else None
     if args.crash_shard_at is not None:
@@ -384,6 +396,25 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
               f"(crashes {kinds.get('shard_crash', 0)}, "
               f"failovers {kinds.get('failover_done', 0)}); "
               f"inspect with: repro wal-inspect {gateway.durability.root}")
+    if gateway.slo_engine is not None:
+        health = gateway.health_snapshot()
+        alerts = gateway.slo_engine.active_alerts()
+        print(f"health: {health['status']} "
+              f"({health['num_shards']} shards live, "
+              f"{len(health['crashed_shards'])} down), "
+              f"active alerts: {', '.join(alerts) if alerts else 'none'}")
+    if args.slo_json is not None:
+        import json
+
+        document = {
+            "slo": gateway.slo_engine.snapshot(),
+            "health": gateway.health_snapshot(),
+        }
+        with open(args.slo_json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        print(f"slo snapshot -> {args.slo_json}")
     _print_pipeline_summary(gateway)
 
     if args.trace:
@@ -398,6 +429,14 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
         print(journal_summary(
             gateway.journal.to_dicts(), gateway.journal.counts_by_kind()
         ))
+        if args.per_shard:
+            from repro.observability import (
+                per_shard_event_table,
+                per_shard_table,
+            )
+
+            print(per_shard_table(traces))
+            print(per_shard_event_table(gateway.journal.to_dicts()))
     if args.journal is not None:
         traces = (
             [t.to_dict() for t in gateway.tracer.collector.traces]
@@ -424,6 +463,8 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         critical_path_table,
         journal_summary,
         load_jsonl,
+        per_shard_event_table,
+        per_shard_table,
     )
 
     records = load_jsonl(args.path)
@@ -431,6 +472,36 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     events = [r for r in records if r.get("kind") != "trace"]
     print(critical_path_table(traces))
     print(journal_summary(events))
+    if args.per_shard:
+        print(per_shard_table(traces))
+        print(per_shard_event_table(events))
+    return 0
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    from repro.observability import alert_timeline, load_jsonl
+
+    records = load_jsonl(args.path)
+    print(alert_timeline(records))
+    if args.snapshot is not None:
+        import json
+
+        with open(args.snapshot, encoding="utf-8") as handle:
+            document = json.load(handle)
+        slo = document.get("slo", document)
+        print(f"slo engine: {slo.get('evaluations', 0)} evaluations, "
+              f"{slo.get('alerts_fired', 0)} fired / "
+              f"{slo.get('alerts_resolved', 0)} resolved")
+        for name, objective in sorted(slo.get("objectives", {}).items()):
+            state = "FIRING" if objective.get("firing") else "ok"
+            print(f"  {name:<18} "
+                  f"objective={objective.get('objective', 0.0):.4f} "
+                  f"budget={objective.get('budget_remaining', 0.0):.1%} "
+                  f"{state}")
+        health = document.get("health")
+        if health is not None:
+            print(f"health: {health.get('status', '?')} "
+                  f"({health.get('num_shards', 0)} shards live)")
     return 0
 
 
@@ -623,6 +694,26 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--detector-timeout", type=float, default=60.0,
                          help="seconds of shard silence before the failure "
                               "detector declares it dead")
+    gateway.add_argument("--slo", action="store_true",
+                         help="evaluate burn-rate SLOs (latency, shed rate, "
+                              "staleness, availability) during the run and "
+                              "journal alert transitions")
+    gateway.add_argument("--slo-latency-bound", type=float, default=2.0,
+                         help="end-to-end upload latency bound (virtual s) "
+                              "for the latency SLO")
+    gateway.add_argument("--slo-staleness-bound", type=float, default=16.0,
+                         help="applied-staleness bound (model steps) for "
+                              "the staleness SLO")
+    gateway.add_argument("--slo-fast-window", type=float, default=300.0,
+                         help="fast burn-rate window (virtual s)")
+    gateway.add_argument("--slo-slow-window", type=float, default=3600.0,
+                         help="slow burn-rate window (virtual s)")
+    gateway.add_argument("--slo-json", default=None, metavar="PATH",
+                         help="write the SLO snapshot + health document as "
+                              "JSON for `repro slo-report` (implies --slo)")
+    gateway.add_argument("--per-shard", action="store_true",
+                         help="with --trace, also print per-shard latency "
+                              "and event attribution tables")
     gateway.add_argument("--seed", type=int, default=0)
 
     report = sub.add_parser(
@@ -631,6 +722,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="journal file written by "
                                      "`gateway-sim --journal PATH`")
+    report.add_argument("--per-shard", action="store_true",
+                        help="also print per-shard latency and event "
+                             "attribution tables")
+
+    slo_report = sub.add_parser(
+        "slo-report",
+        help="alert timeline and budget summary from a journal JSONL",
+    )
+    slo_report.add_argument("path", help="journal file written by "
+                                         "`gateway-sim --slo --journal PATH`")
+    slo_report.add_argument("--snapshot", default=None, metavar="PATH",
+                            help="SLO snapshot JSON written by "
+                                 "`gateway-sim --slo-json PATH`")
 
     wal = sub.add_parser(
         "wal-inspect",
@@ -657,6 +761,7 @@ _COMMANDS = {
     "fleet-sim": _cmd_fleet_sim,
     "gateway-sim": _cmd_gateway_sim,
     "trace-report": _cmd_trace_report,
+    "slo-report": _cmd_slo_report,
     "wal-inspect": _cmd_wal_inspect,
     "freshness": _cmd_freshness,
 }

@@ -35,11 +35,15 @@ class EncodedResult:
 
     ``metadata`` keeps every non-gradient field the shard and the profiler
     need (ids, lease clock, label histogram, measurements) untouched; only
-    the gradient payload is quantized/compressed.
+    the gradient payload is quantized/compressed.  ``admitted_at`` is the
+    clock at which the gateway accepted the result — carried on the wire
+    form so delivery can account the full admission→apply latency without
+    touching the protocol envelope.
     """
 
     blob: EncodedBlob | SparseGradient
     metadata: TaskResult  # gradient field is an empty placeholder
+    admitted_at: float = 0.0
 
     @property
     def wire_bytes(self) -> int:
@@ -50,7 +54,9 @@ class EncodedResult:
         return self.blob.wire_bytes
 
 
-def encode_result(result: TaskResult, codec: VectorCodec) -> EncodedResult:
+def encode_result(
+    result: TaskResult, codec: VectorCodec, admitted_at: float = 0.0
+) -> EncodedResult:
     """Compress the gradient; carry the rest of the result as metadata.
 
     A :class:`SparseGradient` upload is already a compact wire form — it
@@ -60,7 +66,7 @@ def encode_result(result: TaskResult, codec: VectorCodec) -> EncodedResult:
     gradient = result.gradient
     blob = gradient if isinstance(gradient, SparseGradient) else codec.encode(gradient)
     stripped = dataclasses.replace(result, gradient=np.zeros(0))
-    return EncodedResult(blob=blob, metadata=stripped)
+    return EncodedResult(blob=blob, metadata=stripped, admitted_at=admitted_at)
 
 
 def decode_result(encoded: EncodedResult, codec: VectorCodec) -> TaskResult:
@@ -117,7 +123,7 @@ class MicroBatcher:
         entries travel to the shard's worker lane, which decodes them
         there (:meth:`decode_entries`).
         """
-        encoded = encode_result(result, self.codec)
+        encoded = encode_result(result, self.codec, admitted_at=now)
         lane = self._lanes.setdefault(shard_id, _Lane())
         if not lane.entries:
             lane.oldest_arrival = now

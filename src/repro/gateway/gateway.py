@@ -61,6 +61,8 @@ from repro.gateway.hashing import ConsistentHashRing
 from repro.gateway.scheduling import HashRouter, Router
 from repro.gateway.sync import ShardSynchronizer
 from repro.observability import EventJournal, ObservabilitySpec, UploadTracer
+from repro.observability.health import build_health_snapshot
+from repro.observability.slo import SLOEngine, SLOSpec
 from repro.runtime import ElasticityController, RuntimeSpec, ShardRuntime
 from repro.server.codec import VectorCodec
 from repro.server.protocol import (
@@ -133,6 +135,22 @@ class AggregationCostModel:
 _LOAD_EWMA_TAU_S = 30.0
 
 
+def _slo_latency_buckets(bound: float) -> tuple[float, ...]:
+    """Latency histogram grid anchored on the SLO bound.
+
+    The bound itself is a bucket edge, so the engine's good-event count
+    (``Histogram.count_le``) is exact rather than interpolated.
+    """
+    factors = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0)
+    return tuple(sorted({bound * f for f in factors}))
+
+
+def _slo_staleness_buckets(bound: float) -> tuple[float, ...]:
+    """Staleness histogram grid: exact zero bucket plus bound-anchored edges."""
+    grid = {0.0} | {bound * f for f in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0)}
+    return tuple(sorted(grid))
+
+
 @dataclass
 class _ShardLane:
     """Serial service lane of one shard (virtual-time occupancy)."""
@@ -167,6 +185,7 @@ class Gateway:
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
         durability: DurabilitySpec | None = None,
+        slo: SLOSpec | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -362,6 +381,32 @@ class Gateway:
                 self.durability.attach(shard_id, shard, now=self._now)
                 self.detector.register(shard_id, self._now)
 
+        # Service-level objectives: per-delivery SLI histograms (bucket
+        # edges anchored on the spec's bounds so good-event counts are
+        # exact) plus a burn-rate engine evaluated on the pump's
+        # quantized cadence — same determinism recipe as the detector
+        # probes above.  ``slo`` of None keeps the delivery path free of
+        # the extra histogram observations.
+        self.slo_spec = slo
+        self.slo_engine: SLOEngine | None = None
+        self.upload_latency_hist = None
+        self.staleness_hist = None
+        self._next_slo_s = float("-inf")
+        if slo is not None:
+            self.upload_latency_hist = self.metrics.histogram(
+                "gateway.upload_latency_s",
+                "end-to-end admission-to-apply latency of delivered uploads",
+                buckets=_slo_latency_buckets(slo.latency_bound_s),
+            )
+            self.staleness_hist = self.metrics.histogram(
+                "gateway.applied_staleness",
+                "staleness of applied gradients at delivery time",
+                buckets=_slo_staleness_buckets(slo.staleness_bound),
+            )
+            self.slo_engine = SLOEngine.from_gateway(
+                slo, self, journal=self.journal
+            )
+
     # ------------------------------------------------------------------
     # Factory
     # ------------------------------------------------------------------
@@ -376,6 +421,7 @@ class Gateway:
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
         durability: DurabilitySpec | None = None,
+        slo: SLOSpec | None = None,
     ) -> "Gateway":
         """Build N identically-configured shards from a factory.
 
@@ -394,6 +440,7 @@ class Gateway:
             router=router,
             observability=observability,
             durability=durability,
+            slo=slo,
         )
 
     @classmethod
@@ -407,6 +454,7 @@ class Gateway:
         router: Router | None = None,
         observability: ObservabilitySpec | None = None,
         durability: DurabilitySpec | None = None,
+        slo: SLOSpec | None = None,
     ) -> "Gateway":
         """Build N shards from a :class:`repro.api.ServerSpec`.
 
@@ -425,7 +473,7 @@ class Gateway:
         return cls.from_factory(
             num_shards, spec, config=config, cost_model=cost_model,
             runtime=runtime, router=router, observability=observability,
-            durability=durability,
+            durability=durability, slo=slo,
         )
 
     # ------------------------------------------------------------------
@@ -543,11 +591,12 @@ class Gateway:
             if ctx is not None:
                 result = dataclasses.replace(result, trace=ctx)
 
+        entries = self.batcher.add_encoded(shard_id, result, now)
         if self.runtime is None:
-            batch = self.batcher.add(shard_id, result, now)
-            updated = self._deliver(shard_id, batch, now) if batch else False
+            updated = (
+                self._deliver_entries(shard_id, entries, now) if entries else False
+            )
         else:
-            entries = self.batcher.add_encoded(shard_id, result, now)
             updated = (
                 self._submit_entries(shard_id, entries, now) if entries else False
             )
@@ -560,6 +609,20 @@ class Gateway:
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
+    def _deliver_entries(self, shard_id: str, entries: list, now: float) -> bool:
+        """Decode a flushed batch and deliver it on the caller's thread.
+
+        The synchronous (runtime-less) delivery path; keeps the encoded
+        entries in scope so admission times reach the latency SLI.
+        """
+        batch = self.batcher.decode_entries(entries)
+        return self._deliver(
+            shard_id,
+            batch,
+            now,
+            admitted=[entry.admitted_at for entry in entries],
+        )
+
     def _submit_entries(self, shard_id: str, entries: list, now: float) -> bool:
         """Hand a flushed, still-encoded micro-batch to the shard's lane.
 
@@ -587,7 +650,12 @@ class Gateway:
                         entry.metadata.trace.stamp("job_start", started)
             batch = self.batcher.decode_entries(entries)
             with self._shard_guard(shard_id):
-                return self._deliver(shard_id, batch, now)
+                return self._deliver(
+                    shard_id,
+                    batch,
+                    now,
+                    admitted=[entry.admitted_at for entry in entries],
+                )
 
         ticket = self.runtime.submit(shard_id, len(entries), job, now)
         if ticket is None:
@@ -610,23 +678,38 @@ class Gateway:
         failover decodes it exactly like a normal micro-batch flush.
         """
         self._crash_pending.setdefault(shard_id, []).append(
-            encode_result(result, self.codec)
+            encode_result(result, self.codec, admitted_at=now)
         )
 
     def _flush_shard(self, shard_id: str, now: float) -> bool:
         """Flush one lane through whichever delivery path is configured."""
-        if self.runtime is not None:
-            entries = self.batcher.flush_encoded(shard_id)
-            if not entries:
-                return False
-            return self._submit_entries(shard_id, entries, now)
-        batch = self.batcher.flush(shard_id)
-        if not batch:
+        entries = self.batcher.flush_encoded(shard_id)
+        if not entries:
             return False
-        return self._deliver(shard_id, batch, now)
+        if self.runtime is not None:
+            return self._submit_entries(shard_id, entries, now)
+        return self._deliver_entries(shard_id, entries, now)
 
-    def _deliver(self, shard_id: str, batch: list[TaskResult], now: float) -> bool:
+    def _deliver(
+        self,
+        shard_id: str,
+        batch: list[TaskResult],
+        now: float,
+        admitted: list[float] | None = None,
+    ) -> bool:
         shard = self._shards[shard_id]
+        if self.staleness_hist is not None:
+            # Staleness at apply time — the shard's clock is about to
+            # advance past every lease in the batch.  Clamped at zero
+            # for leases clamped forward by rerouting.
+            pre_clock = shard.clock
+            stale = np.fromiter(
+                (pre_clock - result.pull_step for result in batch),
+                dtype=np.float64,
+                count=len(batch),
+            )
+            np.maximum(stale, 0.0, out=stale)
+            self.staleness_hist.observe_many(stale)
         updated = shard.handle_result_batch(batch)
         if self.durability is not None:
             # Cadence checkpoint on the delivery path: callers already
@@ -649,6 +732,14 @@ class Gateway:
                 lane.busy_until = start + service
                 lane.busy_seconds += service
                 lane.observe_service(service, now)
+        if self.upload_latency_hist is not None and admitted is not None:
+            # End-to-end upload latency: gateway admission (the encoded
+            # entry's stamp) to lane completion, one vectorized observe
+            # per batch.  Results redelivered after a failover keep
+            # their crash-era admission stamp — they DID wait that long.
+            self.upload_latency_hist.observe_many(
+                (start + service) - np.asarray(admitted, dtype=np.float64)
+            )
         if self.tracer is not None:
             # Finish every traced upload in the batch — including those a
             # stage absorbed: their critical path still ended here.
@@ -677,6 +768,13 @@ class Gateway:
                 watched_updated = updated
         if len(self._shards) > 1 and self.synchronizer.due(now):
             self.synchronize(now)
+        if self.slo_engine is not None and now >= self._next_slo_s:
+            # Quantized like the detector probes below: evaluating on
+            # every pump would tax the hot path without adding fidelity
+            # on the burn windows' timescale, and the fixed cadence is
+            # what makes same-seed virtual-clock runs alert-identical.
+            self._next_slo_s = now + self.slo_spec.evaluate_every_s
+            self.slo_engine.evaluate(now)
         if self.autoscaler is not None:
             self.autoscaler.observe(now)
         if self.detector is not None and now >= self._next_probe_s:
@@ -799,12 +897,12 @@ class Gateway:
         now = self._advance(now)
         if self.runtime is not None:
             self.runtime.drain()  # quiesce lanes before draining the leaver
-        batch = self.batcher.flush(shard_id)
-        if batch:
+        entries = self.batcher.flush_encoded(shard_id)
+        if entries:
             # Delivered synchronously even in async mode: the leaver's
             # learning must be in its model before the farewell sync, and
             # a shard on its way out cannot be queue-shed.
-            self._deliver(shard_id, batch, now)
+            self._deliver_entries(shard_id, entries, now)
         self.batcher.drop(shard_id)
         # One sync while the leaver still participates: its updates enter
         # the consensus, so removing it afterwards loses nothing.
@@ -957,7 +1055,12 @@ class Gateway:
         if parked:
             batch = self.batcher.decode_entries(parked)
             with self._shard_guard(shard_id):
-                self._deliver(shard_id, batch, now)
+                self._deliver(
+                    shard_id,
+                    batch,
+                    now,
+                    admitted=[entry.admitted_at for entry in parked],
+                )
             redelivered = len(batch)
         recovery_s = now - crashed_at
         self._recovery_hist.observe(recovery_s)
@@ -1057,6 +1160,27 @@ class Gateway:
     @property
     def num_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def crashed_shards(self) -> tuple[str, ...]:
+        """Shards currently down and awaiting failover (sorted)."""
+        return tuple(sorted(self._crashed))
+
+    @property
+    def has_shard_factory(self) -> bool:
+        """Whether crashed shards can be rebuilt (factory retained)."""
+        return self._shard_factory is not None
+
+    def health_snapshot(self, now: float | None = None) -> dict:
+        """Strict-JSON readiness document of the whole tier.
+
+        Aggregates per-shard detector state, WAL/checkpoint lag, queue
+        depth and pending work plus the SLO engine's active alerts; see
+        :mod:`repro.observability.health` for the schema.  Reads only
+        in-memory state — safe to serve per request.
+        """
+        now = self._advance(now)
+        return build_health_snapshot(self, now)
 
     def find_request_stage(self, stage_type: type) -> RequestStage | None:
         """First matching request stage of the first shard, or None.
@@ -1179,4 +1303,6 @@ class Gateway:
         if self.autoscaler is not None and self.autoscaler.events:
             lines.append("scaling events:")
             lines.append(self.autoscaler.timeline())
+        if self.slo_engine is not None:
+            lines.append(self.slo_engine.report())
         return "\n".join(lines)

@@ -12,18 +12,31 @@ The attribution substrate of the serving tier.  Three pieces:
 * :mod:`repro.observability.exporters` / ``report`` — Prometheus-style
   text exposition and JSON snapshots of a
   :class:`~repro.server.telemetry.MetricsRegistry`, and the critical-path
-  / top-causes tables behind ``repro trace-report``.
+  / top-causes tables behind ``repro trace-report``;
+* :mod:`repro.observability.slo` / ``alerts`` / ``health`` — declarative
+  serving objectives evaluated by a multi-window burn-rate engine, alert
+  fire/resolve records journaled as typed events, and the per-shard
+  readiness document behind ``Gateway.health_snapshot()``;
+* :mod:`repro.observability.benchdiff` — regression gating of
+  ``BENCH_*.json`` artifacts against a committed rolling baseline
+  (``python -m repro.observability.benchdiff``).
 
 This package depends only on the telemetry module and the standard
 library, so every layer of the stack (gateway, runtime, router,
 simulation) can feed it without import cycles.
 """
 
+from repro.observability.alerts import (
+    AlertFireRecord,
+    AlertManager,
+    AlertResolveRecord,
+)
 from repro.observability.exporters import (
     registry_snapshot,
     render_prometheus,
     sanitize_metric_name,
 )
+from repro.observability.health import build_health_snapshot
 from repro.observability.journal import (
     AdmissionShedRecord,
     EvalRecord,
@@ -37,7 +50,19 @@ from repro.observability.journal import (
     SyncRoundRecord,
     load_jsonl,
 )
-from repro.observability.report import critical_path_table, journal_summary
+from repro.observability.report import (
+    alert_timeline,
+    critical_path_table,
+    journal_summary,
+    per_shard_event_table,
+    per_shard_table,
+)
+from repro.observability.slo import (
+    SLOEngine,
+    SLOSpec,
+    SLOStatus,
+    SLOTracker,
+)
 from repro.observability.tracing import (
     FinishedTrace,
     ObservabilitySpec,
@@ -70,4 +95,15 @@ __all__ = [
     "sanitize_metric_name",
     "critical_path_table",
     "journal_summary",
+    "per_shard_table",
+    "per_shard_event_table",
+    "alert_timeline",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOTracker",
+    "SLOEngine",
+    "AlertManager",
+    "AlertFireRecord",
+    "AlertResolveRecord",
+    "build_health_snapshot",
 ]

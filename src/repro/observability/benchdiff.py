@@ -1,0 +1,304 @@
+"""bench-diff: regression gating over ``BENCH_*.json`` benchmark artifacts.
+
+Nightly produces machine-readable benchmark artifacts in two shapes —
+pytest-benchmark JSON (``{"benchmarks": [{"fullname", "stats": ...}]}``)
+and the repo's flat per-benchmark dicts (``BENCH_failover.json`` style:
+scalar metrics plus raw sample lists).  Until now those numbers were
+archived but never *compared*: a 30% throughput regression would sit in
+an artifact zip unnoticed.  This module is the enforcement step::
+
+    python -m repro.observability.benchdiff BENCH_nightly.json \
+        --baseline benchmarks/BENCH_baseline.json \
+        --history BENCH_history.jsonl
+
+It extracts a flat ``{metric: value}`` view from every artifact given,
+classifies each metric by name (throughput-like: higher is better;
+tail-latency-like: lower is better; everything else informational),
+compares against the committed rolling baseline, and exits non-zero when
+any gated metric regresses past its threshold — **>10%** for throughput
+drops, **>15%** for tail-latency rises.  ``--update-baseline`` folds the
+run into the baseline with an EWMA so one noisy night neither poisons
+nor anchors it; ``--history`` appends one JSONL row per invocation so
+the perf trajectory is a file, not a pile of zips.
+
+No wall-clock reads: a timestamp only appears in history rows when the
+caller passes ``--timestamp`` (nightly passes ``date -u``), keeping the
+module importable under the repo's clock-discipline lint everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "THROUGHPUT_DROP_THRESHOLD",
+    "TAIL_LATENCY_RISE_THRESHOLD",
+    "extract_metrics",
+    "classify_metric",
+    "diff_metrics",
+    "load_baseline",
+    "update_baseline",
+    "main",
+]
+
+# A gated throughput metric may drop at most this fraction below the
+# baseline; a gated tail-latency metric may rise at most this fraction
+# above it.  Chosen above the observed night-to-night noise of the
+# shared runners (the WAL paired ratios in BENCH_failover.json swing
+# ~±12% per sample but <5% in aggregate).
+THROUGHPUT_DROP_THRESHOLD = 0.10
+TAIL_LATENCY_RISE_THRESHOLD = 0.15
+
+# EWMA weight of the newest run when --update-baseline folds it in.
+_BASELINE_ALPHA = 0.3
+
+_HIGHER_BETTER_MARKERS = (
+    "throughput",
+    "per_s",
+    "uploads_s",
+    "_ratio",
+    "relative",
+    "accuracy",
+    "speedup",
+)
+_TAIL_LATENCY_MARKERS = ("p90", "p95", "p99", "latency", "recovery", "tail")
+
+
+def classify_metric(name: str) -> str:
+    """``higher`` (gated), ``lower`` (gated tail metric) or ``info``.
+
+    Name-based: artifact keys in this repo follow stable conventions
+    (``*_throughput_*``, ``*_uploads_s``, ``*_p95*``...), so the key is
+    the schema.  Unrecognized keys are informational — recorded and
+    diffed but never gating, so a new benchmark cannot fail nightly
+    before a human has classified its metric names.
+    """
+    lowered = name.lower()
+    if any(marker in lowered for marker in _HIGHER_BETTER_MARKERS):
+        return "higher"
+    if any(marker in lowered for marker in _TAIL_LATENCY_MARKERS):
+        return "lower"
+    return "info"
+
+
+def extract_metrics(artifact: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten one parsed artifact into ``{metric: value}``.
+
+    Handles both artifact shapes; skips booleans, strings and raw sample
+    lists (aggregates only — per-sample noise is not a gate), and drops
+    non-finite values (a NaN mean must not poison the baseline).
+    """
+    metrics: dict[str, float] = {}
+    benches = artifact.get("benchmarks")
+    if isinstance(benches, list):
+        # pytest-benchmark JSON: one row per benchmark, stats nested.
+        for bench in benches:
+            stats = bench.get("stats") or {}
+            name = bench.get("fullname") or bench.get("name") or "unnamed"
+            short = name.rsplit("::", 1)[-1]
+            for stat_key in ("mean", "median"):
+                value = stats.get(stat_key)
+                if isinstance(value, (int, float)) and math.isfinite(value):
+                    metrics[f"{prefix}{short}.{stat_key}_s"] = float(value)
+        return metrics
+    for key, value in artifact.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value):
+            continue
+        metrics[f"{prefix}{key}"] = float(value)
+    return metrics
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's comparison against the baseline."""
+
+    name: str
+    direction: str  # "higher" | "lower" | "info"
+    baseline: float | None
+    current: float
+    change: float | None  # (current - baseline) / |baseline|; None when new
+    regressed: bool
+
+    def describe(self) -> str:
+        if self.baseline is None:
+            return f"{self.name:<44} {self.current:>12.6g}  (new)"
+        pct = 100.0 * (self.change or 0.0)
+        verdict = "REGRESSED" if self.regressed else "ok"
+        gate = {"higher": "thr", "lower": "lat", "info": "---"}[self.direction]
+        return (
+            f"{self.name:<44} {self.current:>12.6g}  "
+            f"vs {self.baseline:>12.6g}  {pct:+7.2f}%  [{gate}] {verdict}"
+        )
+
+
+def diff_metrics(
+    baseline: dict[str, float], current: dict[str, float]
+) -> list[MetricDiff]:
+    """Compare a run against the baseline, one row per current metric."""
+    diffs: list[MetricDiff] = []
+    for name in sorted(current):
+        value = current[name]
+        direction = classify_metric(name)
+        base = baseline.get(name)
+        if base is None:
+            diffs.append(
+                MetricDiff(name, direction, None, value, None, False)
+            )
+            continue
+        change = (value - base) / abs(base) if base != 0 else 0.0
+        regressed = False
+        if direction == "higher":
+            regressed = change < -THROUGHPUT_DROP_THRESHOLD
+        elif direction == "lower":
+            regressed = change > TAIL_LATENCY_RISE_THRESHOLD
+        diffs.append(
+            MetricDiff(name, direction, base, value, change, regressed)
+        )
+    return diffs
+
+
+# ----------------------------------------------------------------------
+# Baseline persistence
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> dict:
+    """Read the committed baseline; an absent file is an empty baseline."""
+    if not os.path.exists(path):
+        return {"metrics": {}, "runs_folded": 0}
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    document.setdefault("metrics", {})
+    document.setdefault("runs_folded", 0)
+    return document
+
+
+def update_baseline(baseline: dict, current: dict[str, float]) -> dict:
+    """Fold one run into the rolling baseline (EWMA per metric).
+
+    New metrics enter at their observed value; existing ones move
+    ``_BASELINE_ALPHA`` of the way toward the run — a genuine perf
+    improvement ratchets in over a few nights, a single outlier cannot
+    drag the gate by more than alpha × its excursion.
+    """
+    metrics = dict(baseline.get("metrics", {}))
+    for name, value in current.items():
+        previous = metrics.get(name)
+        if previous is None:
+            metrics[name] = value
+        else:
+            metrics[name] = (
+                (1.0 - _BASELINE_ALPHA) * previous + _BASELINE_ALPHA * value
+            )
+    return {
+        "metrics": metrics,
+        "runs_folded": int(baseline.get("runs_folded", 0)) + 1,
+    }
+
+
+def _write_json(path: str, document: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.benchdiff",
+        description="Diff BENCH_*.json artifacts against the rolling baseline",
+    )
+    parser.add_argument(
+        "artifacts", nargs="+", help="benchmark artifact JSON files"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_baseline.json",
+        help="committed rolling-baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="fold this run into the baseline file (EWMA)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="append one JSONL row (metrics + verdict) to this file",
+    )
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        help="opaque run timestamp recorded in the history row",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="also append the human-readable verdict to this file "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    return parser
+
+
+def _render(diffs: list[MetricDiff], regressions: list[MetricDiff]) -> str:
+    lines = ["## bench-diff", ""]
+    lines.extend(diff.describe() for diff in diffs)
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"VERDICT: {len(regressions)} regression(s) past threshold "
+            f"(throughput drop >{THROUGHPUT_DROP_THRESHOLD:.0%}, "
+            f"tail-latency rise >{TAIL_LATENCY_RISE_THRESHOLD:.0%})"
+        )
+        lines.extend(f"  - {diff.name}" for diff in regressions)
+    else:
+        lines.append("VERDICT: no regressions past threshold")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    current: dict[str, float] = {}
+    for path in args.artifacts:
+        with open(path, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        prefix = stem.removeprefix("BENCH_")
+        current.update(extract_metrics(artifact, prefix=f"{prefix}."))
+
+    baseline = load_baseline(args.baseline)
+    diffs = diff_metrics(baseline["metrics"], current)
+    regressions = [diff for diff in diffs if diff.regressed]
+
+    report = _render(diffs, regressions)
+    print(report)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+
+    if args.history:
+        row = {
+            "timestamp": args.timestamp,
+            "artifacts": [os.path.basename(path) for path in args.artifacts],
+            "metrics": current,
+            "regressions": [diff.name for diff in regressions],
+            "ok": not regressions,
+        }
+        with open(args.history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+    if args.update_baseline:
+        _write_json(args.baseline, update_baseline(baseline, current))
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,15 @@ same way.
 
 from __future__ import annotations
 
+import math
 import re
 
-__all__ = ["render_prometheus", "registry_snapshot", "sanitize_metric_name"]
+__all__ = [
+    "render_prometheus",
+    "registry_snapshot",
+    "sanitize_metric_name",
+    "escape_label_value",
+]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -35,6 +41,33 @@ def sanitize_metric_name(name: str) -> str:
     if cleaned and cleaned[0].isdigit():
         cleaned = "_" + cleaned
     return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values; everything else passes
+    through verbatim.  Backslash first, or the other escapes would be
+    double-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """One sample value in exposition syntax, non-finite included.
+
+    The format spells non-finite samples ``NaN``/``+Inf``/``-Inf``
+    (Go's ``strconv`` forms) — ``{v:.10g}`` would emit ``nan``/``inf``,
+    which Prometheus rejects at scrape time.
+    """
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
 
 
 def _reason_key(reason) -> str:
@@ -59,7 +92,7 @@ def render_prometheus(registry) -> str:
         if gauge.description:
             lines.append(f"# HELP {metric} {gauge.description}")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {gauge.value:.10g}")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
 
     for name in sorted(registry.summaries):
         summary = registry.summaries[name]
@@ -72,9 +105,10 @@ def render_prometheus(registry) -> str:
                 _SUMMARY_QUANTILES, summary.quantiles(_SUMMARY_QUANTILES)
             ):
                 lines.append(
-                    f'{metric}{{quantile="{q / 100.0:g}"}} {value:.10g}'
+                    f'{metric}{{quantile="{q / 100.0:g}"}} '
+                    f"{_format_value(float(value))}"
                 )
-            lines.append(f"{metric}_sum {summary.sum():.10g}")
+            lines.append(f"{metric}_sum {_format_value(summary.sum())}")
         lines.append(f"{metric}_count {summary.count}")
 
     for name in sorted(registry.histograms):
@@ -90,7 +124,7 @@ def render_prometheus(registry) -> str:
             lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
         cumulative += int(counts[-1])
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{metric}_sum {histogram.sum():.10g}")
+        lines.append(f"{metric}_sum {_format_value(histogram.sum())}")
         lines.append(f"{metric}_count {histogram.count}")
 
     breakdowns = registry.rejection_breakdowns()
@@ -99,9 +133,9 @@ def render_prometheus(registry) -> str:
         lines.append(f"# TYPE {metric}_total counter")
         counts = breakdowns[name]
         for reason in sorted(counts, key=_reason_key):
+            label = escape_label_value(_reason_key(reason))
             lines.append(
-                f'{metric}_total{{reason="{_reason_key(reason)}"}} '
-                f"{counts[reason]}"
+                f'{metric}_total{{reason="{label}"}} {counts[reason]}'
             )
         if not counts:
             lines.append(f"{metric}_total 0")
@@ -109,22 +143,40 @@ def render_prometheus(registry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _json_number(value: float) -> float | None:
+    """A float for strict JSON: non-finite collapses to ``None``.
+
+    ``json.dumps(..., allow_nan=False)`` raises on NaN/Inf; the snapshot
+    promises to survive it, so non-finite aggregates degrade to the same
+    ``None`` an empty distribution reports.
+    """
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
 def registry_snapshot(registry) -> dict:
-    """JSON-ready nested dict of the whole registry."""
+    """JSON-ready nested dict of the whole registry.
+
+    Strict-JSON by construction — no NaN/Inf leaves this function — and
+    every mapping is emitted in sorted key order, so two snapshots of
+    equal registries serialize byte-identically regardless of metric
+    registration order.
+    """
     summaries = {}
-    for name, summary in registry.summaries.items():
+    for name in sorted(registry.summaries):
+        summary = registry.summaries[name]
         if summary.count:
             p50, p90, p99 = (
-                float(v) for v in summary.quantiles(_SUMMARY_QUANTILES)
+                _json_number(v) for v in summary.quantiles(_SUMMARY_QUANTILES)
             )
             summaries[name] = {
                 "count": summary.count,
-                "mean": summary.mean(),
+                "mean": _json_number(summary.mean()),
                 "p50": p50,
                 "p90": p90,
                 "p99": p99,
-                "max": summary.max(),
-                "sum": summary.sum(),
+                "max": _json_number(summary.max()),
+                "sum": _json_number(summary.sum()),
             }
         else:
             summaries[name] = {
@@ -138,17 +190,18 @@ def registry_snapshot(registry) -> dict:
             }
 
     histograms = {}
-    for name, histogram in registry.histograms.items():
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
         counts = histogram.bucket_counts
         empty = histogram.count == 0
         histograms[name] = {
             "count": histogram.count,
-            "sum": histogram.sum(),
-            "mean": None if empty else histogram.mean(),
-            "p50": None if empty else histogram.percentile(50),
-            "p90": None if empty else histogram.percentile(90),
-            "p99": None if empty else histogram.percentile(99),
-            "max": None if empty else histogram.max(),
+            "sum": _json_number(histogram.sum()),
+            "mean": None if empty else _json_number(histogram.mean()),
+            "p50": None if empty else _json_number(histogram.percentile(50)),
+            "p90": None if empty else _json_number(histogram.percentile(90)),
+            "p99": None if empty else _json_number(histogram.percentile(99)),
+            "max": None if empty else _json_number(histogram.max()),
             "buckets": [
                 {"le": float(bound), "count": int(count)}
                 for bound, count in zip(histogram.bounds, counts[:-1])
@@ -156,15 +209,25 @@ def registry_snapshot(registry) -> dict:
             + [{"le": None, "count": int(counts[-1])}],
         }
 
+    breakdowns = registry.rejection_breakdowns()
     return {
         "counters": {
-            name: counter.value for name, counter in registry.counters.items()
+            name: registry.counters[name].value
+            for name in sorted(registry.counters)
         },
-        "gauges": {name: gauge.value for name, gauge in registry.gauges.items()},
+        "gauges": {
+            name: _json_number(registry.gauges[name].value)
+            for name in sorted(registry.gauges)
+        },
         "summaries": summaries,
         "histograms": histograms,
         "rejections": {
-            name: {_reason_key(reason): count for reason, count in counts.items()}
-            for name, counts in registry.rejection_breakdowns().items()
+            name: {
+                key: breakdowns[name][reason]
+                for key, reason in sorted(
+                    (_reason_key(reason), reason) for reason in breakdowns[name]
+                )
+            }
+            for name in sorted(breakdowns)
         },
     }

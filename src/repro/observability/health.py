@@ -1,0 +1,144 @@
+"""The gateway's readiness surface: one strict-JSON health document.
+
+``Gateway.health_snapshot()`` delegates here.  The document aggregates
+every per-shard liveness input the tier already tracks — failure-detector
+silence, runtime queue depth and lane state, WAL/checkpoint lag, pending
+micro-batches, results parked for crashed shards — into the contract a
+front-end serves from ``/healthz``: a top-level status plus a per-shard
+breakdown, guaranteed to survive ``json.dumps(..., allow_nan=False)``.
+
+Schema (stable keys; optional sections are ``None`` when the subsystem
+is not configured)::
+
+    {
+      "status": "ok" | "degraded" | "unavailable",
+      "time": float,
+      "num_shards": int, "crashed_shards": [str, ...],
+      "clock": int, "results_applied": int,
+      "active_alerts": [str, ...],          # [] without an SLO engine
+      "shards": {
+        "<shard-id>": {
+          "status": "ok" | "suspect" | "down",
+          "clock": int | None,              # None while down
+          "queue_depth": int,               # 0 without a runtime
+          "lane_alive": bool,
+          "pending_batch": int,             # gateway-held, not yet flushed
+          "parked_results": int,            # accepted during an outage
+          "restore_pending": bool,
+          "detector": {"silence_s": float, "timeout_s": float} | None,
+          "wal": {"next_seq": int, "last_checkpoint_clock": int,
+                  "checkpoint_lag_clock": int} | None,
+        }, ...
+      }
+    }
+
+WAL lag is computed in memory (``shard.clock`` minus the bundle's
+``last_checkpoint_clock``) — a health poll never touches disk, so the
+snapshot is cheap enough to serve per request.
+
+This module reaches into gateway internals (``_crashed``,
+``_crash_pending``); it is the implementation of a Gateway method, split
+out so the observability package owns the document format.
+"""
+
+from __future__ import annotations
+
+__all__ = ["build_health_snapshot"]
+
+
+def build_health_snapshot(gateway, now: float) -> dict:
+    """Assemble the readiness document for one gateway (see module doc)."""
+    detector = gateway.detector
+    runtime = gateway.runtime
+    durability = gateway.durability
+    crashed = gateway.crashed_shards
+    restore_possible = gateway.has_shard_factory
+
+    shards: dict[str, dict] = {}
+    degraded = False
+    for shard_id in sorted(gateway.shards):
+        shard = gateway.shards[shard_id]
+        status = "ok"
+        detector_doc = None
+        if detector is not None:
+            silence = detector.silence_s(shard_id, now)
+            detector_doc = {
+                "silence_s": silence,
+                "timeout_s": detector.timeout_s,
+            }
+            if detector.is_dead(shard_id) or silence > detector.timeout_s:
+                status = "suspect"
+                degraded = True
+        wal_doc = None
+        if durability is not None and durability.has(shard_id):
+            bundle = durability.shard(shard_id)
+            wal_doc = {
+                "next_seq": bundle.wal.next_seq,
+                "last_checkpoint_clock": bundle.last_checkpoint_clock,
+                "checkpoint_lag_clock": max(
+                    0, shard.clock - bundle.last_checkpoint_clock
+                ),
+            }
+        lane_alive = True
+        queue_depth = 0
+        if runtime is not None:
+            lane_alive = runtime.lane_alive(shard_id)
+            queue_depth = runtime.queue_depth(shard_id, now)
+            if not lane_alive:
+                status = "suspect"
+                degraded = True
+        shards[shard_id] = {
+            "status": status,
+            "clock": shard.clock,
+            "queue_depth": queue_depth,
+            "lane_alive": lane_alive,
+            "pending_batch": gateway.batcher.pending(shard_id),
+            "parked_results": 0,
+            "restore_pending": False,
+            "detector": detector_doc,
+            "wal": wal_doc,
+        }
+
+    for shard_id in crashed:
+        degraded = True
+        detector_doc = None
+        if detector is not None:
+            detector_doc = {
+                "silence_s": detector.silence_s(shard_id, now),
+                "timeout_s": detector.timeout_s,
+            }
+        shards[shard_id] = {
+            "status": "down",
+            "clock": None,
+            "queue_depth": 0,
+            "lane_alive": False,
+            "pending_batch": 0,
+            "parked_results": len(gateway._crash_pending.get(shard_id, [])),
+            "restore_pending": restore_possible,
+            "detector": detector_doc,
+            "wal": None,
+        }
+
+    alerts = []
+    if gateway.slo_engine is not None:
+        alerts = list(gateway.slo_engine.active_alerts())
+        if alerts:
+            degraded = True
+
+    if gateway.num_shards == 0:
+        status = "unavailable"
+    elif degraded:
+        status = "degraded"
+    else:
+        status = "ok"
+
+    return {
+        "status": status,
+        "time": float(now),
+        "num_shards": gateway.num_shards,
+        "crashed_shards": list(crashed),
+        "clock": gateway.clock,
+        "results_applied": gateway.results_applied,
+        "active_alerts": alerts,
+        "shards": shards,
+    }

@@ -18,10 +18,17 @@ steering and scaling causes, shed counts, sync divergence.
 from __future__ import annotations
 
 from collections import Counter as TallyCounter
+from collections import defaultdict
 
 import numpy as np
 
-__all__ = ["critical_path_table", "journal_summary"]
+__all__ = [
+    "critical_path_table",
+    "journal_summary",
+    "per_shard_table",
+    "per_shard_event_table",
+    "alert_timeline",
+]
 
 
 def critical_path_table(traces: list[dict]) -> str:
@@ -139,4 +146,107 @@ def journal_summary(
             f"(mean divergence {divergence.mean():.4g}, "
             f"max {divergence.max():.4g})"
         )
+
+    fires = [e for e in events if e.get("kind") == "alert_fire"]
+    resolves = [e for e in events if e.get("kind") == "alert_resolve"]
+    if fires or resolves:
+        by_slo = TallyCounter(e.get("slo", "?") for e in fires)
+        top = ", ".join(
+            f"{slo}×{count}" for slo, count in by_slo.most_common(5)
+        )
+        lines.append(
+            f"  slo alerts: {len(fires)} fired / {len(resolves)} resolved "
+            f"({top})"
+        )
+    return "\n".join(lines)
+
+
+def per_shard_table(traces: list[dict]) -> str:
+    """Per-shard latency attribution of traced uploads.
+
+    Queue-wait share is called out because queued seconds are
+    staleness-in-waiting: a shard whose uploads sit in lane queues is
+    the shard whose applied staleness will regress next.
+    """
+    if not traces:
+        return "no traces collected"
+    by_shard: dict[str, list[dict]] = defaultdict(list)
+    for trace in traces:
+        by_shard[trace.get("shard_id", "?")].append(trace)
+    lines = ["per-shard upload latency (queue wait is staleness-in-waiting):"]
+    for shard in sorted(by_shard):
+        rows = by_shard[shard]
+        totals = np.array([t["total_s"] for t in rows], dtype=np.float64)
+        queued = np.array(
+            [
+                sum(
+                    s["duration"]
+                    for s in t["spans"]
+                    if s["name"].startswith("queue.")
+                )
+                for t in rows
+            ],
+            dtype=np.float64,
+        )
+        lines.append(
+            f"  {shard:<10} n={len(rows):<5} "
+            f"mean={totals.mean():.4g}s p95={np.percentile(totals, 95):.4g}s "
+            f"queued={queued.mean():.4g}s "
+            f"({queued.sum() / max(totals.sum(), 1e-12):.0%} of latency)"
+        )
+    return "\n".join(lines)
+
+
+def per_shard_event_table(events: list[dict]) -> str:
+    """Per-shard tier-decision counts from the journal.
+
+    Events that carry a shard identity (lane sheds, crashes, failovers,
+    steering sources and targets) tallied by shard — the journal-side
+    complement of :func:`per_shard_table`'s latency view.
+    """
+    per_shard: dict[str, TallyCounter] = defaultdict(TallyCounter)
+    for event in events:
+        kind = event.get("kind", "?")
+        shard = event.get("shard_id")
+        if shard is not None:
+            per_shard[shard][kind] += 1
+        if kind == "steer":
+            per_shard[event.get("from_shard", "?")]["steer_out"] += 1
+            per_shard[event.get("to_shard", "?")]["steer_in"] += 1
+    if not per_shard:
+        return "no shard-attributed events"
+    lines = ["per-shard events:"]
+    for shard in sorted(per_shard):
+        tally = per_shard[shard]
+        counts = " ".join(
+            f"{kind}={count}" for kind, count in sorted(tally.items())
+        )
+        lines.append(f"  {shard:<10} {counts}")
+    return "\n".join(lines)
+
+
+def alert_timeline(events: list[dict]) -> str:
+    """Chronological fire/resolve lines from journaled alert records."""
+    alerts = [
+        e for e in events if e.get("kind") in ("alert_fire", "alert_resolve")
+    ]
+    if not alerts:
+        return "no slo alerts journaled"
+    lines = [f"slo alert timeline ({len(alerts)} transitions):"]
+    for event in alerts:
+        when = float(event.get("time", 0.0))
+        slo = event.get("slo", "?")
+        if event["kind"] == "alert_fire":
+            lines.append(
+                f"  t={when:10.1f}s FIRE    {slo:<18} "
+                f"burn fast={event.get('burn_rate_fast', 0.0):.2f} "
+                f"slow={event.get('burn_rate_slow', 0.0):.2f} "
+                f"budget={event.get('budget_remaining', 0.0):.1%}"
+            )
+        else:
+            lines.append(
+                f"  t={when:10.1f}s resolve {slo:<18} "
+                f"after {event.get('duration_s', 0.0):.1f}s "
+                f"burn fast={event.get('burn_rate_fast', 0.0):.2f}"
+            )
     return "\n".join(lines)

@@ -59,6 +59,12 @@ class ElasticityPolicy:
     # that immediately sheds and grows again.
     scale_down_headroom: float = 0.8
     admission_rate_per_shard: float | None = None
+    # Treat a firing SLO alert (gateway.slo_engine) as scale-up pressure:
+    # the burn-rate engine watches user-facing objectives (latency, shed,
+    # staleness) the window signals above only proxy, so an alert-driven
+    # grow reacts to budget burn even when occupancy still looks tame.
+    # Off by default — alert consumption is an opt-in policy input.
+    scale_up_on_alert: bool = False
 
     def __post_init__(self) -> None:
         if self.min_shards <= 0:
@@ -201,6 +207,11 @@ class ElasticityController:
             pressure.append(f"backlog {backlog_s:.2f}s")
         if queue_depth > policy.scale_up_queue_depth:
             pressure.append(f"queue depth {queue_depth:.1f}")
+        if policy.scale_up_on_alert:
+            engine = getattr(self.gateway, "slo_engine", None)
+            alerts = engine.active_alerts() if engine is not None else ()
+            if alerts:
+                pressure.append("slo alert " + "+".join(alerts))
 
         if pressure and num_shards < policy.max_shards:
             target = min(

@@ -286,6 +286,20 @@ class Histogram:
         with self._lock:
             return self._min if self._counts.sum() else float("nan")
 
+    def count_le(self, bound: float) -> int:
+        """Observations at or below ``bound`` (exact at bucket bounds).
+
+        ``observe`` assigns a value equal to a bucket's upper bound to
+        that bucket, so when ``bound`` is one of the configured bounds
+        the answer is exact — the SLO engine constructs its histograms
+        with the objective's threshold as a bucket bound and counts
+        good events with no interpolation error.  Between bounds, the
+        count is rounded down to the nearest bucket edge.
+        """
+        index = int(np.searchsorted(self._bounds, bound, side="right"))
+        with self._lock:
+            return int(self._counts[:index].sum())
+
     def percentile(self, q: float) -> float:
         """Interpolated percentile from the bucket counts; NaN when empty."""
         if not 0.0 <= q <= 100.0:

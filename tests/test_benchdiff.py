@@ -1,0 +1,201 @@
+"""Tests for the bench-diff regression gate over BENCH_*.json artifacts.
+
+Covers: metric classification by name, extraction from both artifact
+shapes (flat dicts and pytest-benchmark JSON), threshold gating in both
+directions, the EWMA baseline fold, the history JSONL trail, and the
+CLI's exit codes on clean vs degraded artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.benchdiff import (
+    TAIL_LATENCY_RISE_THRESHOLD,
+    THROUGHPUT_DROP_THRESHOLD,
+    classify_metric,
+    diff_metrics,
+    extract_metrics,
+    load_baseline,
+    main,
+    update_baseline,
+)
+
+
+def _write(path, document) -> str:
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestClassification:
+    def test_throughput_like_names_gate_higher(self):
+        for name in (
+            "failover.pre_throughput_uploads_s",
+            "hotpath.results_per_s",
+            "wal_relative_throughput",
+            "tuning.accuracy",
+        ):
+            assert classify_metric(name) == "higher"
+
+    def test_tail_latency_names_gate_lower(self):
+        for name in (
+            "routing.p95_staleness",
+            "failover.recovery_virtual_s",
+            "gateway.upload_latency_mean",
+        ):
+            assert classify_metric(name) == "lower"
+
+    def test_unrecognized_names_are_informational(self):
+        assert classify_metric("failover.acked_received") == "info"
+        assert classify_metric("some.new_metric") == "info"
+
+
+class TestExtraction:
+    def test_flat_artifact_skips_non_scalars(self):
+        metrics = extract_metrics(
+            {
+                "pre_throughput_uploads_s": 120.5,
+                "smoke": True,  # bool is not a metric
+                "label": "full",  # nor a string
+                "samples": [1.0, 2.0],  # nor a raw sample list
+                "broken": float("nan"),  # nor a non-finite value
+            },
+            prefix="failover.",
+        )
+        assert metrics == {"failover.pre_throughput_uploads_s": 120.5}
+
+    def test_pytest_benchmark_artifact(self):
+        artifact = {
+            "benchmarks": [
+                {
+                    "fullname": "benchmarks/test_x.py::test_fold",
+                    "stats": {"mean": 0.012, "median": 0.011, "stddev": 0.001},
+                }
+            ]
+        }
+        metrics = extract_metrics(artifact, prefix="nightly.")
+        assert metrics == {
+            "nightly.test_fold.mean_s": 0.012,
+            "nightly.test_fold.median_s": 0.011,
+        }
+
+
+class TestDiffing:
+    def test_throughput_drop_past_threshold_regresses(self):
+        baseline = {"a.throughput": 100.0}
+        ok = diff_metrics(baseline, {"a.throughput": 91.0})[0]
+        bad = diff_metrics(baseline, {"a.throughput": 89.0})[0]
+        assert not ok.regressed
+        assert bad.regressed
+        assert bad.change < -THROUGHPUT_DROP_THRESHOLD
+
+    def test_latency_rise_past_threshold_regresses(self):
+        baseline = {"a.p95_latency": 1.0}
+        ok = diff_metrics(baseline, {"a.p95_latency": 1.14})[0]
+        bad = diff_metrics(baseline, {"a.p95_latency": 1.16})[0]
+        assert not ok.regressed
+        assert bad.regressed
+        assert bad.change > TAIL_LATENCY_RISE_THRESHOLD
+
+    def test_throughput_rise_and_latency_drop_never_regress(self):
+        baseline = {"a.throughput": 100.0, "a.p95_latency": 1.0}
+        diffs = diff_metrics(
+            baseline, {"a.throughput": 200.0, "a.p95_latency": 0.1}
+        )
+        assert not any(d.regressed for d in diffs)
+
+    def test_info_metrics_never_gate(self):
+        baseline = {"a.acked_received": 100.0}
+        diff = diff_metrics(baseline, {"a.acked_received": 1.0})[0]
+        assert diff.direction == "info"
+        assert not diff.regressed
+
+    def test_new_metric_is_reported_not_gated(self):
+        diff = diff_metrics({}, {"a.throughput": 10.0})[0]
+        assert diff.baseline is None
+        assert not diff.regressed
+        assert "(new)" in diff.describe()
+
+
+class TestBaseline:
+    def test_absent_file_is_empty_baseline(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "missing.json"))
+        assert baseline == {"metrics": {}, "runs_folded": 0}
+
+    def test_ewma_fold(self):
+        baseline = {"metrics": {"a.throughput": 100.0}, "runs_folded": 3}
+        updated = update_baseline(
+            baseline, {"a.throughput": 200.0, "b.throughput": 50.0}
+        )
+        # Existing metric moves alpha=0.3 of the way; new one enters as-is.
+        assert updated["metrics"]["a.throughput"] == 130.0
+        assert updated["metrics"]["b.throughput"] == 50.0
+        assert updated["runs_folded"] == 4
+
+
+class TestCLI:
+    def _seed_baseline(self, tmp_path) -> str:
+        artifact = _write(
+            tmp_path / "BENCH_run.json",
+            {"pre_throughput_uploads_s": 100.0, "p95_latency_s": 1.0},
+        )
+        baseline = str(tmp_path / "baseline.json")
+        assert main([artifact, "--baseline", baseline, "--update-baseline"]) == 0
+        return baseline
+
+    def test_identical_rerun_exits_zero(self, tmp_path):
+        baseline = self._seed_baseline(tmp_path)
+        artifact = str(tmp_path / "BENCH_run.json")
+        assert main([artifact, "--baseline", baseline]) == 0
+
+    def test_degraded_artifact_exits_nonzero(self, tmp_path):
+        baseline = self._seed_baseline(tmp_path)
+        # Same artifact NAME (the filename stem prefixes every metric, so
+        # a renamed artifact would read as all-new metrics and not gate).
+        degraded = _write(
+            tmp_path / "BENCH_run.json",
+            {"pre_throughput_uploads_s": 70.0, "p95_latency_s": 1.0},
+        )
+        assert main([degraded, "--baseline", baseline]) == 1
+
+    def test_latency_regression_also_gates(self, tmp_path):
+        baseline = self._seed_baseline(tmp_path)
+        degraded = _write(
+            tmp_path / "BENCH_run.json",
+            {"pre_throughput_uploads_s": 100.0, "p95_latency_s": 1.5},
+        )
+        assert main([degraded, "--baseline", baseline]) == 1
+
+    def test_history_and_summary_rows(self, tmp_path):
+        baseline = self._seed_baseline(tmp_path)
+        artifact = str(tmp_path / "BENCH_run.json")
+        history = tmp_path / "history.jsonl"
+        summary = tmp_path / "summary.md"
+        for stamp in ("2026-08-07T00:00:00Z", "2026-08-08T00:00:00Z"):
+            assert (
+                main(
+                    [
+                        artifact,
+                        "--baseline", baseline,
+                        "--history", str(history),
+                        "--summary", str(summary),
+                        "--timestamp", stamp,
+                    ]
+                )
+                == 0
+            )
+        rows = [
+            json.loads(line) for line in history.read_text().splitlines()
+        ]
+        assert len(rows) == 2
+        assert rows[0]["timestamp"] == "2026-08-07T00:00:00Z"
+        assert rows[1]["ok"] is True
+        assert rows[1]["regressions"] == []
+        assert "run.pre_throughput_uploads_s" in rows[0]["metrics"]
+        assert summary.read_text().count("## bench-diff") == 2
+
+    def test_baseline_file_round_trips(self, tmp_path):
+        baseline = self._seed_baseline(tmp_path)
+        document = json.loads(open(baseline).read())
+        assert document["runs_folded"] == 1
+        assert document["metrics"]["run.pre_throughput_uploads_s"] == 100.0

@@ -11,6 +11,7 @@ Prometheus + JSON registry exporters.
 from __future__ import annotations
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -424,6 +425,90 @@ class TestExporters:
         assert snapshot["summaries"]["empty.summary"]["mean"] is None
         assert snapshot["histograms"]["empty.hist"]["p50"] is None
         json.dumps(snapshot)
+
+    def test_snapshot_round_trips_strict_json_with_stable_key_order(self):
+        # Register in scrambled order: the snapshot must emit sorted keys
+        # so equal registries serialize byte-identically regardless of
+        # registration order.
+        registry = MetricsRegistry()
+        registry.counter("z.last").increment(1)
+        registry.counter("a.first").increment(2)
+        registry.gauge("m.middle").set(0.5)
+        snapshot = registry_snapshot(registry)
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+        encoded = json.dumps(snapshot, allow_nan=False)  # strict, no NaN
+        assert json.loads(encoded) == snapshot
+
+        scrambled = MetricsRegistry()
+        scrambled.gauge("m.middle").set(0.5)
+        scrambled.counter("a.first").increment(2)
+        scrambled.counter("z.last").increment(1)
+        assert json.dumps(registry_snapshot(scrambled)) == json.dumps(snapshot)
+
+    def test_snapshot_nonfinite_gauge_becomes_null(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("runtime.ratio")
+        gauge._value = float("nan")  # bypass set()'s finite check
+        snapshot = registry_snapshot(registry)
+        assert snapshot["gauges"]["runtime.ratio"] is None
+        json.dumps(snapshot, allow_nan=False)
+
+    def test_prometheus_nonfinite_values_use_exposition_spellings(self):
+        registry = MetricsRegistry()
+        registry.gauge("a.nan")._value = float("nan")
+        registry.gauge("b.inf")._value = float("inf")
+        registry.gauge("c.ninf")._value = float("-inf")
+        text = render_prometheus(registry)
+        assert "a_nan NaN" in text
+        assert "b_inf +Inf" in text
+        assert "c_ninf -Inf" in text
+        # Never the Python float spellings Prometheus rejects at scrape.
+        assert "nan\n" not in text and "inf\n" not in text
+
+    def test_prometheus_label_values_escaped(self):
+        class _Rejection:
+            def __init__(self, reason: str) -> None:
+                self.reason = reason
+
+        registry = MetricsRegistry()
+        stats = RejectionStats()
+        stats.record(_Rejection('quo"te'))
+        stats.record(_Rejection("back\\slash"))
+        stats.record(_Rejection("new\nline"))
+        registry.attach_rejections("gateway.rejections", stats)
+        text = render_prometheus(registry)
+        assert '{reason="quo\\"te"}' in text
+        assert '{reason="back\\\\slash"}' in text
+        assert '{reason="new\\nline"}' in text
+        # A raw newline inside a label value would split its sample line;
+        # escaped, every line still carries a value after the labels.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.rsplit(" ", 1)[1].strip()
+
+    def test_prometheus_exposition_conformance(self):
+        """Every emitted line parses as comment or sample (format check)."""
+        registry = self._registry()
+        registry.gauge("weird.gauge")._value = float("inf")
+
+        class _Rejection:
+            def __init__(self, reason: str) -> None:
+                self.reason = reason
+
+        stats = RejectionStats()
+        stats.record(_Rejection('tricky "reason"\nwith\\escapes'))
+        registry.attach_rejections("pipeline.rejections", stats)
+
+        comment = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*"\})?'
+            r" (NaN|[+-]Inf|[-+0-9.eE]+)$"  # value
+        )
+        text = render_prometheus(registry)
+        for line in text.splitlines():
+            assert comment.match(line) or sample.match(line), (
+                f"non-conforming exposition line: {line!r}"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -332,6 +332,33 @@ class TestHistogram:
         assert np.isnan(hist.mean())
         assert np.isnan(hist.max())
 
+    def test_single_sample_percentile_is_the_sample(self):
+        hist = Histogram("h", buckets=(1.0, 4.0, 10.0))
+        hist.observe(2.5)
+        # With one observation every percentile collapses to it: the
+        # interpolation range is clamped to [min, max] = [2.5, 2.5].
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == pytest.approx(2.5)
+
+    def test_count_le_exact_at_bucket_bounds(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe_many(np.array([0.5, 1.0, 1.5, 3.0, 9.0]))
+        # observe puts value==bound in that bound's bucket, so counting
+        # at a configured bound is exact — the SLO engine's good-event
+        # counter relies on this.
+        assert hist.count_le(1.0) == 2
+        assert hist.count_le(2.0) == 3
+        assert hist.count_le(4.0) == 4
+        assert hist.count_le(0.0) == 0
+        # Off-edge bounds round down to the nearest edge — including past
+        # the largest edge, where the overflow bucket's values are
+        # unknowable and therefore never counted as good.
+        assert hist.count_le(1.7) == 2
+        assert hist.count_le(100.0) == 4
+
+    def test_count_le_empty(self):
+        assert Histogram("h", buckets=(1.0,)).count_le(1.0) == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Histogram("h", buckets=())
