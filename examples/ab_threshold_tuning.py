@@ -12,7 +12,7 @@ fresh model under the group's controller and measures held-out accuracy;
 the tuner walks the thresholds up until the measured quality drop exceeds
 the tolerance, then freezes at the last safe setting.
 
-Run:  python examples/ab_threshold_tuning.py
+Run:  PYTHONPATH=src python -m examples.ab_threshold_tuning
 """
 
 from __future__ import annotations

@@ -6,7 +6,7 @@ first-request prediction on an unseen device model, and per-device-model
 Passive-Aggressive personalization that converges within a few requests —
 against the MAUI baseline that uses a single global slope.
 
-Run:  python examples/device_profiling.py
+Run:  PYTHONPATH=src python -m examples.device_profiling
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ Demonstrates three of the middleware's operational mechanisms (§2.3-2.4):
 * the server aggregates on a time window ("update every hour") instead of
   a fixed K, via the hybrid aggregation policy.
 
-Run:  python examples/device_scheduling.py
+Run:  PYTHONPATH=src python -m examples.device_scheduling
 """
 
 from __future__ import annotations

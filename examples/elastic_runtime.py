@@ -11,7 +11,7 @@ a sliding window, growing the tier into the peak and shrinking it back
 overnight.  The admission token bucket is re-tuned on every scaling
 event, so what the tier promises tracks what it can absorb.
 
-Run:  python examples/elastic_runtime.py
+Run:  PYTHONPATH=src python -m examples.elastic_runtime
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ virtual clock — heterogeneous phones, drifting mobile networks, user think
 times and churn — and shows that the same Gaussian-body-plus-tail staleness
 shape of Figure 7 appears endogenously, while the model trains online.
 
-Run:  python examples/fleet_simulation.py
+Run:  PYTHONPATH=src python -m examples.fleet_simulation
 """
 
 from __future__ import annotations

@@ -5,7 +5,7 @@ Reproduces the shape of the paper's Figure 8 at example scale: non-IID
 MNIST-like data, Gaussian staleness injection, four server algorithms
 through one shared code path.
 
-Run:  python examples/image_classification.py
+Run:  PYTHONPATH=src python -m examples.image_classification
 """
 
 from __future__ import annotations

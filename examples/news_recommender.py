@@ -6,7 +6,7 @@ improve Alice's recommendations within the hour, not the next day.  A
 synthetic tweet stream with drifting hashtag popularity is trained with the
 RNN recommender at two update cadences and evaluated with F1 @ top-5.
 
-Run:  python examples/news_recommender.py
+Run:  PYTHONPATH=src python -m examples.news_recommender
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ and whose request path runs admission control and telemetry, then drives
 the full Figure-2 protocol against it — including one Byzantine worker
 that uploads garbage gradients, which the median pre-combine absorbs.
 
-Run:  python examples/pipeline_composition.py
+Run:  PYTHONPATH=src python -m examples.pipeline_composition
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ with noise (§5).  This example assembles the full privacy-hardened variant:
 3. gradients travel masked: the server only ever sees the pairwise-masked
    uploads and their exact sum (secure aggregation with K = 4).
 
-Run:  python examples/private_aggregation.py
+Run:  PYTHONPATH=src python -m examples.private_aggregation
 """
 
 from __future__ import annotations

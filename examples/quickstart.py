@@ -6,7 +6,7 @@ request, workload bound (I-Prof), similarity (AdaSGD), admission
 (controller), learning task — and then loops them to train a global model
 across a small heterogeneous fleet.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python -m examples.quickstart
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ throughput column moves only slightly; the saturated scaling curve — where
 shard count sets the ceiling — is measured by
 ``benchmarks/test_ext_gateway_scaling.py``.
 
-Run:  python examples/sharded_gateway.py
+Run:  PYTHONPATH=src python -m examples.sharded_gateway
 """
 
 from __future__ import annotations

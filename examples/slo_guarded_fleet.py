@@ -14,7 +14,7 @@ Everything runs on the virtual clock, so the fire/resolve sequence is
 bit-identical on every run: alerting here is a deterministic output of
 the discrete-event simulation, not a flaky side channel.
 
-Run:  python examples/slo_guarded_fleet.py
+Run:  PYTHONPATH=src python -m examples.slo_guarded_fleet
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ The per-shard tables now live in the library (``repro trace-report
 --per-shard`` prints them without this script); what remains unique
 here is the quartile attribution matrix.
 
-Run:  python examples/trace_analysis.py run.jsonl
+Run:  PYTHONPATH=src python -m examples.trace_analysis run.jsonl
 """
 
 from __future__ import annotations

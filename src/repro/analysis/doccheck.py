@@ -1,0 +1,145 @@
+"""Markdown link and anchor checker for the ``docs/`` tier.
+
+``python -m repro.analysis.doccheck README.md docs`` walks the given
+files/directories, extracts every relative markdown link, and verifies
+that the target file exists and — when the link carries a ``#anchor`` —
+that the target contains a heading whose GitHub-style slug matches.
+External (``http``/``https``/``mailto``) links are ignored: the point is
+that *intra-repo* cross-references (README → docs, docs → source, spec
+section anchors) cannot rot, not to probe the network from CI.
+
+Exit status is the number of broken links (0 = clean), so the CI step
+is just the command itself.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Finding", "check_paths", "heading_slugs", "markdown_links", "main"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One broken link: where it is and why it is broken."""
+
+    source: Path
+    line: int
+    target: str
+    problem: str
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}: {self.target} — {self.problem}"
+
+
+def _strip_fences(text: str) -> list[str]:
+    """Lines of ``text`` with fenced code blocks blanked (not removed:
+    line numbers must stay stable for findings)."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, drop punctuation,
+    spaces to hyphens (duplicate handling is done by the caller)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # link text only
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All valid anchor slugs of ``path``, including duplicate suffixes."""
+    counts: dict[str, int] = {}
+    slugs: set[str] = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+        counts[slug] = seen + 1
+    return slugs
+
+
+def markdown_links(path: Path) -> list[tuple[int, str]]:
+    """Every relative link target in ``path`` with its 1-based line."""
+    links: list[tuple[int, str]] = []
+    for lineno, line in enumerate(_strip_fences(path.read_text(encoding="utf-8")), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            links.append((lineno, target))
+    return links
+
+
+def _check_file(path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for lineno, target in markdown_links(path):
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                findings.append(
+                    Finding(path, lineno, target, "target file does not exist")
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into source files are viewer-specific
+            if anchor not in heading_slugs(resolved):
+                findings.append(
+                    Finding(path, lineno, target, "no heading with this anchor")
+                )
+    return findings
+
+
+def check_paths(paths: list[Path]) -> list[Finding]:
+    """Check every markdown file in ``paths`` (files or directories)."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    findings: list[Finding] = []
+    for markdown in files:
+        findings.extend(_check_file(markdown))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.analysis.doccheck FILE_OR_DIR...")
+        return 2
+    findings = check_paths([Path(a) for a in args])
+    for finding in findings:
+        print(finding)
+    checked = ", ".join(args)
+    print(f"doccheck: {len(findings)} broken link(s) in {checked}")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

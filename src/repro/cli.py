@@ -458,6 +458,141 @@ def _cmd_gateway_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontend_sim(args: argparse.Namespace) -> int:
+    """Drive the asyncio device frontend over loopback TCP.
+
+    Unlike ``fleet-sim``/``gateway-sim`` (virtual clock, in-process
+    calls), every upload here crosses a real socket through the wire
+    protocol of docs/protocol.md, then drains gracefully.  ``closed``
+    mode runs the full REQUEST → ASSIGNMENT → compute → RESULT cycle
+    with real workers on the MNIST-like workload; ``open``/``push``
+    modes push synthetic gradients to stress admission and windows.
+    """
+    from repro.devices import SimulatedDevice, fleet_specs
+    from repro.frontend import FrontendConfig, LoadGenConfig, run_loopback_sync
+    from repro.gateway import AggregationCostModel, Gateway, GatewayConfig
+    from repro.server.telemetry import MetricsRegistry
+    from repro.server.worker import Worker
+
+    rng, dataset, partition, model, spec = _fleet_workload(
+        args.seed, args.devices, stage_specs=args.stage,
+        telemetry_registry=MetricsRegistry(),
+    )
+    observability = None
+    if args.trace:
+        from repro.gateway import ObservabilitySpec
+
+        observability = ObservabilitySpec(sample_rate=1.0, seed=args.seed)
+    slo = None
+    if args.slo:
+        from repro.observability import SLOSpec
+
+        slo = SLOSpec()
+    gateway = Gateway.from_spec(
+        args.shards, spec,
+        GatewayConfig(
+            batch_size=args.batch_size,
+            batch_deadline_s=args.batch_deadline,
+            sync_every_s=args.sync_every,
+            admission_rate_per_s=args.admission_rate,
+        ),
+        cost_model=AggregationCostModel(),
+        observability=observability,
+        slo=slo,
+    )
+    dimension = model.get_parameters().size
+    request_factory = result_factory = None
+    if args.mode == "closed":
+        device_specs = fleet_specs(5, np.random.default_rng(6))
+        workers = {}
+        for user_id in range(args.devices):
+            indices = partition.user_indices[user_id % partition.num_users]
+            workers[user_id] = Worker(
+                worker_id=user_id,
+                model=model,
+                data_x=dataset.train_x[indices],
+                data_y=dataset.train_y[indices],
+                num_labels=dataset.num_classes,
+                device=SimulatedDevice(
+                    device_specs[user_id % len(device_specs)],
+                    np.random.default_rng(60 + user_id),
+                ),
+                rng=np.random.default_rng(600 + user_id),
+            )
+        request_factory = lambda wid: workers[wid].build_request()  # noqa: E731
+        result_factory = (  # noqa: E731
+            lambda wid, assignment: workers[wid].execute_assignment(assignment)
+        )
+    config = LoadGenConfig(
+        devices=args.devices,
+        mode=args.mode,
+        uploads_per_device=args.uploads,
+        think_time_s=args.think_time,
+        rate_per_s=args.rate,
+        duration_s=args.duration,
+        window=args.window,
+        dimension=dimension,
+        num_labels=dataset.num_classes,
+        seed=args.seed,
+    )
+    report = run_loopback_sync(
+        gateway, config,
+        frontend_config=FrontendConfig(max_inflight=args.window),
+        request_factory=request_factory,
+        result_factory=result_factory,
+    )
+    stats = report.stats
+    print(f"{args.devices} devices ({args.mode} loop) over loopback TCP: "
+          f"{stats.uploads_sent} uploads sent, {stats.acked} acked "
+          f"({stats.applied} applied inline), {stats.overloaded} overloaded, "
+          f"{gateway.requests_shed()} shed at admission")
+    print(f"gateway: {report.results_received} received, "
+          f"{report.results_applied} applied after drain "
+          f"(drain {report.drain['drain_s']*1e3:.1f} ms), "
+          f"{gateway.clock} model updates")
+    print(f"wall time {report.wall_s:.2f} s, "
+          f"{report.uploads_per_s:.0f} acked uploads/s")
+    metrics = gateway.metrics
+    print("frontend: "
+          f"{metrics.counter('frontend.connections').value} connections "
+          f"(peak {metrics.gauge('frontend.peak_connections').value:.0f} open), "
+          f"{metrics.counter('frontend.bytes_in').value} B in, "
+          f"{metrics.counter('frontend.bytes_out').value} B out, "
+          f"{metrics.counter('frontend.torn_disconnects').value} torn")
+    if stats.rejections:
+        print(f"typed rejections: {stats.rejections}")
+    _print_pipeline_summary(gateway)
+    if args.slo:
+        health = gateway.health_snapshot()
+        alerts = gateway.slo_engine.active_alerts()
+        print(f"health: {health['status']}, active alerts: "
+              f"{', '.join(alerts) if alerts else 'none'}")
+    if args.trace:
+        from repro.observability import critical_path_table
+
+        traces = [t.to_dict() for t in gateway.tracer.collector.traces]
+        print(critical_path_table(traces))
+    if args.journal is not None:
+        traces = (
+            [t.to_dict() for t in gateway.tracer.collector.traces]
+            if gateway.tracer is not None
+            else []
+        )
+        written = gateway.journal.export_jsonl(args.journal, extra=traces)
+        print(f"journal: {written} records -> {args.journal}")
+    if args.metrics_format == "prom":
+        from repro.observability import render_prometheus
+
+        print(render_prometheus(gateway.metrics), end="")
+    elif args.metrics_format == "json":
+        import json
+
+        from repro.observability import registry_snapshot
+
+        print(json.dumps(registry_snapshot(gateway.metrics), indent=2))
+    return 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.observability import (
         critical_path_table,
@@ -716,6 +851,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "and event attribution tables")
     gateway.add_argument("--seed", type=int, default=0)
 
+    frontend = sub.add_parser(
+        "frontend-sim",
+        help="drive the asyncio device frontend over loopback TCP "
+             "(wire protocol of docs/protocol.md)",
+    )
+    frontend.add_argument("--devices", type=int, default=16,
+                          help="concurrent device connections")
+    frontend.add_argument("--mode", choices=["closed", "open", "push"],
+                          default="closed",
+                          help="closed: request/assign/compute/upload cycle "
+                               "with real workers; open: Poisson-paced "
+                               "synthetic uploads; push: saturation")
+    frontend.add_argument("--uploads", type=int, default=8,
+                          help="uploads per device")
+    frontend.add_argument("--think-time", type=float, default=0.0,
+                          help="closed loop: mean seconds between cycles")
+    frontend.add_argument("--rate", type=float, default=50.0,
+                          help="open loop: per-device uploads/s target")
+    frontend.add_argument("--duration", type=float, default=None,
+                          help="open loop: stop after this many seconds")
+    frontend.add_argument("--window", type=int, default=8,
+                          help="per-connection in-flight upload window")
+    frontend.add_argument("--shards", type=int, default=2)
+    frontend.add_argument("--batch-size", type=int, default=4)
+    frontend.add_argument("--batch-deadline", type=float, default=0.05,
+                          help="micro-batch flush deadline (wall seconds "
+                               "here: the frontend clock is real time)")
+    frontend.add_argument("--sync-every", type=float, default=10.0)
+    frontend.add_argument("--admission-rate", type=float, default=None,
+                          help="token-bucket rate (requests/s); shed "
+                               "requests come back as typed REJECTION "
+                               "frames; omit to disable")
+    frontend.add_argument("--stage", action="append", default=None,
+                          metavar="SPEC", help=STAGE_SPEC_HELP)
+    frontend.add_argument("--trace", action="store_true",
+                          help="trace uploads and print the critical path")
+    frontend.add_argument("--slo", action="store_true",
+                          help="evaluate burn-rate SLOs during the run")
+    frontend.add_argument("--journal", default=None, metavar="PATH",
+                          help="export the event journal (connection and "
+                               "drain records included) as JSONL")
+    frontend.add_argument("--metrics-format",
+                          choices=["text", "prom", "json"], default="text")
+    frontend.add_argument("--seed", type=int, default=0)
+
     report = sub.add_parser(
         "trace-report",
         help="critical-path and decision-cause report from a JSONL journal",
@@ -760,6 +940,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "fleet-sim": _cmd_fleet_sim,
     "gateway-sim": _cmd_gateway_sim,
+    "frontend-sim": _cmd_frontend_sim,
     "trace-report": _cmd_trace_report,
     "slo-report": _cmd_slo_report,
     "wal-inspect": _cmd_wal_inspect,

@@ -1,0 +1,34 @@
+"""Device-facing asyncio frontend: wire framing, server, load generator.
+
+The wire format is specified normatively in ``docs/protocol.md``;
+:mod:`repro.frontend.framing` implements it, the conformance test in
+``tests/test_docs.py`` keeps the two in lockstep, and
+:mod:`repro.frontend.server` / :mod:`repro.frontend.loadgen` are the two
+ends of the socket.  :mod:`repro.frontend.harness` wires both into one
+loopback run for the CLI and benchmarks.
+"""
+
+from repro.frontend.framing import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+)
+from repro.frontend.harness import LoopbackReport, run_loopback, run_loopback_sync
+from repro.frontend.loadgen import DeviceClient, LoadGenConfig, LoadGenerator
+from repro.frontend.server import DeviceFrontend, FrontendConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "FrameType",
+    "ProtocolError",
+    "DeviceFrontend",
+    "FrontendConfig",
+    "DeviceClient",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LoopbackReport",
+    "run_loopback",
+    "run_loopback_sync",
+]

@@ -1,0 +1,91 @@
+# repro: wall-clock
+"""Loopback harness: frontend + load generator in one event loop.
+
+``run_loopback`` is the one-call path used by the ``frontend-sim`` CLI,
+the loopback benchmark, and the drain tests: start a
+:class:`~repro.frontend.server.DeviceFrontend` on an ephemeral port,
+drive a :class:`~repro.frontend.loadgen.LoadGenerator` fleet against it,
+then gracefully drain.  The returned report carries both sides of the
+zero-loss contract — every client-side ack and the gateway's
+``results_received`` / ``results_applied`` pair — so callers can assert
+``acked <= received`` and ``applied == received`` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.frontend.loadgen import ClientStats, LoadGenConfig, LoadGenerator
+from repro.frontend.server import DeviceFrontend, FrontendConfig
+
+__all__ = ["LoopbackReport", "run_loopback", "run_loopback_sync"]
+
+
+@dataclass(frozen=True)
+class LoopbackReport:
+    """Outcome of one loopback run, both client- and gateway-side."""
+
+    stats: ClientStats
+    drain: dict
+    wall_s: float
+
+    @property
+    def results_received(self) -> int:
+        return int(self.drain["results_received"])
+
+    @property
+    def results_applied(self) -> int:
+        return int(self.drain["results_applied"])
+
+    @property
+    def uploads_per_s(self) -> float:
+        return self.stats.acked / self.wall_s if self.wall_s > 0 else 0.0
+
+
+async def run_loopback(
+    gateway,
+    config: LoadGenConfig,
+    frontend_config: FrontendConfig | None = None,
+    request_factory: Callable | None = None,
+    result_factory: Callable | None = None,
+    abort_fraction: float = 0.0,
+) -> LoopbackReport:
+    """Run one load-generation pass against a fresh frontend, then drain.
+
+    ``abort_fraction`` hard-kills that share of the fleet's connections
+    mid-run (transport abort, no GOODBYE) to exercise disconnect paths;
+    the zero-acked-loss invariant must hold regardless.
+    """
+    frontend = DeviceFrontend(gateway, frontend_config)
+    host, port = await frontend.start()
+    generator = LoadGenerator(
+        config, request_factory=request_factory, result_factory=result_factory
+    )
+    started = time.perf_counter()
+    if abort_fraction > 0.0:
+        victims = generator.clients[: max(1, int(len(generator.clients) * abort_fraction))]
+
+        async def _ambush() -> None:
+            # Strike only once the whole fleet is connected: the scale
+            # benchmark asserts the peak-connection high-water mark, so
+            # the aborts must hit live connections, not connect attempts.
+            while any(c.welcome is None for c in generator.clients):
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            for client in victims:
+                client.abort()
+
+        stats, _ = await asyncio.gather(generator.run(host, port), _ambush())
+    else:
+        stats = await generator.run(host, port)
+    drain = await frontend.drain()
+    wall = time.perf_counter() - started
+    return LoopbackReport(stats=stats, drain=drain, wall_s=wall)
+
+
+def run_loopback_sync(gateway, config: LoadGenConfig, **kwargs) -> LoopbackReport:
+    """Blocking wrapper for CLI and benchmark callers."""
+    return asyncio.run(run_loopback(gateway, config, **kwargs))

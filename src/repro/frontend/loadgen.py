@@ -1,0 +1,449 @@
+# repro: wall-clock
+"""Asyncio load-generator client for the device-facing frontend.
+
+:class:`DeviceClient` is one simulated device: it handshakes, honours the
+server-granted in-flight window, and tracks every unacked upload so a
+disconnect can restore un-delivered payload mass into an error-feedback
+residual (nothing the server acked is retried; nothing unacked is lost —
+docs/protocol.md §7.3).  :class:`LoadGenerator` drives a fleet of them in
+one of three traffic shapes:
+
+* ``closed`` — each device loops REQUEST → (ASSIGNMENT → compute →
+  RESULT → ack) with optional think time; concurrency equals the device
+  count (the classic closed-loop law);
+* ``open`` — each device pushes RESULTs at a Poisson-paced target rate,
+  window-gated, without waiting for acks between sends;
+* ``push`` — each device pushes its uploads back-to-back as fast as the
+  window reopens (saturation mode, used by the loopback benchmark).
+
+Uploads in ``open``/``push`` mode carry ``pull_step=0`` and rely on the
+gateway's reroute path for unknown workers, which clamps the pull step to
+the shard clock — the same contract ``fleet_sim`` exercises in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.devices.device import DeviceFeatures
+from repro.frontend import framing
+from repro.frontend.framing import (
+    FrameDecoder,
+    FrameType,
+    GoodbyeReason,
+    Hello,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.server.codec import VectorCodec
+from repro.server.protocol import TaskAssignment, TaskRequest, TaskResult
+from repro.server.sparsification import ErrorFeedbackCompressor, SparseGradient
+
+__all__ = ["LoadGenConfig", "ClientStats", "DeviceClient", "LoadGenerator"]
+
+#: Feature vector of the synthetic device (a mid-range phone profile).
+DEFAULT_FEATURES = DeviceFeatures(
+    available_memory_mb=1024.0,
+    total_memory_mb=3072.0,
+    temperature_c=30.0,
+    sum_max_freq_ghz=8.0,
+    energy_per_cpu_second=2e-4,
+)
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Traffic shape and payload parameters for :class:`LoadGenerator`."""
+
+    devices: int = 8
+    mode: str = "closed"  # "closed" | "open" | "push"
+    uploads_per_device: int = 10
+    think_time_s: float = 0.0  # closed loop: mean gap between cycles
+    rate_per_s: float = 50.0  # open loop: per-device target upload rate
+    duration_s: float | None = None  # open loop: stop after this long
+    window: int = 8  # requested per-connection in-flight window
+    dimension: int = 512  # synthetic gradient dimension
+    num_labels: int = 10
+    batch_size: int = 8
+    precision: str = "f32"
+    compression_level: int = 0  # uplink deflate level (0 = stored blocks)
+    sparse_k: int | None = None  # top-k sparsification with error feedback
+    device_model: str = "Galaxy S7"
+    seed: int = 0
+
+
+@dataclass
+class ClientStats:
+    """Per-device outcome counts (aggregated by :class:`LoadGenerator`)."""
+
+    uploads_sent: int = 0
+    acked: int = 0
+    applied: int = 0
+    overloaded: int = 0
+    assignments: int = 0
+    rejections: dict = field(default_factory=dict)
+    wire_errors: int = 0
+    disconnects: int = 0
+    restored_payloads: int = 0
+    goodbyes: int = 0
+
+    def merge(self, other: "ClientStats") -> None:
+        self.uploads_sent += other.uploads_sent
+        self.acked += other.acked
+        self.applied += other.applied
+        self.overloaded += other.overloaded
+        self.assignments += other.assignments
+        self.wire_errors += other.wire_errors
+        self.disconnects += other.disconnects
+        self.restored_payloads += other.restored_payloads
+        self.goodbyes += other.goodbyes
+        for reason, count in other.rejections.items():
+            self.rejections[reason] = self.rejections.get(reason, 0) + count
+
+
+class DeviceClient:
+    """One simulated device speaking the wire protocol over a socket."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        config: LoadGenConfig,
+        rng: np.random.Generator,
+        request_factory: Callable[[int], TaskRequest] | None = None,
+        result_factory: Callable[[int, TaskAssignment | None], TaskResult]
+        | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.config = config
+        self.rng = rng
+        self.codec = VectorCodec(
+            precision=config.precision, compression_level=config.compression_level
+        )
+        self.compressor = (
+            ErrorFeedbackCompressor(dimension=config.dimension, k=config.sparse_k)
+            if config.sparse_k
+            else None
+        )
+        self._request_factory = request_factory or self._default_request
+        self._result_factory = result_factory or self._default_result
+        self.stats = ClientStats()
+        self.welcome: framing.Welcome | None = None
+        self.draining = False
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder()
+        self._seq = 0
+        self._window: asyncio.Semaphore | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        # seq -> sparse payload shipped but not yet acked; restored into
+        # the error-feedback residual if the connection dies first.
+        self._unacked_payloads: dict[int, SparseGradient] = {}
+        self._reader_task: asyncio.Task | None = None
+        self.closed = asyncio.Event()
+
+    # -- synthetic workload --------------------------------------------
+    def _default_request(self, worker_id: int) -> TaskRequest:
+        counts = self.rng.multinomial(64, np.ones(self.config.num_labels) / self.config.num_labels)
+        return TaskRequest(
+            worker_id=worker_id,
+            device_model=self.config.device_model,
+            features=DEFAULT_FEATURES,
+            label_counts=counts.astype(np.float64),
+        )
+
+    def _default_result(
+        self, worker_id: int, assignment: TaskAssignment | None
+    ) -> TaskResult:
+        gradient: np.ndarray | SparseGradient
+        gradient = self.rng.standard_normal(self.config.dimension)
+        if self.compressor is not None:
+            gradient = self.compressor.compress(gradient)
+        return TaskResult(
+            worker_id=worker_id,
+            device_model=self.config.device_model,
+            features=DEFAULT_FEATURES,
+            pull_step=assignment.pull_step if assignment else 0,
+            gradient=gradient,
+            label_counts=np.ones(self.config.num_labels),
+            batch_size=assignment.batch_size if assignment else self.config.batch_size,
+            computation_time_s=1.0,
+            energy_percent=0.01,
+        )
+
+    # -- connection ----------------------------------------------------
+    async def connect(self, host: str, port: int) -> framing.Welcome:
+        self.reader, self.writer = await asyncio.open_connection(host, port)
+        self.writer.write(
+            framing.pack_hello(
+                Hello(
+                    worker_id=self.worker_id,
+                    device_model=self.config.device_model,
+                    version=PROTOCOL_VERSION,
+                    max_inflight=self.config.window,
+                )
+            )
+        )
+        await self.writer.drain()
+        loop = asyncio.get_running_loop()
+        welcome_future: asyncio.Future = loop.create_future()
+        self._pending[-1] = welcome_future
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.welcome = await welcome_future
+        self._window = asyncio.Semaphore(self.welcome.max_inflight)
+        return self.welcome
+
+    async def _read_loop(self) -> None:
+        assert self.reader is not None
+        try:
+            while True:
+                data = await self.reader.read(64 * 1024)
+                if not data:
+                    break
+                for ftype, _flags, body in self._decoder.feed(data):
+                    self._on_frame(ftype, body)
+        except (ConnectionError, ProtocolError):
+            pass
+        finally:
+            self._fail_pending("disconnected")
+            self.closed.set()
+
+    def _on_frame(self, ftype: int, body: bytes) -> None:
+        if ftype == FrameType.WELCOME:
+            self._resolve(-1, framing.unpack_welcome(body))
+        elif ftype == FrameType.ASSIGNMENT:
+            seq, assignment = framing.unpack_assignment(body, self.codec)
+            self.stats.assignments += 1
+            self._resolve(seq, assignment)
+        elif ftype == FrameType.REJECTION:
+            rejection = framing.unpack_rejection(body)
+            name = rejection.reason.name
+            self.stats.rejections[name] = self.stats.rejections.get(name, 0) + 1
+            self._resolve(rejection.seq, rejection)
+        elif ftype == FrameType.RESULT_ACK:
+            ack = framing.unpack_result_ack(body)
+            self.stats.acked += 1
+            if ack.applied:
+                self.stats.applied += 1
+            self._unacked_payloads.pop(ack.seq, None)
+            self._release_window()
+            self._resolve(ack.seq, ack)
+        elif ftype == FrameType.OVERLOADED:
+            over = framing.unpack_overloaded(body)
+            self.stats.overloaded += 1
+            # A refused upload was never admitted: put its payload mass
+            # back into the residual so it is not lost.
+            payload = self._unacked_payloads.pop(over.seq, None)
+            if payload is not None and self.compressor is not None:
+                self.compressor.restore(payload)
+                self.stats.restored_payloads += 1
+            self._release_window()
+            self._resolve(over.seq, over)
+        elif ftype == FrameType.GOODBYE:
+            goodbye = framing.unpack_goodbye(body)
+            if goodbye.reason == GoodbyeReason.SERVER_DRAINING:
+                self.draining = True
+                self.stats.goodbyes += 1
+        elif ftype == FrameType.ERROR:
+            self.stats.wire_errors += 1
+            self._fail_pending(framing.unpack_error(body).detail)
+
+    def _resolve(self, seq: int, value) -> None:
+        future = self._pending.pop(seq, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def _release_window(self) -> None:
+        if self._window is not None:
+            self._window.release()
+
+    def _fail_pending(self, reason: str) -> None:
+        if self._pending:
+            self.stats.disconnects += 1
+        for seq, future in list(self._pending.items()):
+            if not future.done():
+                future.set_result(ConnectionError(reason))
+            self._pending.pop(seq, None)
+            payload = self._unacked_payloads.pop(seq, None)
+            if payload is not None and self.compressor is not None:
+                self.compressor.restore(payload)
+                self.stats.restored_payloads += 1
+            self._release_window()
+
+    # -- frame senders -------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    async def request(self) -> TaskAssignment | framing.Rejection | ConnectionError:
+        assert self.writer is not None
+        seq = self._next_seq()
+        future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        try:
+            self.writer.write(
+                framing.pack_request(seq, self._request_factory(self.worker_id))
+            )
+            await self.writer.drain()
+        except ConnectionError as exc:
+            self._pending.pop(seq, None)
+            return exc
+        return await future
+
+    async def send_result(
+        self, assignment: TaskAssignment | None = None, wait_ack: bool = False
+    ):
+        """Ship one upload; with ``wait_ack`` return the ack/overload."""
+        assert self.writer is not None and self._window is not None
+        await self._window.acquire()
+        if self.closed.is_set() or self.draining:
+            self._release_window()
+            return None
+        seq = self._next_seq()
+        result = self._result_factory(self.worker_id, assignment)
+        if isinstance(result.gradient, SparseGradient):
+            self._unacked_payloads[seq] = result.gradient
+        future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        self.stats.uploads_sent += 1
+        try:
+            self.writer.write(framing.pack_result(seq, result, self.codec))
+            await self.writer.drain()
+        except ConnectionError:
+            # The socket died under us: the upload was never delivered.
+            # _fail_pending (via the reader loop) restores the payload
+            # and releases the window; just surface the disconnect here.
+            self.closed.set()
+            return None
+        if wait_ack:
+            return await future
+        return future
+
+    async def close(self, goodbye: bool = True) -> None:
+        if self.writer is not None:
+            if goodbye and not self.writer.is_closing():
+                with contextlib.suppress(ConnectionError):
+                    self.writer.write(framing.pack_goodbye(GoodbyeReason.CLIENT_DONE))
+                    await self.writer.drain()
+            with contextlib.suppress(Exception):
+                self.writer.close()
+            with contextlib.suppress(Exception):
+                await self.writer.wait_closed()
+        if self._reader_task is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+
+    def abort(self) -> None:
+        """Hard-kill the transport (simulates a device dropping off)."""
+        if self.writer is not None:
+            self.writer.transport.abort()
+
+    async def abort_mid_frame(self) -> None:
+        """Write a deliberately truncated frame, then abort.
+
+        Exercises the server's torn-disconnect path: the header promises
+        more body bytes than ever arrive (docs/protocol.md §7.3).
+        """
+        assert self.writer is not None
+        result = self._result_factory(self.worker_id, None)
+        frame = framing.pack_result(self._next_seq(), result, self.codec)
+        with contextlib.suppress(ConnectionError):
+            self.writer.write(frame[: max(9, len(frame) // 2)])
+            await self.writer.drain()
+        # Let the torn prefix reach the server before the RST: an abort
+        # can discard loopback data still in flight, and then the server
+        # would (correctly) see a clean EOF rather than a torn frame.
+        await asyncio.sleep(0.05)
+        self.abort()
+
+    # -- traffic loops -------------------------------------------------
+    async def run_closed(self) -> None:
+        for _ in range(self.config.uploads_per_device):
+            if self.closed.is_set() or self.draining:
+                break
+            response = await self.request()
+            if isinstance(response, ConnectionError):
+                break
+            assignment = response if isinstance(response, TaskAssignment) else None
+            if assignment is not None:
+                await self.send_result(assignment, wait_ack=True)
+            if self.config.think_time_s:
+                await asyncio.sleep(
+                    float(self.rng.exponential(self.config.think_time_s))
+                )
+
+    async def run_open(self) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + self.config.duration_s if self.config.duration_s else None
+        )
+        sent = 0
+        while not (self.closed.is_set() or self.draining):
+            if deadline is not None and loop.time() >= deadline:
+                break
+            if deadline is None and sent >= self.config.uploads_per_device:
+                break
+            await self.send_result()
+            sent += 1
+            await asyncio.sleep(float(self.rng.exponential(1.0 / self.config.rate_per_s)))
+        await self._quiesce()
+
+    async def run_push(self) -> None:
+        for _ in range(self.config.uploads_per_device):
+            if self.closed.is_set() or self.draining:
+                break
+            await self.send_result()
+        await self._quiesce()
+
+    async def _quiesce(self) -> None:
+        """Wait until every in-flight upload has been answered."""
+        while self._pending and not self.closed.is_set():
+            futures = [f for f in self._pending.values() if not f.done()]
+            if not futures:
+                break
+            await asyncio.wait(futures, timeout=1.0)
+
+
+class LoadGenerator:
+    """Drive a fleet of :class:`DeviceClient`\\ s against a frontend."""
+
+    def __init__(
+        self,
+        config: LoadGenConfig,
+        request_factory: Callable[[int], TaskRequest] | None = None,
+        result_factory: Callable[[int, TaskAssignment | None], TaskResult]
+        | None = None,
+    ) -> None:
+        if config.mode not in ("closed", "open", "push"):
+            raise ValueError(f"unknown loadgen mode {config.mode!r}")
+        self.config = config
+        root = np.random.default_rng(config.seed)
+        self.clients = [
+            DeviceClient(
+                worker_id=i,
+                config=config,
+                rng=np.random.default_rng(root.integers(2**63)),
+                request_factory=request_factory,
+                result_factory=result_factory,
+            )
+            for i in range(config.devices)
+        ]
+
+    async def run(self, host: str, port: int) -> ClientStats:
+        """Connect every device, run the traffic shape, close, aggregate."""
+        await asyncio.gather(*(c.connect(host, port) for c in self.clients))
+        runner = {
+            "closed": DeviceClient.run_closed,
+            "open": DeviceClient.run_open,
+            "push": DeviceClient.run_push,
+        }[self.config.mode]
+        await asyncio.gather(*(runner(c) for c in self.clients))
+        await asyncio.gather(*(c.close() for c in self.clients))
+        total = ClientStats()
+        for client in self.clients:
+            total.merge(client.stats)
+        return total

@@ -33,6 +33,8 @@ __all__ = [
     "ShardCrashRecord",
     "FailoverStartRecord",
     "FailoverDoneRecord",
+    "FrontendConnectionRecord",
+    "FrontendDrainRecord",
     "EventJournal",
     "load_jsonl",
 ]
@@ -155,6 +157,41 @@ class FailoverDoneRecord:
     replayed_results: int
     restored_clock: int
     redelivered_results: int
+
+
+@dataclass(frozen=True)
+class FrontendConnectionRecord:
+    """One device connection's lifetime as seen by the asyncio frontend.
+
+    ``close_reason`` is one of ``"goodbye"`` (orderly GOODBYE exchange),
+    ``"eof"`` (clean disconnect between frames), ``"torn"`` (disconnect
+    mid-frame — bytes were buffered toward an incomplete frame),
+    ``"protocol_error"`` (the server sent ERROR and closed) or
+    ``"drain"`` (the server closed it during graceful shutdown).
+    """
+
+    kind = "frontend_connection"
+    time: float
+    session_id: int
+    worker_id: int
+    device_model: str
+    close_reason: str
+    requests: int
+    results: int
+    results_overloaded: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FrontendDrainRecord:
+    """Graceful frontend shutdown: accept stopped, uploads flushed, closed."""
+
+    kind = "frontend_drain"
+    time: float
+    connections_closed: int
+    results_received: int
+    results_applied: int
+    drain_s: float
 
 
 class EventJournal:
@@ -314,6 +351,50 @@ class EventJournal:
         self.record(
             ShardCrashRecord(
                 time=time, shard_id=shard_id, clock=clock, detected_by=detected_by
+            )
+        )
+
+    def frontend_connection(
+        self,
+        time: float,
+        session_id: int,
+        worker_id: int,
+        device_model: str,
+        close_reason: str,
+        requests: int,
+        results: int,
+        results_overloaded: int,
+        duration_s: float,
+    ) -> None:
+        self.record(
+            FrontendConnectionRecord(
+                time=time,
+                session_id=session_id,
+                worker_id=worker_id,
+                device_model=device_model,
+                close_reason=close_reason,
+                requests=requests,
+                results=results,
+                results_overloaded=results_overloaded,
+                duration_s=duration_s,
+            )
+        )
+
+    def frontend_drain(
+        self,
+        time: float,
+        connections_closed: int,
+        results_received: int,
+        results_applied: int,
+        drain_s: float,
+    ) -> None:
+        self.record(
+            FrontendDrainRecord(
+                time=time,
+                connections_closed=connections_closed,
+                results_received=results_received,
+                results_applied=results_applied,
+                drain_s=drain_s,
             )
         )
 

@@ -199,3 +199,28 @@ class TestStageFlags:
         parser = build_parser()
         assert parser.parse_args(["fleet-sim"]).stage is None
         assert parser.parse_args(["gateway-sim"]).stage is None
+
+
+class TestFrontendSim:
+    def test_push_mode_smoke(self, capsys):
+        assert main([
+            "frontend-sim", "--mode", "push", "--devices", "4",
+            "--uploads", "3", "--shards", "2", "--batch-size", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "received" in out and "applied after drain" in out
+        assert "uploads/s" in out
+
+    def test_closed_mode_drives_real_workers(self, capsys):
+        assert main([
+            "frontend-sim", "--devices", "3", "--uploads", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "acked" in out and "applied after drain" in out
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["frontend-sim"])
+        assert args.mode == "closed"
+        assert args.devices == 16
+        assert args.window == 8

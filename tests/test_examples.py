@@ -1,0 +1,61 @@
+"""Every example stays runnable and self-describing.
+
+Each ``examples/`` script must import cleanly (so its API usage cannot
+rot), carry a module docstring explaining what it demonstrates, state a
+``python -m examples.<name>`` run line in that docstring (the form the
+README promises), and expose a ``main()`` behind a ``__main__`` guard.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+EXAMPLE_NAMES = [path.stem for path in EXAMPLES]
+
+assert EXAMPLES, "examples/ directory is empty — the glob is wrong"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _repo_root_on_path():
+    """``import examples.<name>`` needs the repo root importable."""
+    sys.path.insert(0, str(REPO_ROOT))
+    yield
+    sys.path.remove(str(REPO_ROOT))
+
+
+@pytest.mark.parametrize("name", EXAMPLE_NAMES)
+def test_example_imports_cleanly(name):
+    module = importlib.import_module(f"examples.{name}")
+    assert callable(getattr(module, "main", None)), (
+        f"examples/{name}.py has no main() entry point"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=EXAMPLE_NAMES)
+def test_example_docstring_states_its_run_line(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"examples/{path.name} lacks a module docstring"
+    assert len(docstring.splitlines()) >= 2, (
+        f"examples/{path.name}: docstring should explain the example, "
+        "not just title it"
+    )
+    assert f"python -m examples.{path.stem}" in docstring, (
+        f"examples/{path.name}: docstring must state its "
+        f"'python -m examples.{path.stem}' run line"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=EXAMPLE_NAMES)
+def test_example_has_main_guard(path):
+    source = path.read_text(encoding="utf-8")
+    assert '__name__ == "__main__"' in source or "__name__ == '__main__'" in source, (
+        f"examples/{path.name} lacks a __main__ guard"
+    )
